@@ -1,0 +1,283 @@
+// Package closurex is the public API of this reproduction of "ClosureX:
+// Compiler Support for Correct Persistent Fuzzing" (ASPLOS 2025).
+//
+// The library turns a MinC program (a C subset; see internal/minc) into a
+// naturally restartable fuzzing target: a compiler pass pipeline renames
+// main, hooks exit(), routes heap and file-handle traffic through tracking
+// wrappers and segregates writable globals into closure_global_section; a
+// runtime harness then runs an entire fuzzing campaign inside one process
+// image, restoring exactly the test-case-specific state between runs.
+//
+// Quick start:
+//
+//	f, err := closurex.NewFuzzer(source, seeds, closurex.Options{})
+//	if err != nil { ... }
+//	defer f.Close()
+//	f.RunFor(5 * time.Second)
+//	fmt.Println(f.Stats())
+//
+// The paper's ten benchmark targets (Table 4) are pre-registered; build a
+// fuzzer for one with NewBenchmarkFuzzer("gpmf-parser", "closurex", 1).
+package closurex
+
+import (
+	"fmt"
+	"time"
+
+	"closurex/internal/core"
+	"closurex/internal/execmgr"
+	"closurex/internal/fuzz"
+	"closurex/internal/targets"
+	"closurex/internal/vm"
+)
+
+// Mechanisms returns the execution-mechanism names on the paper's state
+// restoration spectrum, slowest first: "fresh", "forkserver",
+// "snapshot-lkm" (the related work's kernel snapshotting),
+// "persistent-naive" (fast but incorrect), "closurex".
+func Mechanisms() []string { return execmgr.Names() }
+
+// Benchmarks returns the registered Table 4 benchmark names.
+func Benchmarks() []string {
+	var out []string
+	for _, t := range targets.All() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Options configures a Fuzzer.
+type Options struct {
+	// Mechanism is one of Mechanisms(); default "closurex".
+	Mechanism string
+	// Seed seeds the deterministic campaign RNG.
+	Seed uint64
+	// MaxInputLen bounds mutated inputs (default 4096).
+	MaxInputLen int
+	// Budget bounds interpreted instructions per execution.
+	Budget int64
+	// DeferInit hoists a closurex_init routine out of the fuzzing loop.
+	DeferInit bool
+	// ImagePages sizes the simulated resident process image.
+	ImagePages int
+	// Files pre-populates the target's virtual filesystem (config files
+	// read during initialization, for example). The test case itself
+	// always appears at "/input".
+	Files map[string][]byte
+	// Dict supplies format keywords (magics, FourCCs) for the dictionary
+	// mutators, as AFL users would via -x.
+	Dict [][]byte
+}
+
+// CrashReport describes one triaged, deduplicated crash.
+type CrashReport struct {
+	// Key is the triage bucket: "<kind>@<function>:<line>".
+	Key string
+	// Kind is the sanitizer classification ("null-pointer-dereference",
+	// "division-by-zero", ...).
+	Kind string
+	// Fn and Line locate the faulting source position.
+	Fn   string
+	Line int32
+	// Input is the first test case that triggered the crash.
+	Input []byte
+	// FirstAt is the campaign time of first discovery.
+	FirstAt time.Duration
+	// Count is how many executions hit this bucket.
+	Count int64
+}
+
+// Stats summarizes a campaign.
+type Stats struct {
+	// Execs is the number of test cases executed.
+	Execs int64
+	// ExecsPerSec is the mean execution rate so far.
+	ExecsPerSec float64
+	// Edges is the number of distinct coverage-map cells hit.
+	Edges int
+	// TotalEdges is the static bound on distinct coverage edges (the
+	// denominator for coverage percentages).
+	TotalEdges int
+	// QueueLen is the corpus size.
+	QueueLen int
+	// Spawns counts process images built or forked (the
+	// process-management cost the paper eliminates).
+	Spawns int64
+	// Crashes lists triaged crashes in discovery order.
+	Crashes []CrashReport
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("execs=%d (%.0f/s) edges=%d/%d queue=%d spawns=%d crashes=%d",
+		s.Execs, s.ExecsPerSec, s.Edges, s.TotalEdges, s.QueueLen, s.Spawns, len(s.Crashes))
+}
+
+// Fuzzer is a ready-to-run fuzzing configuration: an instrumented target,
+// an execution mechanism and a campaign.
+type Fuzzer struct {
+	inst *core.Instance
+}
+
+// NewFuzzer compiles MinC source, instruments it for the chosen mechanism
+// and prepares a campaign over the given seed corpus.
+func NewFuzzer(source string, seeds [][]byte, opts Options) (*Fuzzer, error) {
+	mechanism := opts.Mechanism
+	if mechanism == "" {
+		mechanism = "closurex"
+	}
+	maxLen := opts.MaxInputLen
+	if maxLen <= 0 {
+		maxLen = 4096
+	}
+	t := &targets.Target{
+		Name:        "user",
+		Short:       "user",
+		Source:      source,
+		Seeds:       func() [][]byte { return seeds },
+		MaxInputLen: maxLen,
+		ImagePages:  opts.ImagePages,
+	}
+	for _, tok := range opts.Dict {
+		t.Dict = append(t.Dict, string(tok))
+	}
+	inst, err := core.NewInstance(t, mechanism, core.InstanceOptions{
+		TrialSeed: opts.Seed,
+		Budget:    opts.Budget,
+		DeferInit: opts.DeferInit,
+		Files:     opts.Files,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fuzzer{inst: inst}, nil
+}
+
+// NewBenchmarkFuzzer builds a fuzzer for a registered Table 4 benchmark
+// under the given mechanism; trialSeed makes runs reproducible.
+func NewBenchmarkFuzzer(benchmark, mechanism string, trialSeed uint64) (*Fuzzer, error) {
+	t := targets.Get(benchmark)
+	if t == nil {
+		return nil, fmt.Errorf("closurex: unknown benchmark %q (have %v)", benchmark, Benchmarks())
+	}
+	if mechanism == "" {
+		mechanism = "closurex"
+	}
+	inst, err := core.NewInstance(t, mechanism, core.InstanceOptions{TrialSeed: trialSeed})
+	if err != nil {
+		return nil, err
+	}
+	return &Fuzzer{inst: inst}, nil
+}
+
+// RunFor fuzzes until d has elapsed.
+func (f *Fuzzer) RunFor(d time.Duration) { f.inst.Campaign.RunFor(d) }
+
+// RunExecs fuzzes until at least n test cases have executed.
+func (f *Fuzzer) RunExecs(n int64) { f.inst.Campaign.RunExecs(n) }
+
+// TryOne executes a single input and reports whether it crashed, with the
+// triage key if so. Useful for reproducing a crash outside the campaign.
+func (f *Fuzzer) TryOne(input []byte) (crashed bool, key string) {
+	res := f.inst.Mech.Execute(input)
+	for i := range f.inst.CovMap {
+		f.inst.CovMap[i] = 0
+	}
+	if res.Fault != nil {
+		return true, res.Fault.Key()
+	}
+	return false, ""
+}
+
+// Stats returns a snapshot of campaign progress.
+func (f *Fuzzer) Stats() Stats {
+	c := f.inst.Campaign
+	st := Stats{
+		Execs:      c.Execs(),
+		Edges:      c.Edges(),
+		TotalEdges: f.inst.TotalEdges(),
+		QueueLen:   c.QueueLen(),
+		Spawns:     f.inst.Mech.Spawns(),
+	}
+	if el := c.Elapsed(); el > 0 {
+		st.ExecsPerSec = float64(c.Execs()) / el.Seconds()
+	}
+	for _, cr := range c.Crashes() {
+		st.Crashes = append(st.Crashes, CrashReport{
+			Key:     cr.Key,
+			Kind:    cr.Kind.String(),
+			Fn:      cr.Fn,
+			Line:    cr.Line,
+			Input:   append([]byte(nil), cr.Input...),
+			FirstAt: cr.FirstAt,
+			Count:   cr.Count,
+		})
+	}
+	return st
+}
+
+// MinimizeCrash shrinks a crashing input to a minimal witness that still
+// triggers the same triage bucket, then zeroes every byte that is not
+// load-bearing (the afl-tmin workflow). The input must crash.
+func (f *Fuzzer) MinimizeCrash(input []byte) ([]byte, error) {
+	crashed, key := f.TryOne(input)
+	if !crashed {
+		return nil, fmt.Errorf("closurex: input does not crash")
+	}
+	pred := func(cand []byte) bool {
+		c, k := f.TryOne(cand)
+		return c && k == key
+	}
+	out := fuzz.TrimInput(input, pred)
+	return fuzz.NormalizeInput(out, pred), nil
+}
+
+// MinimizeCorpus returns a coverage-preserving subset of the campaign's
+// queue (the afl-cmin workflow): the smallest greedy set of inputs hitting
+// every coverage-map cell the full queue hits.
+func (f *Fuzzer) MinimizeCorpus() [][]byte {
+	trace := func(in []byte) map[int]bool {
+		f.inst.Mech.Execute(in)
+		out := map[int]bool{}
+		for i, v := range f.inst.CovMap {
+			if v != 0 {
+				out[i] = true
+				f.inst.CovMap[i] = 0
+			}
+		}
+		return out
+	}
+	return fuzz.MinimizeCorpus(f.Corpus(), trace)
+}
+
+// Corpus returns the accumulated queue inputs.
+func (f *Fuzzer) Corpus() [][]byte {
+	var out [][]byte
+	for _, e := range f.inst.Campaign.Queue() {
+		out = append(out, append([]byte(nil), e.Input...))
+	}
+	return out
+}
+
+// Mechanism returns the active execution mechanism's name.
+func (f *Fuzzer) Mechanism() string { return f.inst.Mech.Name() }
+
+// Close releases the fuzzer's process images.
+func (f *Fuzzer) Close() { f.inst.Close() }
+
+// CheckSource type-checks MinC source without building a fuzzer, returning
+// a descriptive error for invalid programs.
+func CheckSource(source string) error {
+	_, err := core.Compile("user.c", source)
+	return err
+}
+
+// SectionLayout compiles source with the full ClosureX pipeline and
+// renders the resulting section table — the Figure 3 view showing writable
+// globals segregated into closure_global_section.
+func SectionLayout(source string) (string, error) {
+	mod, err := core.Build("user.c", source, core.ClosureX)
+	if err != nil {
+		return "", err
+	}
+	return vm.NewLayout(mod).String(), nil
+}

@@ -1,0 +1,173 @@
+// Command closurex-fuzz runs a fuzzing campaign on a registered benchmark
+// (or a user MinC file) under a chosen execution mechanism, printing
+// periodic status lines and a final crash report.
+//
+// Usage:
+//
+//	closurex-fuzz -target gpmf-parser -mechanism closurex -duration 10s
+//	closurex-fuzz -file prog.c -seed-file s1.bin -seed-file s2.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"closurex"
+)
+
+type seedFiles []string
+
+func (s *seedFiles) String() string     { return fmt.Sprint(*s) }
+func (s *seedFiles) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var seeds seedFiles
+	var (
+		targetName = flag.String("target", "", "registered benchmark (see closurex-cc -list-targets)")
+		file       = flag.String("file", "", "MinC source file to fuzz")
+		mechanism  = flag.String("mechanism", "closurex", "fresh | forkserver | persistent-naive | closurex")
+		duration   = flag.Duration("duration", 10*time.Second, "fuzzing time")
+		seed       = flag.Uint64("seed", 1, "campaign RNG seed")
+		status     = flag.Duration("status", 2*time.Second, "status interval")
+	)
+	var (
+		outDir = flag.String("out", "", "directory to persist crashes/ and queue/ into")
+		replay = flag.String("replay", "", "replay one input file instead of fuzzing")
+		tmin   = flag.Bool("minimize-crashes", false, "minimize each crash input before reporting")
+		cmin   = flag.Bool("minimize-corpus", false, "write the coverage-preserving corpus subset to -out")
+	)
+	flag.Var(&seeds, "seed-file", "seed corpus file (repeatable; -file mode)")
+	flag.Parse()
+
+	var f *closurex.Fuzzer
+	var err error
+	switch {
+	case *targetName != "":
+		f, err = closurex.NewBenchmarkFuzzer(*targetName, *mechanism, *seed)
+	case *file != "":
+		data, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		var corpus [][]byte
+		for _, sf := range seeds {
+			b, rerr := os.ReadFile(sf)
+			if rerr != nil {
+				fatalf("%v", rerr)
+			}
+			corpus = append(corpus, b)
+		}
+		f, err = closurex.NewFuzzer(string(data), corpus, closurex.Options{
+			Mechanism: *mechanism, Seed: *seed,
+		})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+
+	if *replay != "" {
+		data, rerr := os.ReadFile(*replay)
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		crashed, key := f.TryOne(data)
+		if crashed {
+			fmt.Printf("CRASH %s\n", key)
+			os.Exit(3)
+		}
+		fmt.Println("no crash")
+		return
+	}
+
+	fmt.Printf("fuzzing with mechanism=%s for %v\n", f.Mechanism(), *duration)
+	deadline := time.Now().Add(*duration)
+	for time.Now().Before(deadline) {
+		slice := *status
+		if rem := time.Until(deadline); rem < slice {
+			slice = rem
+		}
+		f.RunFor(slice)
+		fmt.Println(f.Stats())
+	}
+
+	st := f.Stats()
+	fmt.Printf("\nfinal: %s\n", st)
+	if len(st.Crashes) == 0 {
+		fmt.Println("no crashes found")
+		return
+	}
+	fmt.Printf("%d unique crash(es):\n", len(st.Crashes))
+	for i := range st.Crashes {
+		c := &st.Crashes[i]
+		if *tmin {
+			if min, err := f.MinimizeCrash(c.Input); err == nil {
+				fmt.Printf("  minimized %d -> %d bytes\n", len(c.Input), len(min))
+				c.Input = min
+			}
+		}
+		fmt.Printf("  %-50s first at %8.2fs, %5d hits, input %q\n",
+			c.Key, c.FirstAt.Seconds(), c.Count, preview(c.Input))
+	}
+	if *cmin && *outDir == "" {
+		fatalf("-minimize-corpus requires -out")
+	}
+	if *outDir != "" {
+		if err := persist(*outDir, f, st, *cmin); err != nil {
+			fatalf("persisting results: %v", err)
+		}
+		fmt.Printf("crashes and corpus written to %s\n", *outDir)
+	}
+}
+
+// persist writes triaged crash inputs and the corpus to disk, in the
+// layout AFL users expect (crashes/ and queue/). With minimizeCorpus the
+// queue is first reduced to its coverage-preserving subset.
+func persist(dir string, f *closurex.Fuzzer, st closurex.Stats, minimizeCorpus bool) error {
+	crashDir := filepath.Join(dir, "crashes")
+	queueDir := filepath.Join(dir, "queue")
+	for _, d := range []string{crashDir, queueDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+	}
+	sanitize := strings.NewReplacer("/", "_", ":", "_", "@", "_")
+	for _, c := range st.Crashes {
+		name := sanitize.Replace(c.Key) + ".bin"
+		if err := os.WriteFile(filepath.Join(crashDir, name), c.Input, 0o644); err != nil {
+			return err
+		}
+	}
+	corpus := f.Corpus()
+	if minimizeCorpus {
+		before := len(corpus)
+		corpus = f.MinimizeCorpus()
+		fmt.Printf("corpus minimized: %d -> %d entries\n", before, len(corpus))
+	}
+	for i, in := range corpus {
+		name := fmt.Sprintf("id_%06d.bin", i)
+		if err := os.WriteFile(filepath.Join(queueDir, name), in, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func preview(b []byte) string {
+	if len(b) > 32 {
+		return string(b[:32]) + "..."
+	}
+	return string(b)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "closurex-fuzz: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Quickstart: compile a MinC target, instrument it with the ClosureX
+// pipeline, and fuzz it persistently — all through the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"closurex"
+)
+
+// source is a small config-string parser with a planted null-pointer
+// dereference: "debug=" with an empty value makes it dereference a NULL
+// options pointer.
+const source = `
+int keys_seen;
+int debug_level;
+
+int parse_pair(char *s, int len) {
+	int eq = -1;
+	for (int i = 0; i < len; i++) {
+		if (s[i] == '=') { eq = i; break; }
+	}
+	if (eq <= 0) return 0;
+	keys_seen++;
+	if (eq == 5 && s[0] == 'd' && s[1] == 'e' && s[2] == 'b' &&
+	    s[3] == 'u' && s[4] == 'g') {
+		char *val = (char*)0;
+		if (eq + 1 < len) val = s + eq + 1;
+		debug_level = val[0] - '0';   // BUG: NULL when the value is empty
+	}
+	return 1;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size > 4096) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size + 1);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+	int start = 0;
+	for (int i = 0; i <= size; i++) {
+		if (i == size || buf[i] == 10) {
+			parse_pair(buf + start, i - start);
+			start = i + 1;
+		}
+	}
+	free(buf);
+	fclose(f);
+	return keys_seen;
+}
+`
+
+func main() {
+	seeds := [][]byte{
+		[]byte("name=closurex\ndebug=2\nverbose=1\n"),
+	}
+	f, err := closurex.NewFuzzer(source, seeds, closurex.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	fmt.Println("fuzzing a config parser under the ClosureX mechanism...")
+	f.RunFor(3 * time.Second)
+
+	st := f.Stats()
+	fmt.Printf("executed %d test cases (%.0f/s) in ONE process image (%d spawns)\n",
+		st.Execs, st.ExecsPerSec, st.Spawns)
+	fmt.Printf("coverage: %d/%d edges; corpus: %d entries\n", st.Edges, st.TotalEdges, st.QueueLen)
+	for _, c := range st.Crashes {
+		fmt.Printf("crash: %s after %.2fs, input %q\n", c.Key, c.FirstAt.Seconds(), c.Input)
+	}
+	if len(st.Crashes) == 0 {
+		fmt.Println("no crash found — try a longer run")
+	}
+}

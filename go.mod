@@ -1,0 +1,3 @@
+module closurex
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package core ties the ClosureX toolchain together: it compiles MinC
+// sources, applies the instrumentation pipeline appropriate for each
+// execution mechanism, and wires module + mechanism + fuzzer into one
+// runnable instance. The public facade (package closurex at the repository
+// root) and the experiment drivers are thin layers over this package.
+package core
+
+import (
+	"fmt"
+
+	"closurex/internal/execmgr"
+	"closurex/internal/fuzz"
+	"closurex/internal/harness"
+	"closurex/internal/ir"
+	"closurex/internal/lower"
+	"closurex/internal/passes"
+	"closurex/internal/targets"
+	"closurex/internal/vm"
+)
+
+// Variant selects an instrumentation pipeline.
+type Variant int
+
+// Pipeline variants.
+const (
+	// Pristine applies no passes: the module as the front end emitted it.
+	Pristine Variant = iota
+	// Baseline is the AFL++-style build: renamed entry point + coverage,
+	// no state-restoration hooks. Used by fresh/forkserver/naive modes.
+	Baseline
+	// ClosureX is the full Table 3 pipeline + coverage.
+	ClosureX
+	// ClosureXDeferInit additionally hoists closurex_init (future work).
+	ClosureXDeferInit
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Pristine:
+		return "pristine"
+	case Baseline:
+		return "baseline"
+	case ClosureX:
+		return "closurex"
+	case ClosureXDeferInit:
+		return "closurex+deferinit"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// VariantFor returns the build variant an execution mechanism needs.
+func VariantFor(mechanism string) Variant {
+	if mechanism == "closurex" {
+		return ClosureX
+	}
+	return Baseline
+}
+
+// CoverageSeed fixes coverage-probe IDs so both configurations of a trial
+// share the same map geometry (the evaluation holds instrumentation
+// constant across mechanisms).
+const CoverageSeed = 0xC105
+
+// Compile lowers MinC source to a pristine, verified module.
+func Compile(file, src string) (*ir.Module, error) {
+	return lower.Compile(file, src, vm.Builtins())
+}
+
+// Instrument applies the variant's pipeline to a clone of m, leaving m
+// untouched, and returns the instrumented module.
+func Instrument(m *ir.Module, v Variant) (*ir.Module, error) {
+	out := m.Clone()
+	pm := passes.NewManager(vm.Builtins())
+	switch v {
+	case Pristine:
+		return out, nil
+	case Baseline:
+		pm.Add(passes.CoverageOnlyPipeline(CoverageSeed)...)
+	case ClosureX:
+		pm.Add(passes.ClosureXPipeline(false)...)
+		pm.Add(passes.NewCoveragePass(CoverageSeed))
+	case ClosureXDeferInit:
+		pm.Add(passes.ClosureXPipeline(true)...)
+		pm.Add(passes.NewCoveragePass(CoverageSeed))
+	default:
+		return nil, fmt.Errorf("core: unknown variant %d", int(v))
+	}
+	if err := pm.Run(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Build compiles and instruments in one step.
+func Build(file, src string, v Variant) (*ir.Module, error) {
+	m, err := Compile(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return Instrument(m, v)
+}
+
+// Instance is one runnable fuzzing configuration: a target built for a
+// mechanism, plus a campaign driving it.
+type Instance struct {
+	Target   *targets.Target
+	Module   *ir.Module
+	Mech     execmgr.Mechanism
+	CovMap   []byte
+	Campaign *fuzz.Campaign
+}
+
+// InstanceOptions tunes NewInstance.
+type InstanceOptions struct {
+	// TrialSeed seeds the campaign RNG; each trial uses a distinct seed.
+	TrialSeed uint64
+	// Budget overrides the per-execution instruction budget.
+	Budget int64
+	// TraceEdges enables path tracing (correctness study only).
+	TraceEdges bool
+	// HarnessOpts overrides which state ClosureX restores (ablations).
+	HarnessOpts *harness.Options
+	// DeferInit switches the ClosureX build to the DeferInit pipeline.
+	DeferInit bool
+	// Files pre-populates the virtual filesystem (configs etc.).
+	Files map[string][]byte
+	// ImagePagesOverride overrides the target's Table 4 image size; < 0
+	// means "no image" (unit tests), 0 means "use the target's".
+	ImagePagesOverride int
+}
+
+// NewInstance builds target t for the named mechanism and wires a
+// campaign seeded with the target's corpus.
+func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*Instance, error) {
+	if t == nil {
+		return nil, fmt.Errorf("core: nil target")
+	}
+	variant := VariantFor(mechanism)
+	if variant == ClosureX && opts.DeferInit {
+		variant = ClosureXDeferInit
+	}
+	mod, err := Build(t.Short+".c", t.Source, variant)
+	if err != nil {
+		return nil, fmt.Errorf("core: build %s: %w", t.Name, err)
+	}
+	cov := make([]byte, fuzz.MapSize)
+	pages := t.ImagePages
+	switch {
+	case opts.ImagePagesOverride > 0:
+		pages = opts.ImagePagesOverride
+	case opts.ImagePagesOverride < 0:
+		pages = 0
+	}
+	mech, err := execmgr.New(mechanism, execmgr.Config{
+		Module:      mod,
+		CovMap:      cov,
+		Budget:      opts.Budget,
+		ImagePages:  pages,
+		TraceEdges:  opts.TraceEdges,
+		HarnessOpts: opts.HarnessOpts,
+		Files:       opts.Files,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dict [][]byte
+	for _, tok := range t.Dict {
+		dict = append(dict, []byte(tok))
+	}
+	camp := fuzz.NewCampaign(fuzz.Config{
+		Executor:    mech,
+		CovMap:      cov,
+		Seeds:       t.Seeds(),
+		Seed:        opts.TrialSeed,
+		MaxInputLen: t.MaxInputLen,
+		Dict:        dict,
+	})
+	return &Instance{Target: t, Module: mod, Mech: mech, CovMap: cov, Campaign: camp}, nil
+}
+
+// Close releases the mechanism's resources.
+func (in *Instance) Close() { in.Mech.Close() }
+
+// TotalProbes returns the number of coverage probes in the instrumented
+// module.
+func (in *Instance) TotalProbes() int { return passes.CountProbes(in.Module) }
+
+// TotalEdges returns the static edge bound (the denominator of Table 6's
+// coverage percentages).
+func (in *Instance) TotalEdges() int { return passes.TotalEdges(in.Module) }

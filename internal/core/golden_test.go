@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"closurex/internal/ir"
+	"closurex/internal/targets"
+)
+
+// The whole toolchain — front end, lowering, pass pipeline, coverage IDs —
+// must be bit-for-bit deterministic: two builds of the same target print
+// identical IR. Reproducible builds underpin every cross-mechanism
+// comparison in the evaluation.
+func TestBuildsAreDeterministic(t *testing.T) {
+	for _, tg := range targets.All() {
+		for _, v := range []Variant{Pristine, Baseline, ClosureX} {
+			m1, err := Build(tg.Short+".c", tg.Source, v)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tg.Name, v, err)
+			}
+			m2, err := Build(tg.Short+".c", tg.Source, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ir.Print(m1) != ir.Print(m2) {
+				t.Fatalf("%s/%s: non-deterministic build", tg.Name, v)
+			}
+		}
+	}
+}
+
+// Structural golden assertions on one instrumented target: the shapes a
+// reader of the paper would check in the IR dump.
+func TestInstrumentedIRGoldenShape(t *testing.T) {
+	tg := targets.Get("giftext")
+	m, err := Build(tg.Short+".c", tg.Source, ClosureX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := ir.Print(m)
+	for _, want := range []string{
+		"func target_main(",              // RenameMainPass
+		"call closurex_exit(",            // ExitPass
+		"call closurex_malloc(",          // HeapPass
+		"call closurex_free(",            // HeapPass
+		"call closurex_fopen(",           // FilePass
+		"call closurex_fclose(",          // FilePass
+		"section=closure_global_section", // GlobalPass
+		"section=.rodata",                // string literals stay read-only
+		"cov 0x",                         // CoveragePass
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("instrumented IR missing %q", want)
+		}
+	}
+	for _, absent := range []string{
+		"func main(", "call exit(", "call malloc(", "call fopen(",
+	} {
+		if strings.Contains(dump, absent) {
+			t.Errorf("instrumented IR still contains %q", absent)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package execmgr
+
+import "time"
+
+// nowNs is a monotonic nanosecond clock for throughput tests.
+func nowNs() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,377 @@
+// Package execmgr implements the paper's execution-mechanism spectrum
+// behind one interface:
+//
+//	Fresh           one process image per test case (system()/fork+exec)
+//	ForkServer      AFL++'s default: CoW fork of a paused template image
+//	PersistentNaive AFL++ persistent mode without state restoration —
+//	                fast but semantically inconsistent (the paper's foil)
+//	ClosureX        persistent execution with fine-grain state restoration
+//
+// The costs are real work in the simulator: Fresh re-materializes the whole
+// image, ForkServer copies the page table and faults dirty pages, ClosureX
+// restores only the closure_global_section bytes, leaked chunks and FDs.
+package execmgr
+
+import (
+	"fmt"
+
+	"closurex/internal/harness"
+	"closurex/internal/ir"
+	"closurex/internal/passes"
+	"closurex/internal/vm"
+)
+
+// Config describes how to run a target under any mechanism.
+type Config struct {
+	// Module must already be instrumented (at minimum RenameMainPass +
+	// CoveragePass; the ClosureX mechanism additionally requires the full
+	// pipeline so its hooks are in place).
+	Module *ir.Module
+	// CovMap receives AFL-style hit counts (64 KiB); may be nil.
+	CovMap []byte
+	// Budget bounds instructions per execution (hang detection).
+	Budget int64
+	// Files pre-populates the VFS (configs etc.; the input is per-exec).
+	Files map[string][]byte
+	// FDLimit overrides the descriptor limit.
+	FDLimit int
+	// ImagePages sizes the simulated executable image (Table 4).
+	ImagePages int
+	// TraceEdges enables path-sensitive tracing (correctness study).
+	TraceEdges bool
+	// DeterministicRand/RandSeed pin the rand() builtin.
+	DeterministicRand bool
+	RandSeed          uint64
+	// HarnessOpts selects which state ClosureX restores (ablations).
+	// Zero value means harness.FullRestore().
+	HarnessOpts *harness.Options
+	// RestartEvery bounds iterations per persistent process, like
+	// __AFL_LOOP(1000). Applies to PersistentNaive. Default 1000.
+	RestartEvery int
+}
+
+func (c *Config) vmOptions() vm.Options {
+	return vm.Options{
+		CovMap:            c.CovMap,
+		Budget:            c.Budget,
+		Files:             c.Files,
+		FDLimit:           c.FDLimit,
+		PageLimit:         0,
+		ImagePages:        c.ImagePages,
+		TraceEdges:        c.TraceEdges,
+		DeterministicRand: c.DeterministicRand,
+		RandSeed:          c.RandSeed,
+	}
+}
+
+// Mechanism runs test cases under one execution strategy.
+type Mechanism interface {
+	// Name identifies the mechanism ("fresh", "forkserver", ...).
+	Name() string
+	// Execute runs one test case to completion.
+	Execute(input []byte) vm.Result
+	// Execs returns how many test cases have been executed.
+	Execs() int64
+	// Spawns returns how many process images have been built or forked —
+	// the process-management cost driver.
+	Spawns() int64
+	// Close releases resources.
+	Close()
+}
+
+// New constructs a mechanism by name.
+func New(name string, cfg Config) (Mechanism, error) {
+	switch name {
+	case "fresh":
+		return NewFresh(cfg)
+	case "forkserver":
+		return NewForkServer(cfg)
+	case "snapshot-lkm":
+		return NewSnapshotLKM(cfg)
+	case "persistent-naive":
+		return NewPersistentNaive(cfg)
+	case "closurex":
+		return NewClosureX(cfg)
+	}
+	return nil, fmt.Errorf("execmgr: unknown mechanism %q", name)
+}
+
+// Names lists the available mechanisms in spectrum order: heavier state
+// restoration first.
+func Names() []string {
+	return []string{"fresh", "forkserver", "snapshot-lkm", "persistent-naive", "closurex"}
+}
+
+func checkModule(cfg *Config) error {
+	if cfg.Module == nil {
+		return fmt.Errorf("execmgr: nil module")
+	}
+	if cfg.Module.Func(passes.TargetMain) == nil {
+		return fmt.Errorf("execmgr: module lacks %s; run the pass pipeline", passes.TargetMain)
+	}
+	return nil
+}
+
+// ---- Fresh ----
+
+// Fresh builds a complete process image for every test case — the
+// system()/fork+exec end of the spectrum.
+type Fresh struct {
+	cfg    Config
+	execs  int64
+	spawns int64
+}
+
+// NewFresh returns the fresh-process mechanism.
+func NewFresh(cfg Config) (*Fresh, error) {
+	if err := checkModule(&cfg); err != nil {
+		return nil, err
+	}
+	return &Fresh{cfg: cfg}, nil
+}
+
+// Name implements Mechanism.
+func (f *Fresh) Name() string { return "fresh" }
+
+// Execute implements Mechanism.
+func (f *Fresh) Execute(input []byte) vm.Result {
+	v, err := vm.New(f.cfg.Module, f.cfg.vmOptions())
+	if err != nil {
+		return vm.Result{Fault: &vm.Fault{Kind: vm.FaultOOM, Fn: "loader", Msg: err.Error()}}
+	}
+	f.spawns++
+	v.SetInput(input)
+	res := v.Call(passes.TargetMain)
+	v.Release()
+	f.execs++
+	return res
+}
+
+// Execs implements Mechanism.
+func (f *Fresh) Execs() int64 { return f.execs }
+
+// Spawns implements Mechanism.
+func (f *Fresh) Spawns() int64 { return f.spawns }
+
+// Close implements Mechanism.
+func (f *Fresh) Close() {}
+
+// ---- ForkServer ----
+
+// ForkServer keeps a template image paused "at main" and CoW-forks it per
+// test case, as AFL++'s forkserver does.
+type ForkServer struct {
+	cfg      Config
+	template *vm.VM
+	execs    int64
+	spawns   int64
+}
+
+// NewForkServer builds the template image once.
+func NewForkServer(cfg Config) (*ForkServer, error) {
+	if err := checkModule(&cfg); err != nil {
+		return nil, err
+	}
+	tmpl, err := vm.New(cfg.Module, cfg.vmOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &ForkServer{cfg: cfg, template: tmpl, spawns: 1}, nil
+}
+
+// Name implements Mechanism.
+func (f *ForkServer) Name() string { return "forkserver" }
+
+// Execute implements Mechanism.
+func (f *ForkServer) Execute(input []byte) vm.Result {
+	child := f.template.Fork()
+	f.spawns++
+	child.SetInput(input)
+	res := child.Call(passes.TargetMain)
+	child.Release()
+	f.execs++
+	return res
+}
+
+// Execs implements Mechanism.
+func (f *ForkServer) Execs() int64 { return f.execs }
+
+// Spawns implements Mechanism.
+func (f *ForkServer) Spawns() int64 { return f.spawns }
+
+// Close implements Mechanism.
+func (f *ForkServer) Close() { f.template.Release() }
+
+// ---- PersistentNaive ----
+
+// PersistentNaive reuses one forked child for up to RestartEvery test cases
+// with NO state restoration — AFL++ persistent mode on a target that was
+// never manually reset. It is fast and semantically inconsistent: stale
+// globals, leaked chunks and leaked descriptors accumulate until the child
+// is recycled (crash, exit() or the __AFL_LOOP bound).
+type PersistentNaive struct {
+	cfg      Config
+	template *vm.VM
+	child    *vm.VM
+	iters    int
+	execs    int64
+	spawns   int64
+}
+
+// NewPersistentNaive builds the template and the first child.
+func NewPersistentNaive(cfg Config) (*PersistentNaive, error) {
+	if err := checkModule(&cfg); err != nil {
+		return nil, err
+	}
+	if cfg.RestartEvery <= 0 {
+		cfg.RestartEvery = 1000
+	}
+	tmpl, err := vm.New(cfg.Module, cfg.vmOptions())
+	if err != nil {
+		return nil, err
+	}
+	p := &PersistentNaive{cfg: cfg, template: tmpl, spawns: 1}
+	p.respawn()
+	return p, nil
+}
+
+func (p *PersistentNaive) respawn() {
+	if p.child != nil {
+		p.child.Release()
+	}
+	p.child = p.template.Fork()
+	p.spawns++
+	p.iters = 0
+}
+
+// Name implements Mechanism.
+func (p *PersistentNaive) Name() string { return "persistent-naive" }
+
+// Execute implements Mechanism.
+func (p *PersistentNaive) Execute(input []byte) vm.Result {
+	p.child.SetInput(input)
+	res := p.child.Call(passes.TargetMain)
+	p.execs++
+	p.iters++
+	// A crash or exit() kills the persistent process; the __AFL_LOOP bound
+	// recycles it. Either way the next test case gets a new child.
+	if res.Crashed() || res.Exited || p.iters >= p.cfg.RestartEvery {
+		p.respawn()
+	}
+	return res
+}
+
+// Execs implements Mechanism.
+func (p *PersistentNaive) Execs() int64 { return p.execs }
+
+// Spawns implements Mechanism.
+func (p *PersistentNaive) Spawns() int64 { return p.spawns }
+
+// Close implements Mechanism.
+func (p *PersistentNaive) Close() {
+	if p.child != nil {
+		p.child.Release()
+	}
+	p.template.Release()
+}
+
+// ---- ClosureX ----
+
+// ClosureX runs the whole campaign in one process image, restoring
+// fine-grain state between test cases via the harness. Only a crash forces
+// a process respawn (a sanitizer report aborts the process, as it would
+// under AFL++).
+type ClosureX struct {
+	cfg    Config
+	h      *harness.Harness
+	execs  int64
+	spawns int64
+}
+
+// NewClosureX validates that the ClosureX hooks are present and builds the
+// single long-lived image.
+func NewClosureX(cfg Config) (*ClosureX, error) {
+	if err := checkModule(&cfg); err != nil {
+		return nil, err
+	}
+	if n := countCalls(cfg.Module, "exit"); n > 0 {
+		return nil, fmt.Errorf("execmgr: module has %d unhooked exit() calls; run the ClosureX pipeline", n)
+	}
+	c := &ClosureX{cfg: cfg}
+	if err := c.respawn(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *ClosureX) respawn() error {
+	v, err := vm.New(c.cfg.Module, c.cfg.vmOptions())
+	if err != nil {
+		return err
+	}
+	opts := harness.FullRestore()
+	if c.cfg.HarnessOpts != nil {
+		opts = *c.cfg.HarnessOpts
+	}
+	h, err := harness.New(v, opts)
+	if err != nil {
+		return err
+	}
+	if c.h != nil {
+		c.h.VM().Release()
+	}
+	c.h = h
+	c.spawns++
+	return nil
+}
+
+// Name implements Mechanism.
+func (c *ClosureX) Name() string { return "closurex" }
+
+// Execute implements Mechanism.
+func (c *ClosureX) Execute(input []byte) vm.Result {
+	res := c.h.RunOne(input)
+	c.execs++
+	if res.Crashed() {
+		if err := c.respawn(); err != nil {
+			// Leave the old harness in place; subsequent runs still work.
+			return res
+		}
+	}
+	return res
+}
+
+// Harness exposes the runtime (stats, correctness probes).
+func (c *ClosureX) Harness() *harness.Harness { return c.h }
+
+// Execs implements Mechanism.
+func (c *ClosureX) Execs() int64 { return c.execs }
+
+// Spawns implements Mechanism.
+func (c *ClosureX) Spawns() int64 { return c.spawns }
+
+// Close implements Mechanism.
+func (c *ClosureX) Close() { c.h.VM().Release() }
+
+// countCalls counts direct calls of name in the module.
+func countCalls(m *ir.Module, name string) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpCall && b.Instrs[i].Callee == name {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ensure interface compliance.
+var (
+	_ Mechanism = (*Fresh)(nil)
+	_ Mechanism = (*ForkServer)(nil)
+	_ Mechanism = (*PersistentNaive)(nil)
+	_ Mechanism = (*ClosureX)(nil)
+)

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"closurex/internal/core"
+	"closurex/internal/fuzz"
+	"closurex/internal/harness"
+	"closurex/internal/ir"
+	"closurex/internal/passes"
+	"closurex/internal/targets"
+	"closurex/internal/vm"
+)
+
+// CorrectnessReport is the outcome of the §6.1.4 study for one target:
+// dataflow equivalence (global section bytes, heap census, descriptor
+// census) and control-flow equivalence (path-sensitive edge trace) between
+// a fresh-process execution and the same test case run inside ClosureX's
+// persistent process after heavy pollution.
+type CorrectnessReport struct {
+	Target string
+	// Cases is the number of queue inputs replayed.
+	Cases int
+	// NondetCases is how many inputs showed run-to-run nondeterminism in
+	// fresh processes (PRNG-driven, as the paper observed in freetype);
+	// their nondeterministic bytes are masked and their paths excluded.
+	NondetCases int
+	// MaskedBytes is the total number of global bytes masked.
+	MaskedBytes int
+	// DataflowMismatches counts inputs whose masked global snapshot, heap
+	// census, descriptor census or result diverged from fresh execution.
+	DataflowMismatches int
+	// ControlFlowMismatches counts deterministic inputs whose edge trace
+	// diverged.
+	ControlFlowMismatches int
+	// PollutionRuns is how many other inputs ran before each probe.
+	PollutionRuns int
+}
+
+func (r CorrectnessReport) String() string {
+	return fmt.Sprintf("%s: %d cases, %d nondeterministic (masked %d bytes), dataflow mismatches %d, control-flow mismatches %d",
+		r.Target, r.Cases, r.NondetCases, r.MaskedBytes, r.DataflowMismatches, r.ControlFlowMismatches)
+}
+
+// CorrectnessOptions scales the study.
+type CorrectnessOptions struct {
+	// QueueExecs sizes the campaign that builds the replay queue.
+	QueueExecs int64
+	// Pollution is how many random queue inputs run before each probe
+	// (paper: 1000).
+	Pollution int
+	// MaxCases caps replayed queue entries (0 = all).
+	MaxCases int
+	// Seed drives queue construction and pollution selection.
+	Seed uint64
+}
+
+// DefaultCorrectnessOptions mirrors the paper at reduced scale.
+func DefaultCorrectnessOptions() CorrectnessOptions {
+	return CorrectnessOptions{QueueExecs: 4000, Pollution: 1000, MaxCases: 40, Seed: 0xC0FFEE}
+}
+
+// probeState is the dataflow+controlflow fingerprint of one execution.
+type probeState struct {
+	section    []byte
+	liveChunks int
+	liveBytes  uint64
+	openFDs    int
+	exited     bool
+	exitCode   int64
+	ret        int64
+	crashed    bool
+	pathHash   uint64
+	pathLen    int
+}
+
+// freshProbe executes input in a brand-new process image of mod.
+func freshProbe(mod *ir.Module, input []byte, randSeed uint64) (probeState, error) {
+	v, err := vm.New(mod, vm.Options{
+		TraceEdges:        true,
+		DeterministicRand: true,
+		RandSeed:          randSeed,
+	})
+	if err != nil {
+		return probeState{}, err
+	}
+	defer v.Release()
+	v.SetInput(input)
+	res := v.Call(passes.TargetMain)
+	return captureState(v, res), nil
+}
+
+func captureState(v *vm.VM, res vm.Result) probeState {
+	ps := probeState{
+		liveChunks: v.Heap.LiveChunks(),
+		liveBytes:  v.Heap.LiveBytes(),
+		openFDs:    v.FS.OpenCount(),
+		exited:     res.Exited,
+		exitCode:   res.ExitCode,
+		ret:        res.Ret,
+		crashed:    res.Crashed(),
+		pathHash:   res.PathHash,
+		pathLen:    res.PathLen,
+	}
+	if sec, ok := v.SnapshotSection(ir.SectionClosure); ok {
+		ps.section = sec
+	}
+	return ps
+}
+
+// RunCorrectness performs the study for one target.
+func RunCorrectness(targetName string, opts CorrectnessOptions) (CorrectnessReport, error) {
+	t := targets.Get(targetName)
+	if t == nil {
+		return CorrectnessReport{}, fmt.Errorf("experiments: unknown target %q", targetName)
+	}
+	if opts.QueueExecs <= 0 {
+		opts = DefaultCorrectnessOptions()
+	}
+	rep := CorrectnessReport{Target: t.Name, PollutionRuns: opts.Pollution}
+
+	mod, err := core.Build(t.Short+".c", t.Source, core.ClosureX)
+	if err != nil {
+		return rep, err
+	}
+	queue, err := fuzzQueue(t, opts.QueueExecs, opts.Seed)
+	if err != nil {
+		return rep, err
+	}
+	if opts.MaxCases > 0 && len(queue) > opts.MaxCases {
+		queue = queue[:opts.MaxCases]
+	}
+
+	// The single long-lived ClosureX process the whole study runs in.
+	cxVM, err := vm.New(mod, vm.Options{TraceEdges: true})
+	if err != nil {
+		return rep, err
+	}
+	h, err := harness.New(cxVM, harness.FullRestore())
+	if err != nil {
+		return rep, err
+	}
+	rng := fuzz.NewRNG(opts.Seed ^ 0xabcdef)
+
+	for _, input := range queue {
+		// Repeated independent fresh-process executions identify the
+		// natural nondeterminism to mask (the paper's ground-truth
+		// procedure: "running fresh process executions multiple times").
+		gt, err := groundTruth(mod, input, 3)
+		if err != nil {
+			return rep, err
+		}
+
+		// Pollute the persistent process, then probe the test case with
+		// restoration deferred until after the snapshot.
+		for i := 0; i < opts.Pollution; i++ {
+			h.RunOne(queue[rng.Intn(len(queue))])
+		}
+		cxVM.SetInput(input)
+		res := cxVM.Call(passes.TargetMain)
+		cx := captureState(cxVM, res)
+		h.Restore()
+
+		dfBad := !gt.dataflowMatches(cx)
+		cfBad := !gt.cfNondet && (gt.base.pathHash != cx.pathHash || gt.base.pathLen != cx.pathLen)
+		if dfBad || cfBad {
+			// A sampled ground truth can miss low-entropy nondeterminism
+			// (e.g. a PRNG with four outcomes agreeing by chance across a
+			// few runs). Escalate to many probes before declaring a real
+			// inconsistency; matching ANY observed fresh state (modulo the
+			// mask) counts as consistent, since each fresh run is itself a
+			// legitimate ground truth.
+			gt, err = groundTruth(mod, input, 48)
+			if err != nil {
+				return rep, err
+			}
+			dfBad = !gt.dataflowMatches(cx)
+			cfBad = !gt.cfMatches(cx)
+		}
+
+		rep.Cases++
+		if gt.cfNondet || gt.masked > 0 {
+			rep.NondetCases++
+			rep.MaskedBytes += gt.masked
+		}
+		if dfBad {
+			rep.DataflowMismatches++
+		}
+		if cfBad {
+			rep.ControlFlowMismatches++
+		}
+	}
+	return rep, nil
+}
+
+// truth aggregates k independent fresh-process executions of one input:
+// the set of observed end states, the byte mask of globals that varied,
+// and whether the control-flow path varied.
+type truth struct {
+	base     probeState
+	probes   []probeState
+	mask     []bool
+	cfNondet bool
+	masked   int
+}
+
+// dataflowMatches reports whether cx is dataflow-equivalent to the ground
+// truth: equal to the base modulo the mask, or equal to any individual
+// observed fresh state (each fresh run is itself a legitimate witness).
+func (g *truth) dataflowMatches(cx probeState) bool {
+	if dataflowEqual(g.base, cx, g.mask) {
+		return true
+	}
+	for i := range g.probes {
+		if dataflowEqual(g.probes[i], cx, g.mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// cfMatches reports control-flow equivalence: nondeterministic inputs are
+// excluded (as the paper excludes freetype's PRNG-driven paths), otherwise
+// cx's path must match the base or any observed fresh path.
+func (g *truth) cfMatches(cx probeState) bool {
+	if g.cfNondet {
+		return true
+	}
+	if g.base.pathHash == cx.pathHash && g.base.pathLen == cx.pathLen {
+		return true
+	}
+	for i := range g.probes {
+		if g.probes[i].pathHash == cx.pathHash && g.probes[i].pathLen == cx.pathLen {
+			return true
+		}
+	}
+	return false
+}
+
+// groundTruth runs k fresh-process executions with distinct PRNG seeds.
+func groundTruth(mod *ir.Module, input []byte, k int) (*truth, error) {
+	base, err := freshProbe(mod, input, 101)
+	if err != nil {
+		return nil, err
+	}
+	g := &truth{base: base, mask: make([]bool, len(base.section))}
+	for p := 1; p < k; p++ {
+		pr, err := freshProbe(mod, input, 101+uint64(p)*7919)
+		if err != nil {
+			return nil, err
+		}
+		for i := range base.section {
+			if i < len(pr.section) && base.section[i] != pr.section[i] && !g.mask[i] {
+				g.mask[i] = true
+				g.masked++
+			}
+		}
+		if pr.pathHash != base.pathHash || pr.pathLen != base.pathLen {
+			g.cfNondet = true
+		}
+		g.probes = append(g.probes, pr)
+	}
+	return g, nil
+}
+
+// dataflowEqual compares two post-execution states modulo the
+// nondeterminism mask.
+func dataflowEqual(want, got probeState, mask []bool) bool {
+	if want.crashed != got.crashed || want.exited != got.exited {
+		return false
+	}
+	if want.exited && want.exitCode != got.exitCode {
+		return false
+	}
+	if !want.exited && !want.crashed && want.ret != got.ret {
+		return false
+	}
+	if want.liveChunks != got.liveChunks || want.liveBytes != got.liveBytes {
+		return false
+	}
+	if want.openFDs != got.openFDs {
+		return false
+	}
+	if len(want.section) != len(got.section) {
+		return false
+	}
+	if len(mask) == 0 {
+		return bytes.Equal(want.section, got.section)
+	}
+	for i := range want.section {
+		if mask[i] {
+			continue
+		}
+		if want.section[i] != got.section[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"closurex/internal/core"
+	"closurex/internal/fuzz"
+	"closurex/internal/harness"
+	"closurex/internal/passes"
+	"closurex/internal/targets"
+	"closurex/internal/vm"
+)
+
+// TestDebugFreetypeMismatch reproduces the correctness-study flow for
+// freetype and, on any dataflow mismatch, reports exactly which component
+// diverged. It acts as a diagnostic net for regressions in the
+// nondeterminism masking.
+func TestDebugFreetypeMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	tg := "freetype"
+	mod, err := core.Build("ttflite.c", mustTarget(t, tg).Source, core.ClosureX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue, err := fuzzQueue(mustTarget(t, tg), 1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queue) > 12 {
+		queue = queue[:12]
+	}
+	cxVM, err := vm.New(mod, vm.Options{TraceEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := harness.New(cxVM, harness.FullRestore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := fuzz.NewRNG(5 ^ 0xabcdef)
+	for ci, input := range queue {
+		gt, err := groundTruth(mod, input, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 120; i++ {
+			h.RunOne(queue[rng.Intn(len(queue))])
+		}
+		cxVM.SetInput(input)
+		res := cxVM.Call(passes.TargetMain)
+		cx := captureState(cxVM, res)
+		h.Restore()
+		if gt.dataflowMatches(cx) {
+			continue
+		}
+		b := gt.base
+		t.Errorf("case %d mismatch: crashed %v/%v exited %v/%v ret %d/%d chunks %d/%d bytes %d/%d fds %d/%d seclen %d/%d cfNondet=%v",
+			ci, b.crashed, cx.crashed, b.exited, cx.exited, b.ret, cx.ret,
+			b.liveChunks, cx.liveChunks, b.liveBytes, cx.liveBytes,
+			b.openFDs, cx.openFDs, len(b.section), len(cx.section), gt.cfNondet)
+		for i := range b.section {
+			if !gt.mask[i] && b.section[i] != cx.section[i] {
+				t.Errorf("  byte %d: fresh %#x vs cx %#x", i, b.section[i], cx.section[i])
+			}
+		}
+	}
+}
+
+func mustTarget(t *testing.T, name string) *targets.Target {
+	tg := targets.Get(name)
+	if tg == nil {
+		t.Fatal("no target")
+	}
+	return tg
+}

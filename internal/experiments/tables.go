@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"closurex/internal/passes"
+	"closurex/internal/stats"
+	"closurex/internal/targets"
+)
+
+// ---- Table 3: pass inventory ----
+
+// Table3 renders the ClosureX pass inventory (documentation table).
+func Table3() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: ClosureX passes\n")
+	fmt.Fprintf(&sb, "%-18s %s\n", "Pass", "Functionality")
+	for _, p := range passes.ClosureXPipeline(false) {
+		fmt.Fprintf(&sb, "%-18s %s\n", p.Name(), p.Description())
+	}
+	return sb.String()
+}
+
+// ---- Table 4: benchmark inventory ----
+
+// Table4 renders the benchmark suite.
+func Table4() string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: evaluation benchmarks\n")
+	fmt.Fprintf(&sb, "%-12s %-14s %-10s %-10s %s\n",
+		"Benchmark", "Input Format", "Exec Size", "ImagePages", "Planted bugs")
+	for _, t := range targets.All() {
+		fmt.Fprintf(&sb, "%-12s %-14s %-10s %-10d %d\n",
+			t.Name, t.Format, t.ExecSize, t.ImagePages, len(t.Bugs))
+	}
+	return sb.String()
+}
+
+// ---- Table 5: test-case execution rate ----
+
+// Table5Row is one benchmark's throughput comparison.
+type Table5Row struct {
+	Benchmark string
+	ClosureX  float64 // mean execs per trial
+	AFLpp     float64
+	Speedup   float64
+	P         float64 // Mann-Whitney U two-sided p
+}
+
+// Table5 derives the throughput table from an evaluation.
+func Table5(e *Evaluation) []Table5Row {
+	var rows []Table5Row
+	for _, name := range e.Cfg.Targets {
+		cx := e.cells(name, MechClosureX)
+		fs := e.cells(name, MechAFLpp)
+		row := Table5Row{
+			Benchmark: name,
+			ClosureX:  meanExecs(cx),
+			AFLpp:     meanExecs(fs),
+			P:         stats.MannWhitneyU(execsOf(cx), execsOf(fs)),
+		}
+		if row.AFLpp > 0 {
+			row.Speedup = row.ClosureX / row.AFLpp
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable5 renders Table 5 like the paper.
+func FormatTable5(rows []Table5Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5: test cases executed per trial (mean over trials)\n")
+	fmt.Fprintf(&sb, "%-12s %14s %14s %9s %9s\n", "Benchmark", "ClosureX", "AFL++", "Speedup", "p")
+	var speedups []float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %14.0f %14.0f %8.2fx %9.4f\n",
+			r.Benchmark, r.ClosureX, r.AFLpp, r.Speedup, r.P)
+		speedups = append(speedups, r.Speedup)
+	}
+	fmt.Fprintf(&sb, "%-12s %14s %14s %8.2fx\n", "Average", "", "", stats.Mean(speedups))
+	return sb.String()
+}
+
+// ---- Table 6: edge coverage ----
+
+// Table6Row is one benchmark's coverage comparison.
+type Table6Row struct {
+	Benchmark   string
+	ClosureX    float64 // mean edge coverage percent
+	AFLpp       float64
+	Improvement float64 // percent improvement
+	P           float64
+}
+
+// Table6 derives the coverage table from an evaluation.
+func Table6(e *Evaluation) []Table6Row {
+	var rows []Table6Row
+	for _, name := range e.Cfg.Targets {
+		cx := covOf(e.cells(name, MechClosureX))
+		fs := covOf(e.cells(name, MechAFLpp))
+		row := Table6Row{
+			Benchmark: name,
+			ClosureX:  stats.Mean(cx),
+			AFLpp:     stats.Mean(fs),
+			P:         stats.MannWhitneyU(cx, fs),
+		}
+		if row.AFLpp > 0 {
+			row.Improvement = 100 * (row.ClosureX - row.AFLpp) / row.AFLpp
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable6 renders Table 6.
+func FormatTable6(rows []Table6Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 6: edge coverage percentage (mean over trials)\n")
+	fmt.Fprintf(&sb, "%-12s %10s %10s %14s %9s\n", "Benchmark", "ClosureX", "AFL++", "% Improvement", "p")
+	var imps []float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %9.2f%% %9.2f%% %14.2f %9.4f\n",
+			r.Benchmark, r.ClosureX, r.AFLpp, r.Improvement, r.P)
+		imps = append(imps, r.Improvement)
+	}
+	fmt.Fprintf(&sb, "%-12s %10s %10s %14.2f\n", "Average", "", "", stats.Mean(imps))
+	return sb.String()
+}
+
+// ---- Table 7: time-to-bug ----
+
+// Table7Row is one planted bug's discovery comparison.
+type Table7Row struct {
+	Benchmark string
+	BugID     string
+	BugType   string
+	// Median time to discovery among trials that found it, and the number
+	// of finding trials, per mechanism (the paper's "t (n)" cells).
+	ClosureXTime   time.Duration
+	ClosureXTrials int
+	AFLppTime      time.Duration
+	AFLppTrials    int
+}
+
+// Table7 derives the time-to-bug table.
+func Table7(e *Evaluation) []Table7Row {
+	var rows []Table7Row
+	for _, name := range e.Cfg.Targets {
+		t := targets.Get(name)
+		if len(t.Bugs) == 0 {
+			continue
+		}
+		for i := range t.Bugs {
+			bug := &t.Bugs[i]
+			row := Table7Row{Benchmark: name, BugID: bug.ID, BugType: bug.Description}
+			row.ClosureXTime, row.ClosureXTrials = bugStats(e.cells(name, MechClosureX), bug.ID)
+			row.AFLppTime, row.AFLppTrials = bugStats(e.cells(name, MechAFLpp), bug.ID)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func bugStats(rs []TrialResult, bugID string) (time.Duration, int) {
+	var times []float64
+	for _, r := range rs {
+		if d, ok := r.BugTimes[bugID]; ok {
+			times = append(times, d.Seconds())
+		}
+	}
+	if len(times) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(times)
+	return time.Duration(stats.Median(times) * float64(time.Second)), len(times)
+}
+
+// FormatTable7 renders Table 7 in the paper's "time (trials)" format.
+func FormatTable7(rows []Table7Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 7: time to find planted bugs — median seconds (trials found)\n")
+	fmt.Fprintf(&sb, "%-12s %-20s %16s %16s\n", "Benchmark", "Bug", "ClosureX", "AFL++")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-20s %12.2fs (%d) %12.2fs (%d)\n",
+			r.Benchmark, r.BugID,
+			r.ClosureXTime.Seconds(), r.ClosureXTrials,
+			r.AFLppTime.Seconds(), r.AFLppTrials)
+	}
+	// Aggregate shape metrics the paper quotes in prose: mean speedup on
+	// co-discovered bugs, and relative trial counts.
+	var ratios []float64
+	cxTrials, fsTrials := 0, 0
+	for _, r := range rows {
+		cxTrials += r.ClosureXTrials
+		fsTrials += r.AFLppTrials
+		if r.ClosureXTrials > 0 && r.AFLppTrials > 0 && r.ClosureXTime > 0 {
+			ratios = append(ratios, r.AFLppTime.Seconds()/r.ClosureXTime.Seconds())
+		}
+	}
+	if len(ratios) > 0 {
+		fmt.Fprintf(&sb, "Bugs found %.2fx faster on co-discovered bugs; finding trials: ClosureX %d vs AFL++ %d\n",
+			stats.Mean(ratios), cxTrials, fsTrials)
+	}
+	return sb.String()
+}

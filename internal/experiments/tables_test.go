@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Synthetic-evaluation tests: exercise the table derivations and
+// formatters without running campaigns.
+
+func syntheticEval() *Evaluation {
+	cfg := Config{Targets: []string{"gpmf-parser", "zlib"}, Trials: 5,
+		TrialDuration: time.Second, BaseSeed: 1}
+	e := &Evaluation{Cfg: cfg}
+	mk := func(target, mech string, trial int, execs int64, edges int, bugs map[string]time.Duration) TrialResult {
+		return TrialResult{
+			Target: target, Mechanism: mech, Trial: trial,
+			Execs: execs, Edges: edges, TotalEdges: 200,
+			Duration: time.Second, BugTimes: bugs,
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		// gpmf: ClosureX ~3.5x faster, finds the bug in every trial, the
+		// forkserver in 2 of 5 and slower.
+		cxBugs := map[string]time.Duration{"gpmf-div-zero-scal": time.Duration(100+trial) * time.Millisecond}
+		var fsBugs map[string]time.Duration
+		if trial < 2 {
+			fsBugs = map[string]time.Duration{"gpmf-div-zero-scal": time.Duration(400+trial) * time.Millisecond}
+		}
+		e.Results = append(e.Results,
+			mk("gpmf-parser", MechClosureX, trial, 3500+int64(trial), 120+trial, cxBugs),
+			mk("gpmf-parser", MechAFLpp, trial, 1000+int64(trial), 110+trial, fsBugs),
+			mk("zlib", MechClosureX, trial, 4000+int64(trial), 90, nil),
+			mk("zlib", MechAFLpp, trial, 1000+int64(trial), 90, nil),
+		)
+	}
+	return e
+}
+
+func TestTable5FromSyntheticData(t *testing.T) {
+	e := syntheticEval()
+	rows := Table5(e)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	g := rows[0]
+	if g.Benchmark != "gpmf-parser" {
+		t.Fatalf("row order: %s", g.Benchmark)
+	}
+	if g.Speedup < 3.4 || g.Speedup > 3.6 {
+		t.Fatalf("speedup = %v", g.Speedup)
+	}
+	// Complete separation with 5v5 trials: the paper's 0.0079.
+	if g.P < 0.0079 || g.P > 0.008 {
+		t.Fatalf("p = %v, want 0.0079", g.P)
+	}
+	out := FormatTable5(rows)
+	if !strings.Contains(out, "3.50x") && !strings.Contains(out, "3.49x") {
+		t.Fatalf("formatted speedup missing:\n%s", out)
+	}
+}
+
+func TestTable6FromSyntheticData(t *testing.T) {
+	e := syntheticEval()
+	rows := Table6(e)
+	g := rows[0]
+	// 122/200 vs 112/200 on average => ~8.9% improvement.
+	if g.Improvement < 8 || g.Improvement > 10 {
+		t.Fatalf("improvement = %v", g.Improvement)
+	}
+	z := rows[1]
+	if z.Improvement != 0 || z.P < 0.9 {
+		t.Fatalf("identical coverage row: %+v", z)
+	}
+}
+
+func TestTable7FromSyntheticData(t *testing.T) {
+	e := syntheticEval()
+	rows := Table7(e)
+	// gpmf-parser has six planted bugs registered; only one appears in the
+	// synthetic data, others must render as (0).
+	var hit *Table7Row
+	zeroRows := 0
+	for i := range rows {
+		if rows[i].BugID == "gpmf-div-zero-scal" {
+			hit = &rows[i]
+		} else if rows[i].ClosureXTrials == 0 && rows[i].AFLppTrials == 0 {
+			zeroRows++
+		}
+	}
+	if hit == nil {
+		t.Fatal("synthetic bug row missing")
+	}
+	if hit.ClosureXTrials != 5 || hit.AFLppTrials != 2 {
+		t.Fatalf("trials: %+v", hit)
+	}
+	if hit.ClosureXTime >= hit.AFLppTime {
+		t.Fatalf("time ordering: %+v", hit)
+	}
+	if zeroRows != 5 {
+		t.Fatalf("zero rows = %d, want 5", zeroRows)
+	}
+	out := FormatTable7(rows)
+	if !strings.Contains(out, "(5)") || !strings.Contains(out, "(2)") {
+		t.Fatalf("format:\n%s", out)
+	}
+	if !strings.Contains(out, "faster on co-discovered bugs") {
+		t.Fatalf("aggregate line missing:\n%s", out)
+	}
+}
+
+func TestBugStatsMedian(t *testing.T) {
+	rs := []TrialResult{
+		{BugTimes: map[string]time.Duration{"b": 100 * time.Millisecond}},
+		{BugTimes: map[string]time.Duration{"b": 300 * time.Millisecond}},
+		{BugTimes: map[string]time.Duration{"b": 200 * time.Millisecond}},
+		{BugTimes: map[string]time.Duration{}},
+	}
+	d, n := bugStats(rs, "b")
+	if n != 3 || d != 200*time.Millisecond {
+		t.Fatalf("bugStats = %v, %d", d, n)
+	}
+	if d, n := bugStats(rs, "missing"); d != 0 || n != 0 {
+		t.Fatalf("missing bug: %v %d", d, n)
+	}
+}
+
+func TestCellsFilter(t *testing.T) {
+	e := syntheticEval()
+	if got := len(e.cells("gpmf-parser", MechClosureX)); got != 5 {
+		t.Fatalf("cells = %d", got)
+	}
+	if got := len(e.cells("nope", MechClosureX)); got != 0 {
+		t.Fatalf("cells for unknown = %d", got)
+	}
+}
+
+func TestDataflowEqualBranches(t *testing.T) {
+	base := probeState{
+		section: []byte{1, 2, 3}, liveChunks: 1, liveBytes: 10,
+		openFDs: 1, ret: 7, pathHash: 99, pathLen: 3,
+	}
+	same := base
+	if !dataflowEqual(base, same, nil) {
+		t.Fatal("identical states unequal")
+	}
+	cases := []func(*probeState){
+		func(p *probeState) { p.crashed = true },
+		func(p *probeState) { p.exited = true },
+		func(p *probeState) { p.ret = 8 },
+		func(p *probeState) { p.liveChunks = 2 },
+		func(p *probeState) { p.liveBytes = 11 },
+		func(p *probeState) { p.openFDs = 0 },
+		func(p *probeState) { p.section = []byte{1, 2, 4} },
+		func(p *probeState) { p.section = []byte{1, 2} },
+	}
+	for i, mut := range cases {
+		got := base
+		got.section = append([]byte(nil), base.section...)
+		mut(&got)
+		if dataflowEqual(base, got, nil) {
+			t.Errorf("mutation %d not detected", i)
+		}
+	}
+	// Masked byte differences are tolerated.
+	got := base
+	got.section = []byte{1, 9, 3}
+	if !dataflowEqual(base, got, []bool{false, true, false}) {
+		t.Fatal("masked diff rejected")
+	}
+	if dataflowEqual(base, got, []bool{false, false, false}) {
+		t.Fatal("unmasked diff accepted")
+	}
+	// Exit-code comparison only applies to exited runs.
+	a := probeState{exited: true, exitCode: 1, section: []byte{}}
+	b2 := probeState{exited: true, exitCode: 2, section: []byte{}}
+	if dataflowEqual(a, b2, nil) {
+		t.Fatal("exit codes ignored")
+	}
+}

@@ -1,0 +1,103 @@
+package fuzz
+
+import "encoding/binary"
+
+// MapSize is the AFL-compatible coverage map size.
+const MapSize = 1 << 16
+
+// bucketLUT classifies raw hit counts into AFL's logarithmic buckets
+// (1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128-255).
+var bucketLUT [256]byte
+
+func init() {
+	set := func(lo, hi int, v byte) {
+		for i := lo; i <= hi; i++ {
+			bucketLUT[i] = v
+		}
+	}
+	bucketLUT[0] = 0
+	bucketLUT[1] = 1
+	bucketLUT[2] = 2
+	bucketLUT[3] = 4
+	set(4, 7, 8)
+	set(8, 15, 16)
+	set(16, 31, 32)
+	set(32, 127, 64)
+	set(128, 255, 128)
+}
+
+// Bitmap tracks cumulative ("virgin") coverage across a campaign.
+type Bitmap struct {
+	virgin [MapSize]byte // OR of all classified maps seen
+	edges  int           // distinct map indices ever hit
+}
+
+// NewBitmap returns an empty cumulative bitmap.
+func NewBitmap() *Bitmap { return &Bitmap{} }
+
+// Classify bucketizes a raw trace map in place.
+func Classify(trace []byte) {
+	for i, v := range trace {
+		if v != 0 {
+			trace[i] = bucketLUT[v]
+		}
+	}
+}
+
+// Update classifies trace, merges it into the cumulative map, and reports
+// whether the execution produced new coverage: 2 for a brand-new edge,
+// 1 for a new hit-count bucket on a known edge, 0 for nothing new.
+// The trace is zeroed for the next execution.
+//
+// The scan skips zero regions eight bytes at a time, as AFL++'s map scan
+// does; most executions touch a few hundred of the 65536 cells, so this
+// runs in a few microseconds instead of tens.
+func (b *Bitmap) Update(trace []byte) int {
+	ret := 0
+	n := len(trace) &^ 7
+	for i := 0; i < n; i += 8 {
+		if binary.LittleEndian.Uint64(trace[i:]) == 0 {
+			continue
+		}
+		for j := i; j < i+8; j++ {
+			v := trace[j]
+			if v == 0 {
+				continue
+			}
+			ret = b.merge(j, v, ret)
+			trace[j] = 0
+		}
+	}
+	for i := n; i < len(trace); i++ {
+		if v := trace[i]; v != 0 {
+			ret = b.merge(i, v, ret)
+			trace[i] = 0
+		}
+	}
+	return ret
+}
+
+func (b *Bitmap) merge(i int, v byte, ret int) int {
+	cls := bucketLUT[v]
+	old := b.virgin[i]
+	if old&cls != cls {
+		if old == 0 {
+			b.edges++
+			ret = 2
+		} else if ret < 1 {
+			ret = 1
+		}
+		b.virgin[i] = old | cls
+	}
+	return ret
+}
+
+// Edges returns the number of distinct map indices hit so far — the
+// numerator of Table 6's coverage percentages.
+func (b *Bitmap) Edges() int { return b.edges }
+
+// Reset clears the cumulative map.
+func (b *Bitmap) Reset() {
+	b.virgin = [MapSize]byte{}
+	b.edges = 0
+}

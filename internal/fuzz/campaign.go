@@ -1,0 +1,227 @@
+package fuzz
+
+import (
+	"sort"
+	"time"
+
+	"closurex/internal/vm"
+)
+
+// Executor abstracts the execution mechanism under test (fresh, forkserver,
+// persistent, ClosureX) — the campaign drives whichever it is given, so the
+// fuzzing logic is identical across configurations.
+type Executor interface {
+	Execute(input []byte) vm.Result
+}
+
+// Entry is one seed in the queue.
+type Entry struct {
+	Input   []byte
+	FoundAt time.Duration // campaign time when it was added
+	Gain    int           // 2 = new edge, 1 = new bucket, 3 = initial seed
+}
+
+// Crash is a triaged, deduplicated fault.
+type Crash struct {
+	Key       string // fault kind @ function : line
+	Kind      vm.FaultKind
+	Fn        string
+	Line      int32
+	Input     []byte        // first input that triggered it
+	FirstAt   time.Duration // campaign time of first trigger
+	FirstExec int64         // execution index of first trigger
+	Count     int64
+}
+
+// Config tunes a campaign.
+type Config struct {
+	// Executor runs test cases; CovMap must be the same buffer the
+	// executor's VMs write coverage into.
+	Executor Executor
+	CovMap   []byte
+	// Seeds is the initial corpus.
+	Seeds [][]byte
+	// Seed seeds the campaign RNG (one trial = one seed).
+	Seed uint64
+	// MaxInputLen bounds mutated inputs (default 4096).
+	MaxInputLen int
+	// HavocPerSeed is how many mutants are derived from a queue entry per
+	// cycle (default 24).
+	HavocPerSeed int
+	// SpliceProb x/256 chance a mutant starts from a splice (default 40).
+	SpliceProb int
+	// Dict supplies format keywords for the dictionary mutators (AFL -x).
+	Dict [][]byte
+}
+
+// Campaign is one fuzzing run: a queue, a cumulative bitmap, and a crash
+// table, advancing one mutated input per Step.
+type Campaign struct {
+	cfg     Config
+	rng     *RNG
+	mut     *Mutator
+	bitmap  *Bitmap
+	queue   []*Entry
+	crashes map[string]*Crash
+
+	execs   int64
+	start   time.Time
+	started bool
+	cursor  int // queue round-robin position
+	burst   int // mutations left in the current entry's burst
+	cur     *Entry
+}
+
+// NewCampaign prepares a campaign (seeds are executed on the first Step).
+func NewCampaign(cfg Config) *Campaign {
+	if cfg.MaxInputLen <= 0 {
+		cfg.MaxInputLen = 4096
+	}
+	if cfg.HavocPerSeed <= 0 {
+		cfg.HavocPerSeed = 24
+	}
+	if cfg.SpliceProb <= 0 {
+		cfg.SpliceProb = 40
+	}
+	rng := NewRNG(cfg.Seed)
+	mut := NewMutator(rng, cfg.MaxInputLen)
+	mut.SetDict(cfg.Dict)
+	return &Campaign{
+		cfg:     cfg,
+		rng:     rng,
+		mut:     mut,
+		bitmap:  NewBitmap(),
+		crashes: make(map[string]*Crash),
+	}
+}
+
+// runOne executes input and processes coverage and crashes.
+func (c *Campaign) runOne(input []byte, gainOverride int) {
+	res := c.cfg.Executor.Execute(input)
+	c.execs++
+	gain := c.bitmap.Update(c.cfg.CovMap)
+	if res.Fault != nil {
+		c.recordCrash(res.Fault, input)
+		return
+	}
+	if gainOverride > 0 {
+		gain = gainOverride
+	}
+	if gain > 0 {
+		c.queue = append(c.queue, &Entry{
+			Input:   append([]byte(nil), input...),
+			FoundAt: time.Since(c.start),
+			Gain:    gain,
+		})
+	}
+}
+
+func (c *Campaign) recordCrash(f *vm.Fault, input []byte) {
+	key := f.Key()
+	if cr, ok := c.crashes[key]; ok {
+		cr.Count++
+		return
+	}
+	c.crashes[key] = &Crash{
+		Key:       key,
+		Kind:      f.Kind,
+		Fn:        f.Fn,
+		Line:      f.Line,
+		Input:     append([]byte(nil), input...),
+		FirstAt:   time.Since(c.start),
+		FirstExec: c.execs,
+		Count:     1,
+	}
+}
+
+// bootstrap runs the seed corpus.
+func (c *Campaign) bootstrap() {
+	c.start = time.Now()
+	c.started = true
+	for _, s := range c.cfg.Seeds {
+		c.runOne(s, 3) // seeds always enter the queue
+	}
+	if len(c.queue) == 0 {
+		// Even a corpus of crashing/empty seeds needs a starting point.
+		c.queue = append(c.queue, &Entry{Input: []byte{0}, Gain: 3})
+	}
+}
+
+// Step executes one mutated input (bootstrapping the seed corpus on first
+// call). It returns the number of executions performed by this step.
+func (c *Campaign) Step() int64 {
+	if !c.started {
+		before := c.execs
+		c.bootstrap()
+		return c.execs - before
+	}
+	if c.burst == 0 {
+		c.cur = c.queue[c.cursor%len(c.queue)]
+		c.cursor++
+		c.burst = c.cfg.HavocPerSeed
+	}
+	c.burst--
+	var input []byte
+	if len(c.queue) > 1 && c.rng.Intn(256) < c.cfg.SpliceProb {
+		other := c.queue[c.rng.Intn(len(c.queue))]
+		input = c.mut.Splice(c.cur.Input, other.Input)
+	} else {
+		input = c.mut.Havoc(c.cur.Input)
+	}
+	c.runOne(input, 0)
+	return 1
+}
+
+// RunFor drives the campaign until d has elapsed.
+func (c *Campaign) RunFor(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for {
+		for i := 0; i < 64; i++ {
+			c.Step()
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+	}
+}
+
+// RunExecs drives the campaign until at least n executions have happened.
+func (c *Campaign) RunExecs(n int64) {
+	for c.execs < n {
+		c.Step()
+	}
+}
+
+// Execs returns the number of test cases executed.
+func (c *Campaign) Execs() int64 { return c.execs }
+
+// Edges returns cumulative distinct coverage-map indices hit.
+func (c *Campaign) Edges() int { return c.bitmap.Edges() }
+
+// QueueLen returns the current queue size.
+func (c *Campaign) QueueLen() int { return len(c.queue) }
+
+// Queue returns the corpus accumulated so far (the comprehensive test-case
+// queue the correctness study replays).
+func (c *Campaign) Queue() []*Entry { return c.queue }
+
+// Crashes returns triaged crashes ordered by first discovery.
+func (c *Campaign) Crashes() []*Crash {
+	out := make([]*Crash, 0, len(c.crashes))
+	for _, cr := range c.crashes {
+		out = append(out, cr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstExec < out[j].FirstExec })
+	return out
+}
+
+// CrashByKey looks up a triaged crash.
+func (c *Campaign) CrashByKey(key string) *Crash { return c.crashes[key] }
+
+// Elapsed returns time since bootstrap.
+func (c *Campaign) Elapsed() time.Duration {
+	if !c.started {
+		return 0
+	}
+	return time.Since(c.start)
+}

@@ -1,0 +1,108 @@
+package fuzz
+
+// Test-case and corpus minimization — the afl-tmin / afl-cmin counterparts
+// a downstream user expects next to the fuzzer.
+
+// TrimInput shrinks input while pred keeps holding (pred must hold for the
+// original input, or the input is returned unchanged). The strategy is
+// afl-tmin's: repeated removal passes with power-of-two block sizes down to
+// single bytes, iterated to a fixed point. pred is called O(n log n) times
+// per round.
+func TrimInput(input []byte, pred func([]byte) bool) []byte {
+	cur := append([]byte(nil), input...)
+	if len(cur) == 0 || !pred(cur) {
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		start := len(cur) / 2
+		if start < 1 {
+			start = 1
+		}
+		for blk := start; blk >= 1; blk /= 2 {
+			for pos := 0; pos+blk <= len(cur); {
+				cand := make([]byte, 0, len(cur)-blk)
+				cand = append(cand, cur[:pos]...)
+				cand = append(cand, cur[pos+blk:]...)
+				if pred(cand) {
+					cur = cand
+					changed = true
+				} else {
+					pos += blk
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// NormalizeInput replaces bytes with zero wherever pred still holds,
+// making the remaining "load-bearing" bytes of a crash input stand out
+// (afl-tmin's second phase).
+func NormalizeInput(input []byte, pred func([]byte) bool) []byte {
+	cur := append([]byte(nil), input...)
+	if !pred(cur) {
+		return cur
+	}
+	for i := range cur {
+		if cur[i] == 0 {
+			continue
+		}
+		old := cur[i]
+		cur[i] = 0
+		if !pred(cur) {
+			cur[i] = old
+		}
+	}
+	return cur
+}
+
+// MinimizeCorpus selects a subset of inputs that preserves the union of
+// their coverage, greedily picking the input covering the most uncovered
+// map cells (afl-cmin's weighted minimization, simplified). trace must
+// return the set of coverage-map indices the input reaches.
+func MinimizeCorpus(inputs [][]byte, trace func([]byte) map[int]bool) [][]byte {
+	type entry struct {
+		input []byte
+		cov   map[int]bool
+	}
+	entries := make([]entry, 0, len(inputs))
+	union := map[int]bool{}
+	for _, in := range inputs {
+		cov := trace(in)
+		entries = append(entries, entry{input: in, cov: cov})
+		for idx := range cov {
+			union[idx] = true
+		}
+	}
+	covered := map[int]bool{}
+	var out [][]byte
+	for len(covered) < len(union) {
+		best := -1
+		bestGain := 0
+		for i, e := range entries {
+			if e.cov == nil {
+				continue
+			}
+			gain := 0
+			for idx := range e.cov {
+				if !covered[idx] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				best = i
+			}
+		}
+		if best < 0 {
+			break // remaining inputs add nothing (nondeterminism guard)
+		}
+		for idx := range entries[best].cov {
+			covered[idx] = true
+		}
+		out = append(out, entries[best].input)
+		entries[best].cov = nil
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrimInputToMinimalWitness(t *testing.T) {
+	// Predicate: input contains the byte sequence "BUG".
+	pred := func(b []byte) bool { return bytes.Contains(b, []byte("BUG")) }
+	in := []byte("lots of padding before BUG and plenty after it too......")
+	out := TrimInput(in, pred)
+	if string(out) != "BUG" {
+		t.Fatalf("trimmed to %q, want BUG", out)
+	}
+}
+
+func TestTrimInputPredicateNeverViolated(t *testing.T) {
+	calls := 0
+	pred := func(b []byte) bool {
+		calls++
+		return len(b) >= 5 && b[0] == 'A'
+	}
+	out := TrimInput([]byte("Axxxxxxxxxxxxxxxx"), pred)
+	if !pred(out) {
+		t.Fatal("result violates predicate")
+	}
+	if len(out) != 5 {
+		t.Fatalf("len = %d, want 5", len(out))
+	}
+	if calls == 0 {
+		t.Fatal("predicate never called")
+	}
+}
+
+func TestTrimInputNonMatchingUnchanged(t *testing.T) {
+	in := []byte("hello")
+	out := TrimInput(in, func(b []byte) bool { return false })
+	if !bytes.Equal(out, in) {
+		t.Fatalf("non-matching input changed: %q", out)
+	}
+	if out2 := TrimInput(nil, func(b []byte) bool { return true }); len(out2) != 0 {
+		t.Fatal("empty input grew")
+	}
+}
+
+// Property: TrimInput's result always satisfies the predicate and is never
+// longer than the input.
+func TestTrimInputProperty(t *testing.T) {
+	f := func(data []byte, needle byte) bool {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		pred := func(b []byte) bool { return bytes.IndexByte(b, needle) >= 0 }
+		if !pred(data) {
+			return bytes.Equal(TrimInput(data, pred), data)
+		}
+		out := TrimInput(data, pred)
+		return pred(out) && len(out) <= len(data) && len(out) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeInput(t *testing.T) {
+	// Predicate cares only about positions 2 and 5.
+	pred := func(b []byte) bool {
+		return len(b) == 8 && b[2] == 'X' && b[5] == 'Y'
+	}
+	in := []byte("abXcdYef")
+	out := NormalizeInput(in, pred)
+	want := []byte{0, 0, 'X', 0, 0, 'Y', 0, 0}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("normalized = %q, want %q", out, want)
+	}
+	// Non-matching input unchanged.
+	if got := NormalizeInput([]byte("zz"), pred); !bytes.Equal(got, []byte("zz")) {
+		t.Fatal("non-matching changed")
+	}
+}
+
+func TestMinimizeCorpusGreedySetCover(t *testing.T) {
+	// Input i covers the cells listed in covSets[i].
+	covSets := map[string][]int{
+		"a": {1, 2, 3},
+		"b": {2, 3},       // subsumed by a
+		"c": {4},          // unique
+		"d": {1, 2, 3, 4}, // covers everything alone
+		"e": {},           // nothing
+	}
+	trace := func(in []byte) map[int]bool {
+		out := map[int]bool{}
+		for _, idx := range covSets[string(in)] {
+			out[idx] = true
+		}
+		return out
+	}
+	out := MinimizeCorpus([][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}, trace)
+	if len(out) != 1 || string(out[0]) != "d" {
+		t.Fatalf("minimized = %q, want just d", out)
+	}
+	// Without d, need a + c.
+	out = MinimizeCorpus([][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("e")}, trace)
+	if len(out) != 2 {
+		t.Fatalf("minimized = %q, want 2 entries", out)
+	}
+	keep := map[string]bool{}
+	for _, o := range out {
+		keep[string(o)] = true
+	}
+	if !keep["a"] || !keep["c"] {
+		t.Fatalf("kept %v, want a and c", keep)
+	}
+}
+
+func TestMinimizeCorpusEmpty(t *testing.T) {
+	out := MinimizeCorpus(nil, func([]byte) map[int]bool { return nil })
+	if len(out) != 0 {
+		t.Fatal("nonempty result from empty corpus")
+	}
+}
+
+// Property: the minimized corpus preserves the coverage union exactly.
+func TestMinimizeCorpusPreservesUnion(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := NewRNG(seed)
+		count := int(n)%12 + 1
+		inputs := make([][]byte, count)
+		sets := make([]map[int]bool, count)
+		for i := 0; i < count; i++ {
+			inputs[i] = []byte{byte(i)}
+			sets[i] = map[int]bool{}
+			for j := 0; j < rng.Intn(6); j++ {
+				sets[i][rng.Intn(10)] = true
+			}
+		}
+		trace := func(in []byte) map[int]bool { return sets[int(in[0])] }
+		out := MinimizeCorpus(inputs, trace)
+		gotUnion := map[int]bool{}
+		for _, o := range out {
+			for idx := range trace(o) {
+				gotUnion[idx] = true
+			}
+		}
+		wantUnion := map[int]bool{}
+		for i := range sets {
+			for idx := range sets[i] {
+				wantUnion[idx] = true
+			}
+		}
+		if len(gotUnion) != len(wantUnion) {
+			return false
+		}
+		return len(out) <= count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package fuzz
+
+// Mutator implements AFL-style havoc mutation plus splicing, with
+// optional dictionary tokens (AFL's -x): format keywords that get inserted
+// or stamped over the input, letting the fuzzer synthesize magic values
+// (FourCCs, header magics) it would practically never brute-force.
+type Mutator struct {
+	rng *RNG
+	// MaxLen bounds generated inputs.
+	MaxLen int
+	dict   [][]byte
+}
+
+// SetDict installs dictionary tokens. Empty tokens are dropped.
+func (m *Mutator) SetDict(tokens [][]byte) {
+	m.dict = m.dict[:0]
+	for _, t := range tokens {
+		if len(t) > 0 {
+			m.dict = append(m.dict, append([]byte(nil), t...))
+		}
+	}
+}
+
+// interesting values, as AFL uses, truncated per width at apply time.
+var interesting = []int64{
+	-128, -1, 0, 1, 16, 32, 64, 100, 127, 128, 255, 256, 512, 1000,
+	1024, 4096, 32767, 32768, 65535, 65536, -32768, 2147483647, -2147483648,
+}
+
+// NewMutator returns a mutator with the given RNG and length bound.
+func NewMutator(rng *RNG, maxLen int) *Mutator {
+	if maxLen <= 0 {
+		maxLen = 4096
+	}
+	return &Mutator{rng: rng, MaxLen: maxLen}
+}
+
+// Havoc applies 1..n stacked random mutations to a copy of input.
+func (m *Mutator) Havoc(input []byte) []byte {
+	out := append([]byte(nil), input...)
+	stack := 1 << (1 + m.rng.Intn(5)) // 2..32 stacked ops
+	for i := 0; i < stack; i++ {
+		out = m.mutateOnce(out)
+	}
+	if len(out) > m.MaxLen {
+		out = out[:m.MaxLen]
+	}
+	return out
+}
+
+// Splice combines a random prefix of a with a suffix of b, then havocs.
+func (m *Mutator) Splice(a, b []byte) []byte {
+	if len(a) < 2 || len(b) < 2 {
+		return m.Havoc(a)
+	}
+	cutA := 1 + m.rng.Intn(len(a)-1)
+	cutB := m.rng.Intn(len(b) - 1)
+	out := make([]byte, 0, cutA+len(b)-cutB)
+	out = append(out, a[:cutA]...)
+	out = append(out, b[cutB:]...)
+	if len(out) > m.MaxLen {
+		out = out[:m.MaxLen]
+	}
+	return m.Havoc(out)
+}
+
+func (m *Mutator) mutateOnce(out []byte) []byte {
+	if len(out) == 0 {
+		// Only growth operators make sense on an empty input.
+		n := 1 + m.rng.Intn(8)
+		grown := make([]byte, n)
+		for i := range grown {
+			grown[i] = m.rng.Byte()
+		}
+		return grown
+	}
+	nOps := 12
+	if len(m.dict) > 0 {
+		nOps = 14 // two extra dictionary operators
+	}
+	switch m.rng.Intn(nOps) {
+	case 0: // single bit flip
+		i := m.rng.Intn(len(out))
+		out[i] ^= 1 << m.rng.Intn(8)
+	case 1: // random byte
+		out[m.rng.Intn(len(out))] = m.rng.Byte()
+	case 2: // byte arithmetic
+		i := m.rng.Intn(len(out))
+		out[i] += byte(1 + m.rng.Intn(35))
+	case 3: // byte arithmetic down
+		i := m.rng.Intn(len(out))
+		out[i] -= byte(1 + m.rng.Intn(35))
+	case 4: // interesting 8-bit
+		out[m.rng.Intn(len(out))] = byte(interesting[m.rng.Intn(len(interesting))])
+	case 5: // interesting 16-bit little-endian
+		if len(out) >= 2 {
+			i := m.rng.Intn(len(out) - 1)
+			v := uint16(interesting[m.rng.Intn(len(interesting))])
+			out[i] = byte(v)
+			out[i+1] = byte(v >> 8)
+		}
+	case 6: // interesting 32-bit little-endian
+		if len(out) >= 4 {
+			i := m.rng.Intn(len(out) - 3)
+			v := uint32(interesting[m.rng.Intn(len(interesting))])
+			out[i] = byte(v)
+			out[i+1] = byte(v >> 8)
+			out[i+2] = byte(v >> 16)
+			out[i+3] = byte(v >> 24)
+		}
+	case 7: // delete a block
+		if len(out) >= 2 {
+			from := m.rng.Intn(len(out))
+			n := 1 + m.rng.Intn(len(out)-from)
+			out = append(out[:from], out[from+n:]...)
+		}
+	case 8: // duplicate a block
+		if len(out) >= 1 && len(out) < m.MaxLen {
+			from := m.rng.Intn(len(out))
+			n := 1 + m.rng.Intn(min(len(out)-from, 32))
+			blk := append([]byte(nil), out[from:from+n]...)
+			at := m.rng.Intn(len(out) + 1)
+			out = append(out[:at], append(blk, out[at:]...)...)
+		}
+	case 9: // insert random bytes
+		if len(out) < m.MaxLen {
+			n := 1 + m.rng.Intn(8)
+			blk := make([]byte, n)
+			for i := range blk {
+				blk[i] = m.rng.Byte()
+			}
+			at := m.rng.Intn(len(out) + 1)
+			out = append(out[:at], append(blk, out[at:]...)...)
+		}
+	case 10: // overwrite with a copied block
+		if len(out) >= 2 {
+			from := m.rng.Intn(len(out))
+			to := m.rng.Intn(len(out))
+			n := 1 + m.rng.Intn(min(len(out)-from, len(out)-to))
+			copy(out[to:to+n], out[from:from+n])
+		}
+	case 11: // word arithmetic on a 16-bit LE value
+		if len(out) >= 2 {
+			i := m.rng.Intn(len(out) - 1)
+			v := uint16(out[i]) | uint16(out[i+1])<<8
+			v += uint16(m.rng.Intn(70) - 35)
+			out[i] = byte(v)
+			out[i+1] = byte(v >> 8)
+		}
+	case 12: // insert a dictionary token
+		if len(out) < m.MaxLen {
+			tok := m.dict[m.rng.Intn(len(m.dict))]
+			at := m.rng.Intn(len(out) + 1)
+			out = append(out[:at], append(append([]byte(nil), tok...), out[at:]...)...)
+		}
+	case 13: // stamp a dictionary token over existing bytes
+		tok := m.dict[m.rng.Intn(len(m.dict))]
+		if len(tok) <= len(out) {
+			at := m.rng.Intn(len(out) - len(tok) + 1)
+			copy(out[at:], tok)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

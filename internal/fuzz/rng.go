@@ -1,0 +1,46 @@
+// Package fuzz implements the coverage-guided fuzzer both execution
+// mechanisms share in the evaluation: an AFL-style hit-count edge bitmap,
+// havoc/splice mutation, a seed queue, crash triage, and the campaign
+// driver. Keeping the fuzzer identical across mechanisms isolates the
+// process-management comparison, exactly as §5.3 of the paper does.
+package fuzz
+
+// RNG is a small, fast, deterministic PRNG (splitmix64 seeded xorshift) so
+// trials are reproducible given a seed.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG seeds a generator; distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG {
+	// splitmix64 scramble so adjacent seeds diverge immediately.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	return &RNG{s: z}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.s = x
+	return x
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Byte returns a random byte.
+func (r *RNG) Byte() byte { return byte(r.Uint64()) }
+
+// Bool returns a random bit.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }

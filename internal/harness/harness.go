@@ -1,0 +1,130 @@
+// Package harness implements the ClosureX runtime: the loop body from the
+// paper's Listing 1. Each test case runs inside one long-lived VM ("a
+// single process for the whole campaign"); after target_main returns — or
+// after the ExitPass hook unwinds the stack, our setjmp/longjmp — the
+// harness restores exactly the test-case-execution-specific state:
+//
+//	restore_global_sections()   — byte-copy closure_global_section back
+//	reset_heap_memory()         — free every chunk left in the chunk map
+//	close_open_file_handles()   — close leaked FDs, rewind init-time FDs
+package harness
+
+import (
+	"fmt"
+
+	"closurex/internal/ir"
+	"closurex/internal/passes"
+	"closurex/internal/vfs"
+	"closurex/internal/vm"
+)
+
+// Options tunes which pieces of state the harness restores — the knobs the
+// ablation study flips. A production harness restores everything.
+type Options struct {
+	RestoreGlobals bool
+	ResetHeap      bool
+	CloseFiles     bool
+	// RunDeferredInit invokes passes.InitFunc once before the loop and
+	// marks the resulting heap/FD state as persistent (DeferInitPass).
+	RunDeferredInit bool
+}
+
+// FullRestore enables every restoration step.
+func FullRestore() Options {
+	return Options{RestoreGlobals: true, ResetHeap: true, CloseFiles: true, RunDeferredInit: true}
+}
+
+// Stats counts restoration work, for the overhead-breakdown figure.
+type Stats struct {
+	Iterations   int64
+	GlobalBytes  int64 // bytes copied back per iteration x iterations
+	ChunksFreed  int64
+	FDsClosed    int64
+	FDsRewound   int64
+	ExitsUnwound int64 // iterations that ended via the exit hook
+}
+
+// Harness wraps a VM whose module went through the ClosureX pipeline.
+type Harness struct {
+	v          *vm.VM
+	opts       Options
+	globalSnap []byte
+	stats      Stats
+}
+
+// New prepares the harness: optionally runs deferred initialization, marks
+// initialization-time heap chunks and descriptors as persistent, and takes
+// the ground-truth snapshot of closure_global_section (Figure 4, left).
+func New(v *vm.VM, opts Options) (*Harness, error) {
+	h := &Harness{v: v, opts: opts}
+	if v.Mod.Func(passes.TargetMain) == nil {
+		return nil, fmt.Errorf("harness: module lacks %s (run the pass pipeline first)", passes.TargetMain)
+	}
+	if opts.RunDeferredInit && v.Mod.Func(passes.InitFunc) != nil {
+		res := v.Call(passes.InitFunc)
+		if res.Fault != nil {
+			return nil, fmt.Errorf("harness: deferred init faulted: %v", res.Fault)
+		}
+		if res.Exited {
+			return nil, fmt.Errorf("harness: deferred init called exit(%d)", res.ExitCode)
+		}
+	}
+	v.Heap.MarkInit()
+	v.FS.MarkInit()
+	if snap, ok := v.SnapshotSection(ir.SectionClosure); ok {
+		h.globalSnap = snap
+	}
+	return h, nil
+}
+
+// VM exposes the underlying machine (correctness study probes).
+func (h *Harness) VM() *vm.VM { return h.v }
+
+// Stats returns accumulated restoration counters.
+func (h *Harness) Stats() Stats { return h.stats }
+
+// GlobalSnapshotSize reports the closure section size in bytes.
+func (h *Harness) GlobalSnapshotSize() int { return len(h.globalSnap) }
+
+// RunOne executes one test case and restores state for the next.
+func (h *Harness) RunOne(input []byte) vm.Result {
+	h.v.SetInput(input)
+	res := h.v.Call(passes.TargetMain)
+	h.stats.Iterations++
+	if res.Exited {
+		h.stats.ExitsUnwound++
+	}
+	h.Restore()
+	return res
+}
+
+// Restore performs the between-test-cases cleanup. Exported separately so
+// the correctness study can interleave probes.
+func (h *Harness) Restore() {
+	if h.opts.RestoreGlobals && h.globalSnap != nil {
+		h.v.RestoreSection(ir.SectionClosure, h.globalSnap)
+		h.stats.GlobalBytes += int64(len(h.globalSnap))
+	}
+	if h.opts.ResetHeap {
+		for _, c := range h.v.Heap.Leaked() {
+			// Chunks the target leaked; free() cannot fail on live chunks.
+			if err := h.v.Heap.Free(c.Addr); err == nil {
+				h.stats.ChunksFreed++
+			}
+		}
+	}
+	if h.opts.CloseFiles {
+		for _, fd := range h.v.FS.LeakedFDs() {
+			if err := h.v.FS.Close(fd); err == nil {
+				h.stats.FDsClosed++
+			}
+		}
+		for _, fd := range h.v.FS.InitFDs() {
+			// Initialization-time handles are rewound, not reopened — the
+			// paper's optimization for init handles.
+			if _, err := h.v.FS.Seek(fd, 0, vfs.SeekSet); err == nil {
+				h.stats.FDsRewound++
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"closurex/internal/ir"
+	"closurex/internal/vm"
+)
+
+// Property tests: under arbitrary input sequences, the harness's
+// restoration invariants hold after every iteration.
+
+// chaoticSrc reacts to input bytes with every kind of state mutation the
+// harness must undo: global writes, chunk leaks, FD leaks, exits.
+const chaoticSrc = `
+int counter;
+int mode;
+char book[64];
+
+int main(void) {
+	counter++;
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	char *buf = (char*)malloc(size + 1);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+	for (int i = 0; i < size; i++) {
+		char c = buf[i];
+		book[c % 64] = c;
+		if (c == 'M') mode = i;
+		if (c == 'L') {
+			char *leak = (char*)malloc((c % 32) + 1);
+			leak[0] = c;
+		}
+		if (c == 'F') {
+			fopen("/input", "r");   // leaked handle
+		}
+		if (c == 'E') {
+			exit(i);                // leaks buf and f (and any leaks above)
+		}
+		if (c == 'G') {
+			char *tmp = (char*)malloc(8);
+			free(tmp);
+		}
+	}
+	free(buf);
+	fclose(f);
+	return counter;
+}
+`
+
+func TestHarnessInvariantsUnderRandomSequences(t *testing.T) {
+	h := newHarness(t, chaoticSrc, FullRestore())
+	v := h.VM()
+	pristine, ok := v.SnapshotSection(ir.SectionClosure)
+	if !ok {
+		t.Fatal("no closure section")
+	}
+
+	f := func(inputs [][]byte) bool {
+		for _, in := range inputs {
+			if len(in) > 128 {
+				in = in[:128]
+			}
+			res := h.RunOne(in)
+			if res.Fault != nil {
+				// chaoticSrc has no reachable faults; a fault means the
+				// harness leaked state into the target's semantics.
+				return false
+			}
+			// Invariant 1: the target believes it is running for the
+			// first time (counter restored before it increments).
+			if !res.Exited && res.Ret != 1 {
+				return false
+			}
+			// Invariant 2: no chunks or descriptors survive.
+			if v.Heap.LiveChunks() != 0 || v.FS.OpenCount() != 0 {
+				return false
+			}
+			// Invariant 3: the global section is byte-identical.
+			sec, _ := v.SnapshotSection(ir.SectionClosure)
+			if !bytes.Equal(sec, pristine) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHarnessStatsMonotonic(t *testing.T) {
+	h := newHarness(t, chaoticSrc, FullRestore())
+	var prev Stats
+	for i := 0; i < 20; i++ {
+		h.RunOne([]byte{'L', 'F', 'M'})
+		st := h.Stats()
+		if st.Iterations != prev.Iterations+1 {
+			t.Fatalf("iterations not monotonic: %+v", st)
+		}
+		if st.ChunksFreed < prev.ChunksFreed || st.FDsClosed < prev.FDsClosed ||
+			st.GlobalBytes < prev.GlobalBytes {
+			t.Fatalf("counters regressed: %+v -> %+v", prev, st)
+		}
+		prev = st
+	}
+	if prev.ChunksFreed != 20 || prev.FDsClosed != 20 {
+		t.Fatalf("per-iteration leak accounting: %+v", prev)
+	}
+}
+
+func TestHarnessIdempotentRestore(t *testing.T) {
+	h := newHarness(t, chaoticSrc, FullRestore())
+	v := h.VM()
+	h.RunOne([]byte{'L', 'M'})
+	first, _ := v.SnapshotSection(ir.SectionClosure)
+	// Restoring again without an intervening run must be a no-op.
+	h.Restore()
+	h.Restore()
+	second, _ := v.SnapshotSection(ir.SectionClosure)
+	if !bytes.Equal(first, second) {
+		t.Fatal("double restore changed state")
+	}
+	if v.Heap.LiveChunks() != 0 || v.FS.OpenCount() != 0 {
+		t.Fatal("double restore leaked")
+	}
+}
+
+func TestHarnessSurvivesCrashInputs(t *testing.T) {
+	// A crashing target leaves arbitrary state mid-execution; the harness
+	// restore must still bring everything back (the mechanism layer
+	// additionally respawns, but the harness alone must cope).
+	src := `
+int depth;
+char scratch[32];
+int main(void) {
+	depth++;
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int c = fgetc(f);
+	scratch[depth % 32] = (char)c;
+	char *p = (char*)malloc(16);
+	p[0] = (char)c;
+	if (c == 'X') {
+		int *np = 0;
+		return *np;       // crash with p leaked, f open
+	}
+	free(p);
+	fclose(f);
+	return depth;
+}
+`
+	h := newHarness(t, src, FullRestore())
+	v := h.VM()
+	pristine, _ := v.SnapshotSection(ir.SectionClosure)
+	for i := 0; i < 10; i++ {
+		res := h.RunOne([]byte("X"))
+		if res.Fault == nil || res.Fault.Kind != vm.FaultNullDeref {
+			t.Fatalf("iter %d: %+v", i, res)
+		}
+		if v.Heap.LiveChunks() != 0 || v.FS.OpenCount() != 0 {
+			t.Fatalf("iter %d: crash path leaked through restore", i)
+		}
+		sec, _ := v.SnapshotSection(ir.SectionClosure)
+		if !bytes.Equal(sec, pristine) {
+			t.Fatalf("iter %d: globals dirty after crash restore", i)
+		}
+		// And a benign run still behaves like the first ever.
+		if res := h.RunOne([]byte("a")); res.Ret != 1 {
+			t.Fatalf("iter %d: post-crash run = %d", i, res.Ret)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package ir
+
+// Builder incrementally constructs a Func. It is used by the AST lowerer
+// and by tests that hand-assemble programs.
+type Builder struct {
+	F   *Func
+	cur int // current block index
+	pos int32
+}
+
+// NewBuilder starts a function with the given name and parameter count.
+// Parameters occupy registers 0..numParams-1; the entry block is created.
+func NewBuilder(name string, numParams int) *Builder {
+	f := &Func{Name: name, NumParams: numParams, NumRegs: numParams}
+	f.Blocks = append(f.Blocks, &Block{})
+	return &Builder{F: f}
+}
+
+// SetPos records the source line attached to subsequently emitted
+// instructions.
+func (b *Builder) SetPos(line int32) { b.pos = line }
+
+// NewReg allocates a fresh virtual register.
+func (b *Builder) NewReg() int {
+	r := b.F.NumRegs
+	b.F.NumRegs++
+	return r
+}
+
+// NewBlock appends an empty block and returns its index.
+func (b *Builder) NewBlock() int {
+	b.F.Blocks = append(b.F.Blocks, &Block{})
+	return len(b.F.Blocks) - 1
+}
+
+// SetBlock redirects emission to block i.
+func (b *Builder) SetBlock(i int) { b.cur = i }
+
+// CurBlock returns the index of the block being emitted into.
+func (b *Builder) CurBlock() int { return b.cur }
+
+// Terminated reports whether the current block already ends in a
+// terminator, in which case further emission would be dead.
+func (b *Builder) Terminated() bool {
+	return b.F.Blocks[b.cur].Terminator() != nil
+}
+
+// Alloca reserves size bytes (aligned to 8) in the frame and returns the
+// byte offset. Pair with FrameAddr to obtain the address at run time.
+func (b *Builder) Alloca(size int64) int64 {
+	off := b.F.FrameSize
+	b.F.FrameSize += (size + 7) &^ 7
+	return off
+}
+
+func (b *Builder) emit(in Instr) {
+	in.Pos = b.pos
+	blk := b.F.Blocks[b.cur]
+	blk.Instrs = append(blk.Instrs, in)
+}
+
+// Const emits dst = v and returns the destination register.
+func (b *Builder) Const(v int64) int {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpConst, Dst: d, Imm: v, A: -1, B: -1})
+	return d
+}
+
+// Mov emits dst = src into an existing destination register.
+func (b *Builder) Mov(dst, src int) {
+	b.emit(Instr{Op: OpMov, Dst: dst, A: src, B: -1})
+}
+
+// Bin emits dst = a op b2 and returns dst.
+func (b *Builder) Bin(op BinOp, a, b2 int) int {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpBin, Dst: d, Bin: op, A: a, B: b2})
+	return d
+}
+
+// Un emits dst = op a and returns dst.
+func (b *Builder) Un(op UnOp, a int) int {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpUn, Dst: d, Un: op, A: a, B: -1})
+	return d
+}
+
+// Load emits dst = mem[addr+off] of size bytes and returns dst.
+func (b *Builder) Load(addr int, off int64, size int) int {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpLoad, Dst: d, A: addr, B: -1, Imm: off, Size: size})
+	return d
+}
+
+// Store emits mem[addr+off] = val of size bytes.
+func (b *Builder) Store(addr, val int, off int64, size int) {
+	b.emit(Instr{Op: OpStore, Dst: -1, A: addr, B: val, Imm: off, Size: size})
+}
+
+// GlobalAddr emits dst = &globals[idx] and returns dst.
+func (b *Builder) GlobalAddr(idx int) int {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpGlobalAddr, Dst: d, A: -1, B: -1, Imm: int64(idx)})
+	return d
+}
+
+// FrameAddr emits dst = frame+off and returns dst.
+func (b *Builder) FrameAddr(off int64) int {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpFrameAddr, Dst: d, A: -1, B: -1, Imm: off})
+	return d
+}
+
+// Call emits dst = callee(args...) and returns dst.
+func (b *Builder) Call(callee string, args ...int) int {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpCall, Dst: d, A: -1, B: -1, Callee: callee, Args: args})
+	return d
+}
+
+// Ret emits return reg; pass -1 to return 0.
+func (b *Builder) Ret(reg int) {
+	b.emit(Instr{Op: OpRet, Dst: -1, A: reg, B: -1})
+}
+
+// Br emits an unconditional jump.
+func (b *Builder) Br(target int) {
+	b.emit(Instr{Op: OpBr, Dst: -1, A: -1, B: -1, Targets: [2]int{target, 0}})
+}
+
+// CondBr emits if cond != 0 goto then else goto els.
+func (b *Builder) CondBr(cond, then, els int) {
+	b.emit(Instr{Op: OpCondBr, Dst: -1, A: cond, B: -1, Targets: [2]int{then, els}})
+}
+
+// Unreachable emits a trap.
+func (b *Builder) Unreachable() {
+	b.emit(Instr{Op: OpUnreachable, Dst: -1, A: -1, B: -1})
+}

@@ -1,0 +1,84 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module as assembly-like text, stable across runs, for
+// golden tests and the closurex-cc -dump-ir tool.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for i, g := range m.Globals {
+		kind := "global"
+		if g.Const {
+			kind = "const"
+		}
+		fmt.Fprintf(&sb, "%s @%d %s size=%d section=%s", kind, i, g.Name, g.Size, g.Section)
+		if len(g.Init) > 0 {
+			fmt.Fprintf(&sb, " init=%x", g.Init)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(PrintFunc(f))
+	}
+	return sb.String()
+}
+
+// PrintFunc renders one function.
+func PrintFunc(f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(params=%d regs=%d frame=%d)\n",
+		f.Name, f.NumParams, f.NumRegs, f.FrameSize)
+	for bi, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", bi)
+		for ii := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", FormatInstr(&b.Instrs[ii]))
+		}
+	}
+	return sb.String()
+}
+
+// FormatInstr renders one instruction.
+func FormatInstr(in *Instr) string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("r%d = mov r%d", in.Dst, in.A)
+	case OpBin:
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Bin, in.A, in.B)
+	case OpUn:
+		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.Un, in.A)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load%d [r%d%+d]", in.Dst, in.Size, in.A, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store%d [r%d%+d], r%d", in.Size, in.A, in.Imm, in.B)
+	case OpGlobalAddr:
+		return fmt.Sprintf("r%d = gaddr @%d", in.Dst, in.Imm)
+	case OpFrameAddr:
+		return fmt.Sprintf("r%d = faddr %d", in.Dst, in.Imm)
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fmt.Sprintf("r%d", a)
+		}
+		return fmt.Sprintf("r%d = call %s(%s)", in.Dst, in.Callee, strings.Join(args, ", "))
+	case OpRet:
+		if in.A < 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", in.A)
+	case OpBr:
+		return fmt.Sprintf("br b%d", in.Targets[0])
+	case OpCondBr:
+		return fmt.Sprintf("condbr r%d, b%d, b%d", in.A, in.Targets[0], in.Targets[1])
+	case OpCov:
+		return fmt.Sprintf("cov %#x", in.Imm)
+	case OpUnreachable:
+		return "unreachable"
+	}
+	return fmt.Sprintf("?op%d", in.Op)
+}

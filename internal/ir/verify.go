@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is wrapped by every verifier failure.
+var ErrInvalid = errors.New("ir: invalid module")
+
+// Verify checks module well-formedness: every block terminated exactly at
+// its end, register and block references in range, call targets resolvable
+// (module function or a name in builtins), and global indices valid. The
+// pass manager runs it after every pass, as `opt -verify-each` would.
+func Verify(m *Module, builtins map[string]bool) error {
+	for _, f := range m.Funcs {
+		if err := verifyFunc(m, f, builtins); err != nil {
+			return fmt.Errorf("%w: func %s: %v", ErrInvalid, f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Func, builtins map[string]bool) error {
+	if len(f.Blocks) == 0 {
+		return errors.New("no blocks")
+	}
+	if f.NumParams > f.NumRegs {
+		return fmt.Errorf("%d params but only %d regs", f.NumParams, f.NumRegs)
+	}
+	checkReg := func(r int, what string) error {
+		if r < 0 || r >= f.NumRegs {
+			return fmt.Errorf("%s register %d out of range [0,%d)", what, r, f.NumRegs)
+		}
+		return nil
+	}
+	for bi, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %d empty", bi)
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			last := ii == len(b.Instrs)-1
+			if in.IsTerminator() != last {
+				if last {
+					return fmt.Errorf("block %d not terminated", bi)
+				}
+				return fmt.Errorf("block %d: terminator %s mid-block at %d", bi, in.Op, ii)
+			}
+			if err := verifyInstr(m, f, in, builtins, checkReg); err != nil {
+				return fmt.Errorf("block %d instr %d (%s): %v", bi, ii, in.Op, err)
+			}
+		}
+	}
+	return nil
+}
+
+func verifyInstr(m *Module, f *Func, in *Instr, builtins map[string]bool, checkReg func(int, string) error) error {
+	checkTarget := func(t int) error {
+		if t < 0 || t >= len(f.Blocks) {
+			return fmt.Errorf("branch target %d out of range", t)
+		}
+		return nil
+	}
+	checkSize := func() error {
+		switch in.Size {
+		case 1, 2, 4, 8:
+			return nil
+		}
+		return fmt.Errorf("bad access size %d", in.Size)
+	}
+	switch in.Op {
+	case OpConst, OpFrameAddr:
+		return checkReg(in.Dst, "dst")
+	case OpGlobalAddr:
+		if in.Imm < 0 || in.Imm >= int64(len(m.Globals)) {
+			return fmt.Errorf("global index %d out of range", in.Imm)
+		}
+		return checkReg(in.Dst, "dst")
+	case OpMov, OpUn:
+		if err := checkReg(in.A, "src"); err != nil {
+			return err
+		}
+		return checkReg(in.Dst, "dst")
+	case OpBin:
+		if err := checkReg(in.A, "lhs"); err != nil {
+			return err
+		}
+		if err := checkReg(in.B, "rhs"); err != nil {
+			return err
+		}
+		return checkReg(in.Dst, "dst")
+	case OpLoad:
+		if err := checkSize(); err != nil {
+			return err
+		}
+		if err := checkReg(in.A, "addr"); err != nil {
+			return err
+		}
+		return checkReg(in.Dst, "dst")
+	case OpStore:
+		if err := checkSize(); err != nil {
+			return err
+		}
+		if err := checkReg(in.A, "addr"); err != nil {
+			return err
+		}
+		return checkReg(in.B, "val")
+	case OpCall:
+		callee := m.Func(in.Callee)
+		if callee == nil && !builtins[in.Callee] {
+			return fmt.Errorf("unresolved callee %q", in.Callee)
+		}
+		if callee != nil && len(in.Args) != callee.NumParams {
+			return fmt.Errorf("call %s: %d args, want %d", in.Callee, len(in.Args), callee.NumParams)
+		}
+		for _, a := range in.Args {
+			if err := checkReg(a, "arg"); err != nil {
+				return err
+			}
+		}
+		return checkReg(in.Dst, "dst")
+	case OpRet:
+		if in.A >= 0 {
+			return checkReg(in.A, "ret")
+		}
+		return nil
+	case OpBr:
+		return checkTarget(in.Targets[0])
+	case OpCondBr:
+		if err := checkReg(in.A, "cond"); err != nil {
+			return err
+		}
+		if err := checkTarget(in.Targets[0]); err != nil {
+			return err
+		}
+		return checkTarget(in.Targets[1])
+	case OpCov, OpUnreachable:
+		return nil
+	}
+	return fmt.Errorf("unknown opcode %d", in.Op)
+}

@@ -1,0 +1,255 @@
+package lower
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"closurex/internal/fuzz"
+	"closurex/internal/vm"
+)
+
+// This file differentially tests the whole compiler+VM stack: small MinC
+// programs are generated at random alongside a Go model that computes the
+// same result; any divergence is a codegen or interpreter bug.
+
+// genProgram builds a random straight-line-plus-loops program over three
+// int variables and returns (source, expected result).
+func genProgram(rng *fuzz.RNG) (string, int64) {
+	var sb strings.Builder
+	sb.WriteString("int main(void) {\n")
+	vars := []string{"a", "b", "c"}
+	state := map[string]int64{}
+	for _, v := range vars {
+		init := int64(int32(rng.Uint64()))
+		fmt.Fprintf(&sb, "\tint %s = %d;\n", v, init)
+		state[v] = init
+	}
+	nStmts := 3 + rng.Intn(10)
+	for i := 0; i < nStmts; i++ {
+		switch rng.Intn(5) {
+		case 0: // compound arithmetic
+			dst := vars[rng.Intn(3)]
+			src := vars[rng.Intn(3)]
+			k := int64(rng.Intn(1000)) + 1
+			switch rng.Intn(4) {
+			case 0:
+				fmt.Fprintf(&sb, "\t%s += %s + %d;\n", dst, src, k)
+				state[dst] += state[src] + k
+			case 1:
+				fmt.Fprintf(&sb, "\t%s -= %s ^ %d;\n", dst, src, k)
+				state[dst] -= state[src] ^ k
+			case 2:
+				fmt.Fprintf(&sb, "\t%s = %s * %d;\n", dst, src, k)
+				state[dst] = state[src] * k
+			case 3:
+				fmt.Fprintf(&sb, "\t%s &= %s | %d;\n", dst, src, k)
+				state[dst] &= state[src] | k
+			}
+		case 1: // bounded for loop
+			n := rng.Intn(8) + 1
+			dst := vars[rng.Intn(3)]
+			step := int64(rng.Intn(50)) - 25
+			fmt.Fprintf(&sb, "\tfor (int i = 0; i < %d; i++) %s += %d;\n", n, dst, step)
+			state[dst] += int64(n) * step
+		case 2: // conditional
+			cond := vars[rng.Intn(3)]
+			dst := vars[rng.Intn(3)]
+			k := int64(rng.Intn(100))
+			fmt.Fprintf(&sb, "\tif (%s > 0) %s ^= %d; else %s += 1;\n", cond, dst, k, dst)
+			if state[cond] > 0 {
+				state[dst] ^= k
+			} else {
+				state[dst]++
+			}
+		case 3: // shift and mask
+			dst := vars[rng.Intn(3)]
+			sh := rng.Intn(16) + 1
+			fmt.Fprintf(&sb, "\t%s = (%s >> %d) & 0xffff;\n", dst, dst, sh)
+			state[dst] = (state[dst] >> uint(sh)) & 0xffff
+		case 4: // ternary
+			a, b2 := vars[rng.Intn(3)], vars[rng.Intn(3)]
+			dst := vars[rng.Intn(3)]
+			fmt.Fprintf(&sb, "\t%s = %s < %s ? %s : %s;\n", dst, a, b2, a, b2)
+			if state[a] < state[b2] {
+				state[dst] = state[a]
+			} else {
+				state[dst] = state[b2]
+			}
+		}
+	}
+	// Collapse to a bounded result so every program returns a comparable
+	// scalar.
+	sb.WriteString("\treturn (a ^ b ^ c) & 0xffffff;\n}\n")
+	want := (state["a"] ^ state["b"] ^ state["c"]) & 0xffffff
+	return sb.String(), want
+}
+
+func TestRandomProgramDifferential(t *testing.T) {
+	rng := fuzz.NewRNG(0xD1FF)
+	for i := 0; i < 150; i++ {
+		src, want := genProgram(rng)
+		mod, err := Compile("gen.c", src, vm.Builtins())
+		if err != nil {
+			t.Fatalf("program %d failed to compile: %v\n%s", i, err, src)
+		}
+		machine, err := vm.New(mod, vm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := machine.Call("main")
+		if res.Fault != nil {
+			t.Fatalf("program %d faulted: %v\n%s", i, res.Fault, src)
+		}
+		if res.Ret != want {
+			t.Fatalf("program %d = %d, model says %d\n%s", i, res.Ret, want, src)
+		}
+	}
+}
+
+// genPointerProgram exercises arrays and pointer arithmetic against a Go
+// slice model.
+func genPointerProgram(rng *fuzz.RNG) (string, int64) {
+	n := 4 + rng.Intn(12)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "int main(void) {\n\tint buf[%d];\n", n)
+	model := make([]int64, n)
+	fmt.Fprintf(&sb, "\tfor (int i = 0; i < %d; i++) buf[i] = i * 3;\n", n)
+	for i := range model {
+		model[i] = int64(i) * 3
+	}
+	ops := 2 + rng.Intn(6)
+	for i := 0; i < ops; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&sb, "\tbuf[%d] += buf[%d];\n", a, b)
+			model[a] += model[b]
+		case 1:
+			fmt.Fprintf(&sb, "\t{ int *p = buf + %d; *p = *p * 2 + 1; }\n", a)
+			model[a] = model[a]*2 + 1
+		case 2:
+			fmt.Fprintf(&sb, "\t{ int *p = &buf[%d]; int *q = &buf[%d]; *p ^= *q; }\n", a, b)
+			model[a] ^= model[b]
+		}
+	}
+	sb.WriteString("\tint sum = 0;\n")
+	fmt.Fprintf(&sb, "\tfor (int i = 0; i < %d; i++) sum += buf[i] * (i + 1);\n", n)
+	var want int64
+	for i, v := range model {
+		want += v * int64(i+1)
+	}
+	sb.WriteString("\treturn sum & 0x7fffffff;\n}\n")
+	return sb.String(), want & 0x7fffffff
+}
+
+func TestRandomPointerProgramDifferential(t *testing.T) {
+	rng := fuzz.NewRNG(0xA11A)
+	for i := 0; i < 100; i++ {
+		src, want := genPointerProgram(rng)
+		mod, err := Compile("genptr.c", src, vm.Builtins())
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", i, err, src)
+		}
+		machine, _ := vm.New(mod, vm.Options{})
+		res := machine.Call("main")
+		if res.Fault != nil {
+			t.Fatalf("program %d faulted: %v\n%s", i, res.Fault, src)
+		}
+		if res.Ret != want {
+			t.Fatalf("program %d = %d, model says %d\n%s", i, res.Ret, want, src)
+		}
+	}
+}
+
+// TestWhileDoControlFlowTorture runs a handful of tricky control-flow
+// shapes with known answers.
+func TestControlFlowTorture(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"nested breaks", `
+int main(void) {
+	int hits = 0;
+	for (int i = 0; i < 10; i++) {
+		int j = 0;
+		while (1) {
+			j++;
+			if (j > i) break;
+			hits++;
+			if (hits > 30) break;
+		}
+		if (hits > 30) break;
+	}
+	return hits;
+}`, 31},
+		{"continue in while", `
+int main(void) {
+	int i = 0;
+	int n = 0;
+	while (i < 20) {
+		i++;
+		if (i % 3) continue;
+		n += i;
+	}
+	return n;
+}`, 3 + 6 + 9 + 12 + 15 + 18},
+		{"short circuit with side effects", `
+int g;
+int tick(int r) { g++; return r; }
+int main(void) {
+	g = 0;
+	int r = 0;
+	for (int i = 0; i < 4; i++) {
+		if (i % 2 == 0 && tick(1)) r += 10;
+		if (i % 2 == 1 || tick(0)) r += 1;
+	}
+	return r * 100 + g;
+}`, 2204},
+		{"deep ternary chain", `
+int classify(int x) {
+	return x < 10 ? 1 : x < 100 ? 2 : x < 1000 ? 3 : 4;
+}
+int main(void) {
+	return classify(5) * 1000 + classify(50) * 100 + classify(500) * 10 + classify(5000);
+}`, 1234},
+		{"logical ops as values", `
+int main(void) {
+	int a = 5 && 3;
+	int b = 0 || 7;
+	int c = !(a && b);
+	return a * 100 + b * 10 + c;
+}`, 110},
+		{"goto-free state machine", `
+int main(void) {
+	int state = 0;
+	int steps = 0;
+	while (state != 3 && steps < 100) {
+		steps++;
+		if (state == 0) state = 2;
+		else if (state == 2) state = 1;
+		else if (state == 1) state = 3;
+	}
+	return state * 100 + steps;
+}`, 303},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			mod, err := Compile("t.c", c.src, vm.Builtins())
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine, _ := vm.New(mod, vm.Options{})
+			res := machine.Call("main")
+			if res.Fault != nil {
+				t.Fatalf("fault: %v", res.Fault)
+			}
+			if res.Ret != c.want {
+				t.Fatalf("got %d, want %d", res.Ret, c.want)
+			}
+		})
+	}
+}

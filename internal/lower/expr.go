@@ -1,0 +1,529 @@
+package lower
+
+import (
+	"closurex/internal/ir"
+	"closurex/internal/minc"
+)
+
+// value is a scalar rvalue held in a register, with its MinC type (which
+// drives pointer scaling and store widths).
+type value struct {
+	ty  *minc.Type
+	reg int
+}
+
+// lvalue designates a storable location: either a register-resident scalar
+// variable or an address (register + static offset) with the element type.
+type lvalue struct {
+	ty    *minc.Type
+	isReg bool
+	reg   int   // register-resident variable
+	addr  int   // register holding the base address
+	off   int64 // static offset added to addr
+}
+
+// exprScalar lowers e and requires a scalar result.
+func (fl *funcLower) exprScalar(e minc.Expr) (value, error) {
+	v, err := fl.expr(e)
+	if err != nil {
+		return value{}, err
+	}
+	if !v.ty.IsScalar() && v.ty.Kind != minc.TArray {
+		return value{}, fl.errf(e.Pos(), "expected scalar value, have %s", v.ty)
+	}
+	return v, nil
+}
+
+// expr lowers an rvalue. Arrays decay to pointers; struct rvalues are
+// rejected (access members instead).
+func (fl *funcLower) expr(e minc.Expr) (value, error) {
+	fl.b.SetPos(e.Pos())
+	switch x := e.(type) {
+	case *minc.IntLit:
+		return value{ty: minc.TypeInt, reg: fl.b.Const(x.Val)}, nil
+	case *minc.StrLit:
+		idx := fl.l.internString(x.Val)
+		return value{ty: minc.PtrTo(minc.TypeChar), reg: fl.b.GlobalAddr(idx)}, nil
+	case *minc.SizeofExpr:
+		return value{ty: minc.TypeInt, reg: fl.b.Const(x.T.Size())}, nil
+	case *minc.Ident, *minc.Index, *minc.Member:
+		lv, err := fl.lvalueOf(e)
+		if err != nil {
+			return value{}, err
+		}
+		return fl.loadLValue(e.Pos(), lv)
+	case *minc.Unary:
+		return fl.unary(x)
+	case *minc.Binary:
+		return fl.binary(x)
+	case *minc.AssignExpr:
+		return fl.assign(x)
+	case *minc.Cond:
+		return fl.cond(x)
+	case *minc.IncDec:
+		return fl.incDec(x)
+	case *minc.Call:
+		return fl.call(x)
+	case *minc.CastExpr:
+		v, err := fl.expr(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		if x.T.Kind == minc.TChar {
+			return value{ty: minc.TypeChar, reg: fl.b.Bin(ir.And, v.reg, fl.b.Const(0xff))}, nil
+		}
+		if x.T.Kind == minc.TVoid {
+			return value{ty: minc.TypeInt, reg: v.reg}, nil
+		}
+		return value{ty: x.T, reg: v.reg}, nil
+	case *minc.InitList:
+		return value{}, fl.errf(x.Line, "brace initializer not allowed here")
+	}
+	return value{}, fl.errf(e.Pos(), "lower: unknown expression %T", e)
+}
+
+// lvalueOf resolves a storable location.
+func (fl *funcLower) lvalueOf(e minc.Expr) (lvalue, error) {
+	fl.b.SetPos(e.Pos())
+	switch x := e.(type) {
+	case *minc.Ident:
+		if lo := fl.lookup(x.Name); lo != nil {
+			if lo.inFrame {
+				return lvalue{ty: lo.ty, addr: fl.b.FrameAddr(lo.off)}, nil
+			}
+			return lvalue{ty: lo.ty, isReg: true, reg: lo.reg}, nil
+		}
+		if g, ok := fl.l.info.Globals[x.Name]; ok {
+			idx := fl.l.gblIdx[x.Name]
+			return lvalue{ty: g.Type, addr: fl.b.GlobalAddr(idx)}, nil
+		}
+		return lvalue{}, fl.errf(x.Line, "undefined identifier %q", x.Name)
+	case *minc.Unary:
+		if x.Op != minc.Star {
+			return lvalue{}, fl.errf(x.Line, "expression is not an lvalue")
+		}
+		v, err := fl.expr(x.X)
+		if err != nil {
+			return lvalue{}, err
+		}
+		elem := minc.TypeChar
+		if v.ty.Kind == minc.TPtr || v.ty.Kind == minc.TArray {
+			elem = v.ty.Elem
+		} else if v.ty.Kind != minc.TInt {
+			return lvalue{}, fl.errf(x.Line, "cannot dereference %s", v.ty)
+		}
+		return lvalue{ty: elem, addr: v.reg}, nil
+	case *minc.Index:
+		base, err := fl.expr(x.Base)
+		if err != nil {
+			return lvalue{}, err
+		}
+		if base.ty.Kind != minc.TPtr && base.ty.Kind != minc.TArray {
+			return lvalue{}, fl.errf(x.Line, "indexing non-pointer %s", base.ty)
+		}
+		idx, err := fl.exprScalar(x.Idx)
+		if err != nil {
+			return lvalue{}, err
+		}
+		elem := base.ty.Elem
+		scaled := idx.reg
+		if elem.Size() != 1 {
+			scaled = fl.b.Bin(ir.Mul, idx.reg, fl.b.Const(elem.Size()))
+		}
+		return lvalue{ty: elem, addr: fl.b.Bin(ir.Add, base.reg, scaled)}, nil
+	case *minc.Member:
+		return fl.memberLValue(x)
+	case *minc.CastExpr:
+		return lvalue{}, fl.errf(x.Line, "cast expression is not an lvalue")
+	}
+	return lvalue{}, fl.errf(e.Pos(), "expression is not an lvalue")
+}
+
+func (fl *funcLower) memberLValue(x *minc.Member) (lvalue, error) {
+	var sd *minc.StructDef
+	var base lvalue
+	if x.Arrow {
+		v, err := fl.expr(x.Base)
+		if err != nil {
+			return lvalue{}, err
+		}
+		if v.ty.Kind != minc.TPtr || v.ty.Elem.Kind != minc.TStruct {
+			return lvalue{}, fl.errf(x.Line, "-> on non-struct-pointer %s", v.ty)
+		}
+		sd = v.ty.Elem.Struct
+		base = lvalue{ty: v.ty.Elem, addr: v.reg}
+	} else {
+		lv, err := fl.lvalueOf(x.Base)
+		if err != nil {
+			return lvalue{}, err
+		}
+		if lv.ty.Kind != minc.TStruct || lv.isReg {
+			return lvalue{}, fl.errf(x.Line, ". on non-struct %s", lv.ty)
+		}
+		sd = lv.ty.Struct
+		base = lv
+	}
+	f := sd.Field(x.Field)
+	if f == nil {
+		return lvalue{}, fl.errf(x.Line, "struct %s has no field %q", sd.Name, x.Field)
+	}
+	return lvalue{ty: f.Type, addr: base.addr, off: base.off + f.Offset}, nil
+}
+
+// loadLValue materializes an rvalue from a location. Arrays decay to a
+// pointer to their first element; struct loads are rejected.
+func (fl *funcLower) loadLValue(line int32, lv lvalue) (value, error) {
+	if lv.isReg {
+		return value{ty: lv.ty, reg: lv.reg}, nil
+	}
+	switch lv.ty.Kind {
+	case minc.TArray:
+		return value{ty: minc.PtrTo(lv.ty.Elem), reg: fl.addrReg(lv)}, nil
+	case minc.TStruct:
+		return value{}, fl.errf(line, "struct value used as scalar; access a member")
+	}
+	return value{ty: lv.ty, reg: fl.b.Load(lv.addr, lv.off, lv.ty.AccessSize())}, nil
+}
+
+// addrReg returns a register holding the lvalue's address.
+func (fl *funcLower) addrReg(lv lvalue) int {
+	if lv.off == 0 {
+		return lv.addr
+	}
+	return fl.b.Bin(ir.Add, lv.addr, fl.b.Const(lv.off))
+}
+
+// storeLValue writes v into the location.
+func (fl *funcLower) storeLValue(line int32, lv lvalue, v int) error {
+	if lv.isReg {
+		fl.storeToReg(&local{reg: lv.reg, ty: lv.ty}, v)
+		return nil
+	}
+	if !lv.ty.IsScalar() {
+		return fl.errf(line, "cannot assign to aggregate %s", lv.ty)
+	}
+	fl.b.Store(lv.addr, v, lv.off, lv.ty.AccessSize())
+	return nil
+}
+
+// storeToReg moves v into a register-resident variable, truncating chars.
+func (fl *funcLower) storeToReg(lo *local, v int) {
+	if lo.ty.Kind == minc.TChar {
+		v = fl.b.Bin(ir.And, v, fl.b.Const(0xff))
+	}
+	fl.b.Mov(lo.reg, v)
+}
+
+// ---- Operators ----
+
+func (fl *funcLower) unary(x *minc.Unary) (value, error) {
+	switch x.Op {
+	case minc.Minus:
+		v, err := fl.exprScalar(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		return value{ty: minc.TypeInt, reg: fl.b.Un(ir.Neg, v.reg)}, nil
+	case minc.Bang:
+		v, err := fl.exprScalar(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		return value{ty: minc.TypeInt, reg: fl.b.Un(ir.Not, v.reg)}, nil
+	case minc.Tilde:
+		v, err := fl.exprScalar(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		return value{ty: minc.TypeInt, reg: fl.b.Un(ir.BNot, v.reg)}, nil
+	case minc.Star:
+		lv, err := fl.lvalueOf(x)
+		if err != nil {
+			return value{}, err
+		}
+		return fl.loadLValue(x.Line, lv)
+	case minc.Amp:
+		lv, err := fl.lvalueOf(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		if lv.isReg {
+			return value{}, fl.errf(x.Line, "cannot take address of register variable")
+		}
+		return value{ty: minc.PtrTo(lv.ty), reg: fl.addrReg(lv)}, nil
+	}
+	return value{}, fl.errf(x.Line, "unknown unary operator %s", x.Op)
+}
+
+var binOpMap = map[minc.Kind]ir.BinOp{
+	minc.Plus: ir.Add, minc.Minus: ir.Sub, minc.Star: ir.Mul,
+	minc.Slash: ir.Div, minc.Percent: ir.Rem, minc.Shl: ir.Shl,
+	minc.Shr: ir.Shr, minc.Amp: ir.And, minc.Pipe: ir.Or,
+	minc.Caret: ir.Xor, minc.EqEq: ir.Eq, minc.NotEq: ir.Ne,
+	minc.Lt: ir.Lt, minc.LtEq: ir.Le, minc.Gt: ir.Gt, minc.GtEq: ir.Ge,
+}
+
+// unsigned comparison counterparts, used when either operand is a pointer.
+var binOpUnsigned = map[ir.BinOp]ir.BinOp{
+	ir.Lt: ir.Ult, ir.Le: ir.Ule, ir.Gt: ir.Ugt, ir.Ge: ir.Uge,
+}
+
+func isPtrish(t *minc.Type) bool {
+	return t.Kind == minc.TPtr || t.Kind == minc.TArray
+}
+
+func (fl *funcLower) binary(x *minc.Binary) (value, error) {
+	if x.Op == minc.AndAnd || x.Op == minc.OrOr {
+		return fl.shortCircuit(x)
+	}
+	a, err := fl.exprScalar(x.X)
+	if err != nil {
+		return value{}, err
+	}
+	b, err := fl.exprScalar(x.Y)
+	if err != nil {
+		return value{}, err
+	}
+	op, ok := binOpMap[x.Op]
+	if !ok {
+		return value{}, fl.errf(x.Line, "unknown binary operator %s", x.Op)
+	}
+	// Pointer arithmetic scaling.
+	if x.Op == minc.Plus || x.Op == minc.Minus {
+		switch {
+		case isPtrish(a.ty) && !isPtrish(b.ty):
+			sz := a.ty.Elem.Size()
+			rhs := b.reg
+			if sz != 1 {
+				rhs = fl.b.Bin(ir.Mul, b.reg, fl.b.Const(sz))
+			}
+			return value{ty: ptrType(a.ty), reg: fl.b.Bin(op, a.reg, rhs)}, nil
+		case !isPtrish(a.ty) && isPtrish(b.ty) && x.Op == minc.Plus:
+			sz := b.ty.Elem.Size()
+			lhs := a.reg
+			if sz != 1 {
+				lhs = fl.b.Bin(ir.Mul, a.reg, fl.b.Const(sz))
+			}
+			return value{ty: ptrType(b.ty), reg: fl.b.Bin(op, lhs, b.reg)}, nil
+		case isPtrish(a.ty) && isPtrish(b.ty) && x.Op == minc.Minus:
+			diff := fl.b.Bin(ir.Sub, a.reg, b.reg)
+			sz := a.ty.Elem.Size()
+			if sz != 1 {
+				diff = fl.b.Bin(ir.Div, diff, fl.b.Const(sz))
+			}
+			return value{ty: minc.TypeInt, reg: diff}, nil
+		}
+	}
+	// Pointer comparisons are unsigned.
+	if u, isCmp := binOpUnsigned[op]; isCmp && (isPtrish(a.ty) || isPtrish(b.ty)) {
+		op = u
+	}
+	return value{ty: minc.TypeInt, reg: fl.b.Bin(op, a.reg, b.reg)}, nil
+}
+
+func ptrType(t *minc.Type) *minc.Type {
+	if t.Kind == minc.TArray {
+		return minc.PtrTo(t.Elem)
+	}
+	return t
+}
+
+// shortCircuit lowers && and || with proper control flow.
+func (fl *funcLower) shortCircuit(x *minc.Binary) (value, error) {
+	res := fl.b.NewReg()
+	a, err := fl.exprScalar(x.X)
+	if err != nil {
+		return value{}, err
+	}
+	evalY := fl.b.NewBlock()
+	short := fl.b.NewBlock()
+	join := fl.b.NewBlock()
+	if x.Op == minc.AndAnd {
+		fl.b.CondBr(a.reg, evalY, short)
+	} else {
+		fl.b.CondBr(a.reg, short, evalY)
+	}
+	fl.b.SetBlock(short)
+	if x.Op == minc.AndAnd {
+		fl.b.Mov(res, fl.b.Const(0))
+	} else {
+		fl.b.Mov(res, fl.b.Const(1))
+	}
+	fl.b.Br(join)
+	fl.b.SetBlock(evalY)
+	bv, err := fl.exprScalar(x.Y)
+	if err != nil {
+		return value{}, err
+	}
+	norm := fl.b.Bin(ir.Ne, bv.reg, fl.b.Const(0))
+	fl.b.Mov(res, norm)
+	fl.b.Br(join)
+	fl.b.SetBlock(join)
+	return value{ty: minc.TypeInt, reg: res}, nil
+}
+
+func (fl *funcLower) cond(x *minc.Cond) (value, error) {
+	res := fl.b.NewReg()
+	c, err := fl.exprScalar(x.C)
+	if err != nil {
+		return value{}, err
+	}
+	thenB := fl.b.NewBlock()
+	elseB := fl.b.NewBlock()
+	join := fl.b.NewBlock()
+	fl.b.CondBr(c.reg, thenB, elseB)
+	fl.b.SetBlock(thenB)
+	tv, err := fl.exprScalar(x.T)
+	if err != nil {
+		return value{}, err
+	}
+	fl.b.Mov(res, tv.reg)
+	fl.b.Br(join)
+	fl.b.SetBlock(elseB)
+	fv, err := fl.exprScalar(x.F)
+	if err != nil {
+		return value{}, err
+	}
+	fl.b.Mov(res, fv.reg)
+	fl.b.Br(join)
+	fl.b.SetBlock(join)
+	ty := tv.ty
+	if !isPtrish(ty) {
+		ty = minc.TypeInt
+	}
+	return value{ty: ty, reg: res}, nil
+}
+
+var compoundOps = map[minc.Kind]minc.Kind{
+	minc.PlusEq: minc.Plus, minc.MinusEq: minc.Minus, minc.StarEq: minc.Star,
+	minc.SlashEq: minc.Slash, minc.PercentEq: minc.Percent,
+	minc.AmpEq: minc.Amp, minc.PipeEq: minc.Pipe, minc.CaretEq: minc.Caret,
+	minc.ShlEq: minc.Shl, minc.ShrEq: minc.Shr,
+}
+
+func (fl *funcLower) assign(x *minc.AssignExpr) (value, error) {
+	lv, err := fl.lvalueOf(x.LHS)
+	if err != nil {
+		return value{}, err
+	}
+	if x.Op == minc.Assign {
+		rhs, err := fl.exprScalar(x.RHS)
+		if err != nil {
+			return value{}, err
+		}
+		if err := fl.storeLValue(x.Line, lv, rhs.reg); err != nil {
+			return value{}, err
+		}
+		return value{ty: lv.ty, reg: rhs.reg}, nil
+	}
+	baseOp := compoundOps[x.Op]
+	cur, err := fl.loadLValue(x.Line, lv)
+	if err != nil {
+		return value{}, err
+	}
+	rhs, err := fl.exprScalar(x.RHS)
+	if err != nil {
+		return value{}, err
+	}
+	var resReg int
+	// Pointer += / -= scale like pointer arithmetic.
+	if (baseOp == minc.Plus || baseOp == minc.Minus) && isPtrish(cur.ty) {
+		sz := cur.ty.Elem.Size()
+		r := rhs.reg
+		if sz != 1 {
+			r = fl.b.Bin(ir.Mul, rhs.reg, fl.b.Const(sz))
+		}
+		if baseOp == minc.Plus {
+			resReg = fl.b.Bin(ir.Add, cur.reg, r)
+		} else {
+			resReg = fl.b.Bin(ir.Sub, cur.reg, r)
+		}
+	} else {
+		op, ok := binOpMap[baseOp]
+		if !ok {
+			return value{}, fl.errf(x.Line, "unknown compound operator")
+		}
+		resReg = fl.b.Bin(op, cur.reg, rhs.reg)
+	}
+	if err := fl.storeLValue(x.Line, lv, resReg); err != nil {
+		return value{}, err
+	}
+	return value{ty: lv.ty, reg: resReg}, nil
+}
+
+func (fl *funcLower) incDec(x *minc.IncDec) (value, error) {
+	lv, err := fl.lvalueOf(x.X)
+	if err != nil {
+		return value{}, err
+	}
+	cur, err := fl.loadLValue(x.Line, lv)
+	if err != nil {
+		return value{}, err
+	}
+	// Keep the old value in a dedicated register: the variable's register
+	// may alias cur.reg for register-resident scalars.
+	old := fl.b.NewReg()
+	fl.b.Mov(old, cur.reg)
+	step := int64(1)
+	if isPtrish(cur.ty) {
+		step = cur.ty.Elem.Size()
+	}
+	var upd int
+	if x.Op == minc.PlusPlus {
+		upd = fl.b.Bin(ir.Add, old, fl.b.Const(step))
+	} else {
+		upd = fl.b.Bin(ir.Sub, old, fl.b.Const(step))
+	}
+	if err := fl.storeLValue(x.Line, lv, upd); err != nil {
+		return value{}, err
+	}
+	if x.Post {
+		return value{ty: cur.ty, reg: old}, nil
+	}
+	return value{ty: cur.ty, reg: upd}, nil
+}
+
+func (fl *funcLower) call(x *minc.Call) (value, error) {
+	fn, isFn := fl.l.info.Funcs[x.Name]
+	if !isFn && !fl.l.builtins[x.Name] {
+		return value{}, fl.errf(x.Line, "call of undefined function %q", x.Name)
+	}
+	if isFn && len(x.Args) != len(fn.Params) {
+		return value{}, fl.errf(x.Line, "call of %q with %d args, want %d",
+			x.Name, len(x.Args), len(fn.Params))
+	}
+	args := make([]int, len(x.Args))
+	for i, a := range x.Args {
+		v, err := fl.exprScalar(a)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v.reg
+	}
+	fl.b.SetPos(x.Line)
+	ret := fl.b.Call(x.Name, args...)
+	ty := minc.TypeInt
+	if isFn {
+		if fn.Ret.IsScalar() {
+			ty = fn.Ret
+		}
+	} else if retTy, ok := builtinRetTypes[x.Name]; ok {
+		ty = retTy
+	}
+	return value{ty: ty, reg: ret}, nil
+}
+
+// builtinRetTypes gives pointer-returning builtins a pointer type so that
+// subsequent arithmetic scales correctly. char* keeps byte-granular math.
+var builtinRetTypes = map[string]*minc.Type{
+	"malloc":           minc.PtrTo(minc.TypeChar),
+	"calloc":           minc.PtrTo(minc.TypeChar),
+	"realloc":          minc.PtrTo(minc.TypeChar),
+	"closurex_malloc":  minc.PtrTo(minc.TypeChar),
+	"closurex_calloc":  minc.PtrTo(minc.TypeChar),
+	"closurex_realloc": minc.PtrTo(minc.TypeChar),
+	"memcpy":           minc.PtrTo(minc.TypeChar),
+	"memmove":          minc.PtrTo(minc.TypeChar),
+	"memset":           minc.PtrTo(minc.TypeChar),
+	"strcpy":           minc.PtrTo(minc.TypeChar),
+}

@@ -1,0 +1,546 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"closurex/internal/vfs"
+	"closurex/internal/vm"
+)
+
+// compileRun compiles src and invokes fn, returning the result.
+func compileRun(t *testing.T, src, fn string, files map[string][]byte, args ...int64) vm.Result {
+	t.Helper()
+	mod, err := Compile("t.c", src, vm.Builtins())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	machine, err := vm.New(mod, vm.Options{Files: files})
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	return machine.Call(fn, args...)
+}
+
+// expectRet compiles src, runs main(), and checks the return value.
+func expectRet(t *testing.T, src string, want int64) {
+	t.Helper()
+	res := compileRun(t, src, "main", nil)
+	if res.Fault != nil {
+		t.Fatalf("fault: %v", res.Fault)
+	}
+	if res.Exited {
+		t.Fatalf("unexpected exit(%d)", res.ExitCode)
+	}
+	if res.Ret != want {
+		t.Fatalf("main() = %d, want %d", res.Ret, want)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectRet(t, "int main(void) { return 42; }", 42)
+}
+
+func TestArithmeticExpressions(t *testing.T) {
+	expectRet(t, "int main(void) { return (2 + 3) * 4 - 10 / 2; }", 15)
+	expectRet(t, "int main(void) { return 7 % 3 + (1 << 4) + (256 >> 2); }", 81)
+	expectRet(t, "int main(void) { return (0xf0 & 0x3c) | (1 ^ 3); }", 0x32)
+	expectRet(t, "int main(void) { return -5 + ~0 + !0 + !7; }", -5)
+}
+
+func TestComparisons(t *testing.T) {
+	expectRet(t, "int main(void) { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1); }", 4)
+}
+
+func TestLocalVariablesAndAssignment(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int a = 5;
+	int b;
+	b = a * 2;
+	a += 3;
+	b -= 1;
+	a *= 2;
+	b /= 3;
+	a %= 7;
+	a <<= 2;
+	a >>= 1;
+	a |= 8;
+	a &= 12;
+	a ^= 5;
+	return a * 100 + b;
+	// a: 5 +=3 →8, *=2 →16, %=7 →2, <<=2 →8, >>=1 →4, |=8 →12, &=12 →12, ^=5 →9
+	// b: 10 -=1 →9, /=3 →3
+}`, 903)
+}
+
+func TestCharTruncation(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	char c = 300;       // truncates to 44
+	char d = (char)511; // 255
+	return c + d;
+}`, 299)
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+int classify(int x) {
+	if (x < 0) return -1;
+	else if (x == 0) return 0;
+	else if (x < 10) return 1;
+	return 2;
+}
+int main(void) {
+	return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+}`
+	expectRet(t, src, -1000+0+10+2)
+}
+
+func TestWhileAndFor(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int total = 0;
+	for (int i = 1; i <= 10; i++) total += i;
+	int n = 0;
+	while (total > 0) { total -= 10; n++; }
+	return n;
+}`, 6)
+}
+
+func TestBreakContinue(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int odd_sum = 0;
+	for (int i = 0; i < 100; i++) {
+		if (i % 2 == 0) continue;
+		if (i > 10) break;
+		odd_sum += i;
+	}
+	return odd_sum;
+}`, 1+3+5+7+9)
+}
+
+func TestNestedLoops(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int count = 0;
+	for (int i = 0; i < 5; i++) {
+		for (int j = 0; j < 5; j++) {
+			if (j > i) break;
+			count++;
+		}
+	}
+	return count;
+}`, 1+2+3+4+5)
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+int calls;
+int bump(int r) { calls++; return r; }
+int main(void) {
+	calls = 0;
+	int a = 0 && bump(1);   // bump not called
+	int b = 1 || bump(1);   // bump not called
+	int c = 1 && bump(5);   // called, c = 1 (normalized)
+	int d = 0 || bump(0);   // called, d = 0
+	return calls * 100 + a * 1 + b * 2 + c * 4 + d * 8;
+}`
+	expectRet(t, src, 206)
+}
+
+func TestTernary(t *testing.T) {
+	expectRet(t, "int main(void) { int x = 7; return x > 5 ? x * 2 : x - 1; }", 14)
+	expectRet(t, "int main(void) { int x = 3; return x > 5 ? x * 2 : x - 1; }", 2)
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int i = 5;
+	int a = i++;  // a=5, i=6
+	int b = ++i;  // b=7, i=7
+	int c = i--;  // c=7, i=6
+	int d = --i;  // d=5, i=5
+	return a * 1000 + b * 100 + c * 10 + d + i;
+}`, 5000+700+70+5+5)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	expectRet(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(12); }`, 144)
+}
+
+func TestGlobalState(t *testing.T) {
+	expectRet(t, `
+int counter = 10;
+const int step = 3;
+int bump(void) { counter += step; return counter; }
+int main(void) {
+	bump();
+	bump();
+	return counter;
+}`, 16)
+}
+
+func TestGlobalArrayInitializer(t *testing.T) {
+	expectRet(t, `
+int table[5] = {10, 20, 30};
+int main(void) {
+	return table[0] + table[1] + table[2] + table[3] + table[4];
+}`, 60)
+}
+
+func TestGlobalStringAndIndexing(t *testing.T) {
+	expectRet(t, `
+char name[8] = "abc";
+int main(void) {
+	return name[0] + name[1] + name[2] + name[3];
+}`, 'a'+'b'+'c')
+}
+
+func TestPointersBasics(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int x = 11;
+	int *p = &x;
+	*p = *p + 1;
+	int **pp = &p;
+	**pp += 2;
+	return x;
+}`, 14)
+}
+
+func TestPointerArithmeticScaling(t *testing.T) {
+	expectRet(t, `
+int arr[4] = {1, 2, 3, 4};
+int main(void) {
+	int *p = arr;
+	p = p + 2;        // skips 2 ints
+	int a = *p;       // 3
+	p++;
+	int b = *p;       // 4
+	p -= 3;
+	int c = *p;       // 1
+	int *q = &arr[3];
+	return a * 100 + b * 10 + c + (q - p); // 300 + 40 + 1 + 3
+}`, 344)
+}
+
+func TestCharPointerWalk(t *testing.T) {
+	expectRet(t, `
+char s[6] = "hello";
+int main(void) {
+	char *p = s;
+	int n = 0;
+	while (*p) { n++; p++; }
+	return n;
+}`, 5)
+}
+
+func TestLocalArray(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int buf[8];
+	for (int i = 0; i < 8; i++) buf[i] = i * i;
+	int sum = 0;
+	for (int i = 0; i < 8; i++) sum += buf[i];
+	return sum;
+}`, 140)
+}
+
+func TestStructMembers(t *testing.T) {
+	expectRet(t, `
+struct point { int x; int y; char tag; };
+struct point origin;
+int main(void) {
+	origin.x = 3;
+	origin.y = 4;
+	origin.tag = 'O';
+	struct point local;
+	local.x = origin.x * 10;
+	local.y = origin.y * 10;
+	struct point *p = &local;
+	p->x += 1;
+	return p->x + p->y + origin.tag;
+}`, 31+40+'O')
+}
+
+func TestStructWithArrayField(t *testing.T) {
+	expectRet(t, `
+struct rec { char name[4]; int vals[3]; };
+int main(void) {
+	struct rec r;
+	r.name[0] = 'a';
+	r.vals[0] = 5;
+	r.vals[2] = 7;
+	struct rec *p = &r;
+	return p->name[0] + p->vals[0] + p->vals[2];
+}`, 'a'+12)
+}
+
+func TestHeapUsage(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int *p = (int*)malloc(sizeof(int) * 4);
+	if (!p) return -1;
+	for (int i = 0; i < 4; i++) p[i] = i + 1;
+	int sum = 0;
+	for (int i = 0; i < 4; i++) sum += p[i];
+	free(p);
+	return sum;
+}`, 10)
+}
+
+func TestSizeofForms(t *testing.T) {
+	expectRet(t, `
+struct s { int a; char b[3]; };
+int main(void) {
+	return sizeof(int) * 1000 + sizeof(char) * 100 + sizeof(struct s) * 10 + sizeof(int*);
+}`, 8000+100+160+8)
+}
+
+func TestExitPropagates(t *testing.T) {
+	res := compileRun(t, `
+void die(void) { exit(7); }
+int main(void) { die(); return 1; }`, "main", nil)
+	if !res.Exited || res.ExitCode != 7 {
+		t.Fatalf("res = %+v, want exit(7)", res)
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	src := `
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) return -1;
+	char buf[16];
+	int n = fread(buf, 1, 16, f);
+	int sum = 0;
+	for (int i = 0; i < n; i++) sum += buf[i];
+	fclose(f);
+	return sum;
+}`
+	res := compileRun(t, src, "main", map[string][]byte{vfs.InputPath: []byte{1, 2, 3}})
+	if res.Fault != nil || res.Ret != 6 {
+		t.Fatalf("ret = %d, fault %v", res.Ret, res.Fault)
+	}
+}
+
+func TestAddressOfParam(t *testing.T) {
+	expectRet(t, `
+void bump(int *p) { *p += 1; }
+int main(void) {
+	int x = 1;
+	bump(&x);
+	return x;
+}`, 2)
+}
+
+func TestAddressTakenParamSpill(t *testing.T) {
+	expectRet(t, `
+int twice(int v) {
+	int *p = &v;
+	*p = *p * 2;
+	return v;
+}
+int main(void) { return twice(21); }`, 42)
+}
+
+func TestVoidFunctionAndBareReturn(t *testing.T) {
+	expectRet(t, `
+int g;
+void set(int v) { g = v; return; }
+void set2(int v) { g = v; }
+int main(void) { set(5); set2(g + 1); return g; }`, 6)
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	return 1;
+	return 2;
+}`, 1)
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	expectRet(t, "int main(void) { int x = 5; x++; }", 0)
+}
+
+func TestWhileTrueBreak(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int i = 0;
+	while (1) {
+		i++;
+		if (i == 5) break;
+	}
+	return i;
+}`, 5)
+}
+
+func TestForWithoutClauses(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int i = 0;
+	for (;;) {
+		i++;
+		if (i >= 3) break;
+	}
+	return i;
+}`, 3)
+}
+
+func TestCastPointer(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	char *raw = (char*)malloc(16);
+	int *ip = (int*)raw;
+	*ip = 0x01020304;
+	int lo = raw[0];
+	free(raw);
+	return lo;
+}`, 4)
+}
+
+func TestShadowingScopes(t *testing.T) {
+	expectRet(t, `
+int x = 1;
+int main(void) {
+	int x = 2;
+	{
+		int x = 3;
+		if (x != 3) return -1;
+	}
+	return x;
+}`, 2)
+}
+
+func TestStringLiteralInterning(t *testing.T) {
+	mod, err := Compile("t.c", `
+int main(void) {
+	char *a = "same";
+	char *b = "same";
+	char *c = "diff";
+	return (a == b) * 10 + (a == c);
+}`, vm.Builtins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, _ := vm.New(mod, vm.Options{})
+	if res := machine.Call("main"); res.Ret != 10 {
+		t.Fatalf("interning: %d, want 10", res.Ret)
+	}
+}
+
+func TestRuntimeFaultsSurface(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		kind vm.FaultKind
+	}{
+		{"null deref", `int main(void) { int *p = 0; return *p; }`, vm.FaultNullDeref},
+		{"div by zero", `int main(void) { int z = 0; return 5 / z; }`, vm.FaultDivByZero},
+		{"mod by zero", `int main(void) { int z = 0; return 5 % z; }`, vm.FaultDivByZero},
+		{"heap oob", `int main(void) { char *p = (char*)malloc(4); return p[4]; }`, vm.FaultHeapOOB},
+		{"uaf", `int main(void) { char *p = (char*)malloc(4); free(p); return p[0]; }`, vm.FaultUseAfterFree},
+		{"double free", `int main(void) { char *p = (char*)malloc(4); free(p); free(p); return 0; }`, vm.FaultDoubleFree},
+		{"write rodata", `const int k = 1; int main(void) { int *p = (int*)&k; *p = 2; return 0; }`, vm.FaultWriteRodata},
+		{"abort", `int main(void) { abort(); return 0; }`, vm.FaultAbort},
+		{"memcpy negative", `int main(void) { char a[4]; char b[4]; memcpy(a, b, -2); return 0; }`, vm.FaultNegativeSize},
+	}
+	for _, c := range cases {
+		res := compileRun(t, c.src, "main", nil)
+		if res.Fault == nil || res.Fault.Kind != c.kind {
+			t.Errorf("%s: fault = %v, want %s", c.name, res.Fault, c.kind)
+		}
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined var":     "int main(void) { return nope; }",
+		"undefined call":    "int main(void) { return nope(); }",
+		"bad arity":         "int f(int a) { return a; } int main(void) { return f(1, 2); }",
+		"redeclared local":  "int main(void) { int x; int x; return 0; }",
+		"break outside":     "int main(void) { break; return 0; }",
+		"continue outside":  "int main(void) { continue; return 0; }",
+		"addr of rvalue":    "int main(void) { int *p = &(1 + 2); return 0; }",
+		"struct as scalar":  "struct s { int a; }; struct s g; int main(void) { return g; }",
+		"assign to struct":  "struct s { int a; }; struct s g; struct s h; int main(void) { g = h; return 0; }",
+		"member of int":     "int main(void) { int x; return x.field; }",
+		"missing field":     "struct s { int a; }; struct s g; int main(void) { return g.b; }",
+		"arrow on struct":   "struct s { int a; }; struct s g; int main(void) { return g->a; }",
+		"index non-pointer": "int main(void) { int x; return x[0]; }",
+		"init on array":     "int main(void) { int a[3] = 5; return 0; }",
+	}
+	for name, src := range cases {
+		if _, err := Compile("t.c", src, vm.Builtins()); err == nil {
+			t.Errorf("%s: compiled, want error", name)
+		}
+	}
+}
+
+func TestErrorMentionsLine(t *testing.T) {
+	_, err := Compile("t.c", "\n\nint main(void) {\n return bogus;\n}", vm.Builtins())
+	if err == nil {
+		t.Fatal("compiled")
+	}
+	if !strings.Contains(err.Error(), "t.c:4") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+}
+
+// Property: random arithmetic expressions over two variables evaluate
+// identically in the compiled program and a Go model.
+func TestExprDifferentialProperty(t *testing.T) {
+	type opPick struct {
+		Op   uint8
+		A, B int32
+	}
+	f := func(p opPick) bool {
+		ops := []struct {
+			src  string
+			eval func(a, b int64) int64
+		}{
+			{"a + b", func(a, b int64) int64 { return a + b }},
+			{"a - b", func(a, b int64) int64 { return a - b }},
+			{"a * b", func(a, b int64) int64 { return a * b }},
+			{"a & b", func(a, b int64) int64 { return a & b }},
+			{"a | b", func(a, b int64) int64 { return a | b }},
+			{"a ^ b", func(a, b int64) int64 { return a ^ b }},
+			{"(a < b) + (a == b) * 2", func(a, b int64) int64 {
+				var r int64
+				if a < b {
+					r++
+				}
+				if a == b {
+					r += 2
+				}
+				return r
+			}},
+			{"a + b * 3 - (a ^ 5)", func(a, b int64) int64 { return a + b*3 - (a ^ 5) }},
+		}
+		pick := ops[int(p.Op)%len(ops)]
+		src := "int f(int a, int b) { return " + pick.src + "; }"
+		mod, err := Compile("t.c", src, vm.Builtins())
+		if err != nil {
+			return false
+		}
+		machine, err := vm.New(mod, vm.Options{})
+		if err != nil {
+			return false
+		}
+		res := machine.Call("f", int64(p.A), int64(p.B))
+		return res.Fault == nil && res.Ret == pick.eval(int64(p.A), int64(p.B))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package lower
+
+import (
+	"testing"
+
+	"closurex/internal/vm"
+)
+
+// Tests for the switch and do-while constructs.
+
+func TestSwitchBasicDispatch(t *testing.T) {
+	src := `
+int classify(int x) {
+	switch (x) {
+	case 1:
+		return 10;
+	case 2:
+		return 20;
+	default:
+		return -1;
+	}
+}
+int main(void) {
+	return classify(1) * 10000 + classify(2) * 100 + (classify(9) == -1);
+}`
+	expectRet(t, src, 10*10000+20*100+1)
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `
+int f(int x) {
+	int acc = 0;
+	switch (x) {
+	case 1:
+		acc += 1;
+	case 2:
+		acc += 2;
+	case 3:
+		acc += 4;
+		break;
+	case 4:
+		acc += 8;
+	}
+	return acc;
+}
+int main(void) {
+	// f(1)=1+2+4, f(2)=2+4, f(3)=4, f(4)=8, f(5)=0
+	return f(1) * 10000 + f(2) * 1000 + f(3) * 100 + f(4) * 10 + f(5);
+}`
+	expectRet(t, src, 7*10000+6*1000+4*100+8*10)
+}
+
+func TestSwitchStackedLabels(t *testing.T) {
+	src := `
+int kind(int c) {
+	switch (c) {
+	case 'a':
+	case 'e':
+	case 'i':
+	case 'o':
+	case 'u':
+		return 1;
+	case ' ':
+	case 9:
+		return 2;
+	default:
+		return 0;
+	}
+}
+int main(void) {
+	return kind('a') * 100 + kind(' ') * 10 + kind('z');
+}`
+	expectRet(t, src, 120)
+}
+
+func TestSwitchDefaultFirstAndFallthrough(t *testing.T) {
+	src := `
+int f(int x) {
+	int r = 0;
+	switch (x) {
+	default:
+		r += 100;
+	case 7:
+		r += 7;
+	}
+	return r;
+}
+int main(void) {
+	// f(7) hits only case 7; anything else hits default then falls into 7.
+	return f(7) * 1000 + f(0);
+}`
+	expectRet(t, src, 7*1000+107)
+}
+
+func TestSwitchBreakVsLoopContinue(t *testing.T) {
+	src := `
+int main(void) {
+	int total = 0;
+	for (int i = 0; i < 6; i++) {
+		switch (i % 3) {
+		case 0:
+			continue;      // continues the for loop, as in C
+		case 1:
+			total += 10;
+			break;         // leaves the switch only
+		default:
+			total += 1;
+		}
+		total += 100;      // runs for i%3 != 0
+	}
+	return total;
+}`
+	// i=0,3: continue. i=1,4: +10+100. i=2,5: +1+100. => 2*110 + 2*101
+	expectRet(t, src, 2*110+2*101)
+}
+
+func TestSwitchEmptyAndNoMatch(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	switch (42) { }
+	switch (42) { case 1: return -1; }
+	return 5;
+}`, 5)
+}
+
+func TestSwitchConstExprLabels(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	switch (12) {
+	case 3 * 4:
+		return 1;
+	case 1 << 4:
+		return 2;
+	}
+	return 0;
+}`, 1)
+}
+
+func TestSwitchErrors(t *testing.T) {
+	cases := map[string]string{
+		"nonconst label": `int g; int main(void) { switch (1) { case g: return 0; } return 0; }`,
+		"dup default":    `int main(void) { switch (1) { default: return 0; default: return 1; } }`,
+		"stray stmt":     `int main(void) { switch (1) { return 0; } }`,
+		"missing colon":  `int main(void) { switch (1) { case 1 return 0; } }`,
+		"unterminated":   `int main(void) { switch (1) { case 1: return 0;`,
+	}
+	for name, src := range cases {
+		if _, err := Compile("t.c", src, vm.Builtins()); err == nil {
+			t.Errorf("%s: compiled, want error", name)
+		}
+	}
+}
+
+func TestDoWhileRunsBodyFirst(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int n = 0;
+	do {
+		n++;
+	} while (0);
+	int m = 0;
+	do {
+		m++;
+	} while (m < 5);
+	return n * 10 + m;
+}`, 15)
+}
+
+func TestDoWhileBreakContinue(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int i = 0;
+	int sum = 0;
+	do {
+		i++;
+		if (i % 2 == 0) continue;  // jumps to the condition
+		if (i > 9) break;
+		sum += i;
+	} while (i < 100);
+	return sum;
+}`, 1+3+5+7+9)
+}
+
+func TestSwitchInsideDoWhile(t *testing.T) {
+	expectRet(t, `
+int main(void) {
+	int state = 0;
+	int steps = 0;
+	do {
+		steps++;
+		switch (state) {
+		case 0:
+			state = 2;
+			break;
+		case 2:
+			state = 1;
+			break;
+		case 1:
+			state = 3;
+			break;
+		}
+	} while (state != 3 && steps < 50);
+	return state * 100 + steps;
+}`, 303)
+}

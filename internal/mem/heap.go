@@ -1,0 +1,321 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Heap manages a segment of a Memory as a malloc-style arena and keeps the
+// chunk map that ClosureX's HeapPass relies on: every live allocation is
+// recorded so the harness can (a) bound-check accesses like a sanitizer and
+// (b) free everything the target leaked when a test case ends (Figure 5 of
+// the paper).
+type Heap struct {
+	mem  *Memory
+	base uint64
+	end  uint64
+	brk  uint64 // bump pointer
+
+	// chunks holds live allocations sorted by start address; parsers
+	// allocate tens of chunks per execution, so a sorted slice with binary
+	// search beats fancier structures.
+	chunks []Chunk
+
+	// quarantine holds freed chunk start addresses so double-free and
+	// use-after-free can be told apart from wild pointers. Bounded FIFO.
+	quarantine     []Chunk
+	quarantineCap  int
+	bytesAllocated uint64 // live bytes (for the memory-usage audit, §6.1.4)
+	epoch          uint64 // bumped on Reset; stale chunk handles become invalid
+}
+
+// Chunk describes one live heap allocation.
+type Chunk struct {
+	Addr uint64
+	Size uint64
+	// Init marks chunks allocated before the fuzzing loop started (during
+	// deferred initialization); the harness must not reclaim them between
+	// test cases.
+	Init bool
+}
+
+// Heap errors surfaced to the VM sanitizer.
+var (
+	ErrHeapOOM      = errors.New("heap: out of memory")
+	ErrBadFree      = errors.New("heap: free of non-heap or unaligned pointer")
+	ErrDoubleFree   = errors.New("heap: double free")
+	ErrUseAfterFree = errors.New("heap: use after free")
+	ErrHeapOOB      = errors.New("heap: out-of-bounds access")
+)
+
+// chunkAlign rounds allocation sizes so neighbouring chunks never share a
+// word, giving the sanitizer redzones for free.
+const chunkAlign = 16
+
+// defaultQuarantine is how many freed chunks are remembered for UAF
+// reporting before their address ranges may be reused.
+const defaultQuarantine = 512
+
+// NewHeap creates a heap over [base, end) of m.
+func NewHeap(m *Memory, base, end uint64) *Heap {
+	return &Heap{
+		mem:           m,
+		base:          base,
+		end:           end,
+		brk:           base,
+		quarantineCap: defaultQuarantine,
+	}
+}
+
+// Base returns the lowest address the heap may hand out.
+func (h *Heap) Base() uint64 { return h.base }
+
+// Shift slides the allocation base upward by off bytes — heap ASLR. Must
+// be called before the first allocation. Shifting models the per-process
+// randomization that makes stored heap addresses naturally nondeterministic
+// across fresh executions (the §6.1.4 masking exists precisely for this).
+func (h *Heap) Shift(off uint64) {
+	if len(h.chunks) != 0 || h.brk != h.base {
+		return // too late: allocations exist
+	}
+	if off > (h.end-h.base)/4 {
+		off = (h.end - h.base) / 4
+	}
+	off &^= chunkAlign - 1
+	h.base += off
+	h.brk = h.base
+}
+
+// End returns the first address past the heap segment.
+func (h *Heap) End() uint64 { return h.end }
+
+// Contains reports whether addr falls inside the heap segment.
+func (h *Heap) Contains(addr uint64) bool { return addr >= h.base && addr < h.end }
+
+// LiveChunks returns the number of live allocations.
+func (h *Heap) LiveChunks() int { return len(h.chunks) }
+
+// LiveBytes returns the number of live allocated bytes.
+func (h *Heap) LiveBytes() uint64 { return h.bytesAllocated }
+
+// Epoch identifies the current heap generation; it changes on Reset.
+func (h *Heap) Epoch() uint64 { return h.epoch }
+
+// findChunk returns the index of the live chunk containing addr, or -1.
+func (h *Heap) findChunk(addr uint64) int {
+	i := sort.Search(len(h.chunks), func(i int) bool { return h.chunks[i].Addr > addr })
+	i--
+	if i >= 0 {
+		c := h.chunks[i]
+		if addr >= c.Addr && addr < c.Addr+c.Size {
+			return i
+		}
+	}
+	return -1
+}
+
+// findQuarantined reports whether addr lies inside a recently freed chunk.
+func (h *Heap) findQuarantined(addr uint64) (Chunk, bool) {
+	for i := len(h.quarantine) - 1; i >= 0; i-- {
+		c := h.quarantine[i]
+		if addr >= c.Addr && addr < c.Addr+c.Size {
+			return c, true
+		}
+	}
+	return Chunk{}, false
+}
+
+// Alloc allocates size bytes (zero-size allocations get a minimal chunk so
+// they still have a unique address, as malloc(0) may).
+func (h *Heap) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		size = 1
+	}
+	rounded := (size + chunkAlign - 1) &^ uint64(chunkAlign-1)
+	// Bump allocation with redzone gap; when the arena is exhausted, fall
+	// back to first-fit over the gaps left by frees past quarantine.
+	addr := h.brk
+	if addr+rounded+chunkAlign > h.end || addr+rounded < addr {
+		a, ok := h.firstFit(rounded)
+		if !ok {
+			return 0, ErrHeapOOM
+		}
+		addr = a
+	} else {
+		h.brk = addr + rounded + chunkAlign
+	}
+	c := Chunk{Addr: addr, Size: size}
+	i := sort.Search(len(h.chunks), func(i int) bool { return h.chunks[i].Addr > addr })
+	h.chunks = append(h.chunks, Chunk{})
+	copy(h.chunks[i+1:], h.chunks[i:])
+	h.chunks[i] = c
+	h.bytesAllocated += size
+	return addr, nil
+}
+
+// firstFit scans for a gap between live chunks big enough for rounded bytes
+// plus redzones. Only used once the bump pointer hits the segment end.
+func (h *Heap) firstFit(rounded uint64) (uint64, bool) {
+	prevEnd := h.base
+	need := rounded + 2*chunkAlign
+	for _, c := range h.chunks {
+		if c.Addr > prevEnd && c.Addr-prevEnd >= need {
+			if _, q := h.findQuarantined(prevEnd + chunkAlign); !q {
+				return prevEnd + chunkAlign, true
+			}
+		}
+		e := c.Addr + c.Size
+		e = (e + chunkAlign - 1) &^ uint64(chunkAlign-1)
+		if e > prevEnd {
+			prevEnd = e
+		}
+	}
+	if h.end > prevEnd && h.end-prevEnd >= need {
+		return prevEnd + chunkAlign, true
+	}
+	return 0, false
+}
+
+// AllocZeroed allocates and clears size bytes (calloc).
+func (h *Heap) AllocZeroed(size uint64) (uint64, error) {
+	addr, err := h.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.mem.Zero(addr, int(size)); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// Free releases the chunk starting exactly at addr. free(NULL) is a no-op,
+// as in C.
+func (h *Heap) Free(addr uint64) error {
+	if addr == 0 {
+		return nil
+	}
+	if !h.Contains(addr) {
+		return fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	i := h.findChunk(addr)
+	if i < 0 || h.chunks[i].Addr != addr {
+		if _, q := h.findQuarantined(addr); q {
+			return fmt.Errorf("%w: %#x", ErrDoubleFree, addr)
+		}
+		return fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	c := h.chunks[i]
+	h.chunks = append(h.chunks[:i], h.chunks[i+1:]...)
+	h.bytesAllocated -= c.Size
+	h.quarantine = append(h.quarantine, c)
+	if len(h.quarantine) > h.quarantineCap {
+		h.quarantine = h.quarantine[1:]
+	}
+	return nil
+}
+
+// Realloc resizes the chunk at addr, moving it if necessary.
+// realloc(0, n) behaves like malloc(n).
+func (h *Heap) Realloc(addr, size uint64) (uint64, error) {
+	if addr == 0 {
+		return h.Alloc(size)
+	}
+	i := h.findChunk(addr)
+	if i < 0 || h.chunks[i].Addr != addr {
+		if _, q := h.findQuarantined(addr); q {
+			return 0, fmt.Errorf("%w: realloc %#x", ErrUseAfterFree, addr)
+		}
+		return 0, fmt.Errorf("%w: realloc %#x", ErrBadFree, addr)
+	}
+	old := h.chunks[i]
+	if size == 0 {
+		size = 1
+	}
+	if size <= old.Size {
+		h.bytesAllocated -= old.Size - size
+		h.chunks[i].Size = size
+		return addr, nil
+	}
+	nAddr, err := h.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	data, err := h.mem.Read(old.Addr, int(old.Size))
+	if err != nil {
+		return 0, err
+	}
+	if err := h.mem.Write(nAddr, data); err != nil {
+		return 0, err
+	}
+	if err := h.Free(old.Addr); err != nil {
+		return 0, err
+	}
+	return nAddr, nil
+}
+
+// Check validates an n-byte access at addr, distinguishing use-after-free
+// from plain out-of-bounds, for the VM sanitizer.
+func (h *Heap) Check(addr uint64, n int) error {
+	i := h.findChunk(addr)
+	if i < 0 {
+		if _, q := h.findQuarantined(addr); q {
+			return fmt.Errorf("%w: %d bytes at %#x", ErrUseAfterFree, n, addr)
+		}
+		return fmt.Errorf("%w: %d bytes at %#x", ErrHeapOOB, n, addr)
+	}
+	c := h.chunks[i]
+	if addr+uint64(n) > c.Addr+c.Size {
+		return fmt.Errorf("%w: %d bytes at %#x overruns chunk [%#x,%#x)",
+			ErrHeapOOB, n, addr, c.Addr, c.Addr+c.Size)
+	}
+	return nil
+}
+
+// Leaked returns the live chunks that were allocated during test-case
+// execution (Init == false) — exactly what the ClosureX harness frees
+// between test cases.
+func (h *Heap) Leaked() []Chunk {
+	var out []Chunk
+	for _, c := range h.chunks {
+		if !c.Init {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MarkInit flags every currently live chunk as initialization state that
+// survives across test cases (the deferred-initialization optimization).
+func (h *Heap) MarkInit() {
+	for i := range h.chunks {
+		h.chunks[i].Init = true
+	}
+}
+
+// Reset drops every live chunk and the quarantine, returning the arena to
+// its pristine state. Used by the fresh-process mechanism.
+func (h *Heap) Reset() {
+	h.chunks = h.chunks[:0]
+	h.quarantine = h.quarantine[:0]
+	h.brk = h.base
+	h.bytesAllocated = 0
+	h.epoch++
+}
+
+// Clone duplicates the allocator bookkeeping for use over a forked Memory.
+// The page contents themselves are shared copy-on-write by Memory.Fork.
+func (h *Heap) Clone(m *Memory) *Heap {
+	nh := &Heap{
+		mem:            m,
+		base:           h.base,
+		end:            h.end,
+		brk:            h.brk,
+		quarantineCap:  h.quarantineCap,
+		bytesAllocated: h.bytesAllocated,
+		epoch:          h.epoch,
+	}
+	nh.chunks = append([]Chunk(nil), h.chunks...)
+	nh.quarantine = append([]Chunk(nil), h.quarantine...)
+	return nh
+}

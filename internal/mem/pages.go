@@ -1,0 +1,368 @@
+// Package mem provides the memory substrate for the ClosureX virtual
+// machine: a paged, flat address space with copy-on-write forking (the
+// analogue of the kernel-level page management that an AFL++ forkserver
+// relies on) and a heap allocator with a chunk map (the analogue of the
+// malloc-family bookkeeping that ClosureX's HeapPass injects).
+//
+// Process-management cost in this reproduction is real work, not simulated
+// sleep: a fresh "process" rebuilds the whole image, a forkserver child
+// copies the page table and faults dirty pages, and a ClosureX iteration
+// touches only the fine-grain state it restores. The relative costs of the
+// paper's execution mechanisms therefore emerge from the data structures
+// themselves.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the granularity of copy-on-write sharing, mirroring a 4 KiB
+// hardware page.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// page is a reference-counted page frame. A page with refs > 1 is shared
+// between a parent image and one or more copy-on-write forks and must be
+// duplicated before any write.
+type page struct {
+	data [PageSize]byte
+	refs int32
+}
+
+// Memory is a sparse, paged address space. The zero page (addresses below
+// PageSize) is never mapped; accesses to it fault, which is how the VM's
+// sanitizer turns NULL dereferences into reports.
+type Memory struct {
+	pages map[uint64]*page
+	// limit is the maximum number of resident pages; exceeding it reports
+	// an out-of-memory condition instead of letting a runaway target eat
+	// the host.
+	limit int
+	// trackDirty records every page privatized or newly mapped since the
+	// last RestoreTo — the write-protection bookkeeping a kernel snapshot
+	// module (AFL++ Snapshot LKM) maintains.
+	trackDirty bool
+	dirty      []uint64
+}
+
+// Common memory errors. The VM wraps these into sanitizer faults with
+// program context attached.
+var (
+	ErrUnmapped = errors.New("mem: access to unmapped page")
+	ErrNullPage = errors.New("mem: access to null page")
+	ErrNoMemory = errors.New("mem: page limit exceeded")
+)
+
+// DefaultPageLimit bounds a single image to 64 MiB of resident pages.
+const DefaultPageLimit = 16384
+
+// NewMemory returns an empty address space with the default page limit.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page), limit: DefaultPageLimit}
+}
+
+// NewMemoryLimit returns an empty address space bounded to limit pages.
+func NewMemoryLimit(limit int) *Memory {
+	if limit <= 0 {
+		limit = DefaultPageLimit
+	}
+	return &Memory{pages: make(map[uint64]*page), limit: limit}
+}
+
+// Pages reports the number of resident pages (shared pages count once per
+// image that maps them, as in a real page table).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Fork produces a copy-on-write duplicate of the address space: the page
+// table is copied and every page becomes shared. This is the cost an AFL++
+// forkserver pays per test case; it is O(resident pages) regardless of how
+// little the test case will touch.
+func (m *Memory) Fork() *Memory {
+	child := &Memory{pages: make(map[uint64]*page, len(m.pages)), limit: m.limit}
+	for pn, pg := range m.pages {
+		pg.refs++
+		child.pages[pn] = pg
+	}
+	return child
+}
+
+// Release drops every page reference held by this image. A forked child
+// calls Release when the test case finishes, which is the analogue of
+// process tear-down.
+func (m *Memory) Release() {
+	for pn, pg := range m.pages {
+		pg.refs--
+		delete(m.pages, pn)
+	}
+}
+
+// mapPage returns the page for addr, allocating a private zeroed page on
+// first touch.
+func (m *Memory) mapPage(pn uint64) (*page, error) {
+	if pg, ok := m.pages[pn]; ok {
+		return pg, nil
+	}
+	if len(m.pages) >= m.limit {
+		return nil, ErrNoMemory
+	}
+	pg := &page{refs: 1}
+	m.pages[pn] = pg
+	if m.trackDirty {
+		m.dirty = append(m.dirty, pn)
+	}
+	return pg, nil
+}
+
+// writablePage returns a page that is private to this image, performing the
+// copy-on-write duplication if the page is shared.
+func (m *Memory) writablePage(pn uint64) (*page, error) {
+	pg, err := m.mapPage(pn)
+	if err != nil {
+		return nil, err
+	}
+	if pg.refs > 1 {
+		dup := &page{refs: 1}
+		dup.data = pg.data
+		pg.refs--
+		m.pages[pn] = dup
+		if m.trackDirty {
+			m.dirty = append(m.dirty, pn)
+		}
+		return dup, nil
+	}
+	return pg, nil
+}
+
+// TrackDirty enables (or disables) dirty-page recording and clears the
+// current dirty list.
+func (m *Memory) TrackDirty(on bool) {
+	m.trackDirty = on
+	m.dirty = m.dirty[:0]
+}
+
+// DirtyPages reports how many pages have been dirtied since tracking
+// started or the last RestoreTo.
+func (m *Memory) DirtyPages() int { return len(m.dirty) }
+
+// RestoreTo undoes every dirty page against the snapshot parent: pages the
+// parent also maps are re-shared copy-on-write, pages the parent lacks are
+// unmapped. Cost is O(dirty pages) — the kernel-snapshot restore path,
+// cheaper than a fork (O(all resident pages)) but page-granular, unlike
+// ClosureX's byte-granular restoration.
+func (m *Memory) RestoreTo(parent *Memory) {
+	for _, pn := range m.dirty {
+		pg := m.pages[pn]
+		tp := parent.pages[pn]
+		if pg == nil || pg == tp {
+			continue // duplicate dirty entry already handled
+		}
+		pg.refs--
+		if tp != nil {
+			tp.refs++
+			m.pages[pn] = tp
+		} else {
+			delete(m.pages, pn)
+		}
+	}
+	m.dirty = m.dirty[:0]
+}
+
+func checkAddr(addr uint64, n int) error {
+	if addr < PageSize {
+		return ErrNullPage
+	}
+	if n < 0 || addr+uint64(n) < addr {
+		return fmt.Errorf("mem: address overflow at %#x+%d", addr, n)
+	}
+	return nil
+}
+
+// LoadByte reads one byte. Reading an unmapped (never written) page returns
+// zero, matching demand-zero semantics.
+func (m *Memory) LoadByte(addr uint64) (byte, error) {
+	if addr < PageSize {
+		return 0, ErrNullPage
+	}
+	pg, ok := m.pages[addr>>PageShift]
+	if !ok {
+		return 0, nil
+	}
+	return pg.data[addr&(PageSize-1)], nil
+}
+
+// StoreByte writes one byte, mapping or privatizing the page as needed.
+func (m *Memory) StoreByte(addr uint64, v byte) error {
+	if addr < PageSize {
+		return ErrNullPage
+	}
+	pg, err := m.writablePage(addr >> PageShift)
+	if err != nil {
+		return err
+	}
+	pg.data[addr&(PageSize-1)] = v
+	return nil
+}
+
+// Read copies n bytes starting at addr into a fresh slice.
+func (m *Memory) Read(addr uint64, n int) ([]byte, error) {
+	if err := checkAddr(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if err := m.ReadInto(addr, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto fills dst with the bytes at addr.
+func (m *Memory) ReadInto(addr uint64, dst []byte) error {
+	if err := checkAddr(addr, len(dst)); err != nil {
+		return err
+	}
+	for len(dst) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if pg, ok := m.pages[addr>>PageShift]; ok {
+			copy(dst[:n], pg.data[off:off+uint64(n)])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Write stores src at addr.
+func (m *Memory) Write(addr uint64, src []byte) error {
+	if err := checkAddr(addr, len(src)); err != nil {
+		return err
+	}
+	for len(src) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - int(off)
+		if n > len(src) {
+			n = len(src)
+		}
+		pg, err := m.writablePage(addr >> PageShift)
+		if err != nil {
+			return err
+		}
+		copy(pg.data[off:off+uint64(n)], src[:n])
+		src = src[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// ReadUint reads a little-endian unsigned integer of size 1, 2, 4 or 8.
+func (m *Memory) ReadUint(addr uint64, size int) (uint64, error) {
+	if addr < PageSize {
+		return 0, ErrNullPage
+	}
+	// Fast path: the value sits within one page.
+	off := addr & (PageSize - 1)
+	if int(off)+size <= PageSize {
+		pg := m.pages[addr>>PageShift]
+		if pg == nil {
+			return 0, nil
+		}
+		b := pg.data[off:]
+		switch size {
+		case 1:
+			return uint64(b[0]), nil
+		case 2:
+			return uint64(b[0]) | uint64(b[1])<<8, nil
+		case 4:
+			return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24, nil
+		case 8:
+			return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+				uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+		}
+	}
+	var buf [8]byte
+	if err := m.ReadInto(addr, buf[:size]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v, nil
+}
+
+// WriteUint stores a little-endian unsigned integer of size 1, 2, 4 or 8.
+func (m *Memory) WriteUint(addr uint64, v uint64, size int) error {
+	if addr < PageSize {
+		return ErrNullPage
+	}
+	off := addr & (PageSize - 1)
+	if int(off)+size <= PageSize {
+		pg, err := m.writablePage(addr >> PageShift)
+		if err != nil {
+			return err
+		}
+		b := pg.data[off:]
+		switch size {
+		case 1:
+			b[0] = byte(v)
+			return nil
+		case 2:
+			b[0], b[1] = byte(v), byte(v>>8)
+			return nil
+		case 4:
+			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			return nil
+		case 8:
+			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+			return nil
+		}
+	}
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return m.Write(addr, buf[:size])
+}
+
+// Zero clears n bytes starting at addr. Pages that are entirely covered and
+// not yet mapped are left unmapped (they already read as zero).
+func (m *Memory) Zero(addr uint64, n int) error {
+	if err := checkAddr(addr, n); err != nil {
+		return err
+	}
+	for n > 0 {
+		off := addr & (PageSize - 1)
+		cn := PageSize - int(off)
+		if cn > n {
+			cn = n
+		}
+		pn := addr >> PageShift
+		if pg, ok := m.pages[pn]; ok {
+			if off == 0 && cn == PageSize && pg.refs == 1 {
+				pg.data = [PageSize]byte{}
+			} else {
+				wp, err := m.writablePage(pn)
+				if err != nil {
+					return err
+				}
+				for i := uint64(0); i < uint64(cn); i++ {
+					wp.data[off+i] = 0
+				}
+			}
+		}
+		n -= cn
+		addr += uint64(cn)
+	}
+	return nil
+}

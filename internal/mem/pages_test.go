@@ -1,0 +1,313 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadUnmappedIsZero(t *testing.T) {
+	m := NewMemory()
+	b, err := m.Read(0x10000, 16)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatalf("unmapped read returned %v, want zeros", b)
+		}
+	}
+}
+
+func TestNullPageFaults(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.LoadByte(0); err != ErrNullPage {
+		t.Errorf("LoadByte(0) err = %v, want ErrNullPage", err)
+	}
+	if err := m.StoreByte(PageSize-1, 1); err != ErrNullPage {
+		t.Errorf("StoreByte(PageSize-1) err = %v, want ErrNullPage", err)
+	}
+	if _, err := m.ReadUint(100, 8); err != ErrNullPage {
+		t.Errorf("ReadUint(100) err = %v, want ErrNullPage", err)
+	}
+	if err := m.Write(0x800, []byte{1}); err != ErrNullPage {
+		t.Errorf("Write(0x800) err = %v, want ErrNullPage", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := NewMemory()
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	// Straddle a page boundary on purpose.
+	addr := uint64(2*PageSize - 10)
+	if err := m.Write(addr, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := m.Read(addr, len(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: got %q want %q", got, data)
+	}
+}
+
+func TestReadWriteUintSizes(t *testing.T) {
+	m := NewMemory()
+	cases := []struct {
+		size int
+		v    uint64
+	}{
+		{1, 0xab}, {2, 0xbeef}, {4, 0xdeadbeef}, {8, 0x0123456789abcdef},
+	}
+	addr := uint64(0x40000)
+	for _, c := range cases {
+		if err := m.WriteUint(addr, c.v, c.size); err != nil {
+			t.Fatalf("WriteUint size %d: %v", c.size, err)
+		}
+		got, err := m.ReadUint(addr, c.size)
+		if err != nil {
+			t.Fatalf("ReadUint size %d: %v", c.size, err)
+		}
+		if got != c.v {
+			t.Errorf("size %d: got %#x want %#x", c.size, got, c.v)
+		}
+		addr += 64
+	}
+	// Cross-page integer.
+	addr = 3*PageSize - 3
+	if err := m.WriteUint(addr, 0x1122334455667788, 8); err != nil {
+		t.Fatalf("WriteUint cross-page: %v", err)
+	}
+	got, err := m.ReadUint(addr, 8)
+	if err != nil {
+		t.Fatalf("ReadUint cross-page: %v", err)
+	}
+	if got != 0x1122334455667788 {
+		t.Errorf("cross-page: got %#x", got)
+	}
+}
+
+func TestUintEndianness(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(0x50000)
+	if err := m.WriteUint(addr, 0x04030201, 4); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Read(addr, 4)
+	if !bytes.Equal(b, []byte{1, 2, 3, 4}) {
+		t.Fatalf("little-endian layout: got %v", b)
+	}
+}
+
+func TestForkIsolation(t *testing.T) {
+	parent := NewMemory()
+	addr := uint64(0x10000)
+	if err := parent.Write(addr, []byte("parent")); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Fork()
+	// Child sees parent data.
+	got, _ := child.Read(addr, 6)
+	if string(got) != "parent" {
+		t.Fatalf("child read %q, want parent", got)
+	}
+	// Child writes are invisible to parent.
+	if err := child.Write(addr, []byte("child!")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = parent.Read(addr, 6)
+	if string(got) != "parent" {
+		t.Fatalf("parent sees child write: %q", got)
+	}
+	// Parent writes after fork are invisible to child.
+	if err := parent.Write(addr+100, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = child.Read(addr+100, 4)
+	if string(got) == "late" {
+		t.Fatalf("child sees parent's post-fork write")
+	}
+	child.Release()
+	// Parent still intact after child release.
+	got, _ = parent.Read(addr, 6)
+	if string(got) != "parent" {
+		t.Fatalf("parent corrupted after child release: %q", got)
+	}
+}
+
+func TestForkSharesUntouchedPages(t *testing.T) {
+	parent := NewMemory()
+	for i := 0; i < 32; i++ {
+		if err := parent.StoreByte(uint64(0x10000+i*PageSize), byte(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	child := parent.Fork()
+	defer child.Release()
+	// Before any child write, every page is shared: same backing objects.
+	for pn, pg := range parent.pages {
+		if child.pages[pn] != pg {
+			t.Fatalf("page %#x not shared after fork", pn)
+		}
+		if pg.refs != 2 {
+			t.Fatalf("page %#x refs = %d, want 2", pn, pg.refs)
+		}
+	}
+	// A single child write privatizes exactly one page.
+	if err := child.StoreByte(0x10000, 99); err != nil {
+		t.Fatal(err)
+	}
+	priv := 0
+	for pn, pg := range child.pages {
+		if parent.pages[pn] != pg {
+			priv++
+		}
+	}
+	if priv != 1 {
+		t.Fatalf("privatized %d pages after one write, want 1", priv)
+	}
+}
+
+func TestPageLimit(t *testing.T) {
+	m := NewMemoryLimit(2)
+	if err := m.StoreByte(PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreByte(2*PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreByte(3*PageSize, 1); err != ErrNoMemory {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(4*PageSize - 8)
+	if err := m.Write(addr, bytes.Repeat([]byte{0xff}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Zero(addr+4, 20); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Read(addr, 32)
+	for i, v := range got {
+		want := byte(0xff)
+		if i >= 4 && i < 24 {
+			want = 0
+		}
+		if v != want {
+			t.Fatalf("byte %d = %#x, want %#x (%v)", i, v, want, got)
+		}
+	}
+}
+
+func TestZeroWholePageFast(t *testing.T) {
+	m := NewMemory()
+	base := uint64(8 * PageSize)
+	if err := m.Write(base, bytes.Repeat([]byte{1}, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Zero(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Read(base, PageSize)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("whole-page zero left nonzero bytes")
+		}
+	}
+}
+
+// Property: any interleaving of writes to parent and a CoW child keeps the
+// two address spaces fully independent (differential model check against two
+// plain maps).
+func TestForkIsolationProperty(t *testing.T) {
+	f := func(ops []struct {
+		ToChild bool
+		Off     uint16
+		Val     byte
+	}) bool {
+		parent := NewMemory()
+		seed := []byte("seed data for the shared image 0123456789")
+		base := uint64(0x20000)
+		if err := parent.Write(base, seed); err != nil {
+			return false
+		}
+		child := parent.Fork()
+		defer child.Release()
+		pModel := map[uint64]byte{}
+		cModel := map[uint64]byte{}
+		for i, b := range seed {
+			pModel[base+uint64(i)] = b
+			cModel[base+uint64(i)] = b
+		}
+		for _, op := range ops {
+			addr := base + uint64(op.Off)%8192
+			if op.ToChild {
+				if err := child.StoreByte(addr, op.Val); err != nil {
+					return false
+				}
+				cModel[addr] = op.Val
+			} else {
+				if err := parent.StoreByte(addr, op.Val); err != nil {
+					return false
+				}
+				pModel[addr] = op.Val
+			}
+		}
+		for a, v := range pModel {
+			got, err := parent.LoadByte(a)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		for a, v := range cModel {
+			got, err := child.LoadByte(a)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Write/Read round-trips arbitrary payloads at arbitrary offsets.
+func TestWriteReadProperty(t *testing.T) {
+	f := func(off uint16, data []byte) bool {
+		if len(data) > 3*PageSize {
+			data = data[:3*PageSize]
+		}
+		m := NewMemory()
+		addr := uint64(PageSize) + uint64(off)
+		if err := m.Write(addr, data); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForkRelease(b *testing.B) {
+	parent := NewMemory()
+	for i := 0; i < 1024; i++ { // 4 MiB resident image
+		_ = parent.StoreByte(uint64((i+1)*PageSize), byte(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := parent.Fork()
+		_ = c.StoreByte(PageSize, 1) // one dirty page, like a tiny test case
+		c.Release()
+	}
+}

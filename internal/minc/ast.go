@@ -1,0 +1,389 @@
+package minc
+
+// ---- Types ----
+
+// TKind enumerates MinC type kinds.
+type TKind uint8
+
+// Type kinds.
+const (
+	TVoid TKind = iota
+	TInt        // 64-bit signed
+	TChar       // 8-bit unsigned
+	TPtr
+	TArray
+	TStruct
+)
+
+// Type is a MinC type. Types are interned per parse where convenient but
+// compared structurally.
+type Type struct {
+	Kind     TKind
+	Elem     *Type // TPtr, TArray
+	ArrayLen int64 // TArray
+	Struct   *StructDef
+}
+
+// Prebuilt scalar types.
+var (
+	TypeVoid = &Type{Kind: TVoid}
+	TypeInt  = &Type{Kind: TInt}
+	TypeChar = &Type{Kind: TChar}
+)
+
+// PtrTo returns a pointer type to t.
+func PtrTo(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// ArrayOf returns an array type of n elements of t.
+func ArrayOf(t *Type, n int64) *Type {
+	return &Type{Kind: TArray, Elem: t, ArrayLen: n}
+}
+
+// Size returns the byte size of a value of this type.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TVoid:
+		return 0
+	case TChar:
+		return 1
+	case TInt, TPtr:
+		return 8
+	case TArray:
+		return t.Elem.Size() * t.ArrayLen
+	case TStruct:
+		return t.Struct.Size
+	}
+	return 0
+}
+
+// IsScalar reports whether values of t fit in one register.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TInt, TChar, TPtr:
+		return true
+	}
+	return false
+}
+
+// AccessSize returns the load/store width for a scalar of this type.
+func (t *Type) AccessSize() int {
+	if t.Kind == TChar {
+		return 1
+	}
+	return 8
+}
+
+// String renders the type C-style.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TChar:
+		return "char"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return t.Elem.String() + "[]"
+	case TStruct:
+		return "struct " + t.Struct.Name
+	}
+	return "?"
+}
+
+// StructDef is a struct declaration with laid-out fields.
+type StructDef struct {
+	Name   string
+	Fields []FieldDef
+	Size   int64
+}
+
+// FieldDef is one struct member.
+type FieldDef struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+// Field returns the named member, or nil.
+func (s *StructDef) Field(name string) *FieldDef {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// ---- Declarations ----
+
+// Program is a parsed translation unit.
+type Program struct {
+	File    string
+	Structs []*StructDef
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a module-level variable.
+type GlobalDecl struct {
+	Name  string
+	Type  *Type
+	Const bool
+	// Init is the initializer expression (scalar), string literal (char
+	// arrays) or brace list (arrays); nil means zero-initialized.
+	Init Expr
+	Line int32
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *BlockStmt
+	Line   int32
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int32
+}
+
+// VarDeclStmt declares a local variable.
+type VarDeclStmt struct {
+	Name string
+	Type *Type
+	Init Expr // nil means uninitialized (reads as zero in the VM)
+	Line int32
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X    Expr
+	Line int32
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int32
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int32
+}
+
+// ForStmt is a for loop; any clause may be nil.
+type ForStmt struct {
+	Init Stmt // VarDeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Line int32
+}
+
+// DoWhileStmt is do { body } while (cond);
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+	Line int32
+}
+
+// SwitchCase is one arm of a switch: Vals lists the constant case labels
+// stacked on this arm; Default marks a stacked default label. C
+// fallthrough semantics apply.
+type SwitchCase struct {
+	Vals    []Expr
+	Default bool
+	Stmts   []Stmt
+	Line    int32
+}
+
+// SwitchStmt is a C switch over an integer expression.
+type SwitchStmt struct {
+	Cond  Expr
+	Cases []SwitchCase
+	Line  int32
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	X    Expr // nil for bare return
+	Line int32
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int32 }
+
+// ContinueStmt advances the innermost loop.
+type ContinueStmt struct{ Line int32 }
+
+// EmptyStmt is a bare semicolon.
+type EmptyStmt struct{ Line int32 }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*SwitchStmt) stmtNode()   {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*EmptyStmt) stmtNode()    {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	Pos() int32
+}
+
+// IntLit is an integer (or char) literal.
+type IntLit struct {
+	Val  int64
+	Line int32
+}
+
+// StrLit is a string literal (becomes a rodata global).
+type StrLit struct {
+	Val  string
+	Line int32
+}
+
+// Ident references a variable or function name.
+type Ident struct {
+	Name string
+	Line int32
+}
+
+// Unary is -x, !x, ~x, *x, &x.
+type Unary struct {
+	Op   Kind // Minus, Bang, Tilde, Star, Amp
+	X    Expr
+	Line int32
+}
+
+// Binary is x op y for arithmetic/comparison/bitwise/logical operators.
+type Binary struct {
+	Op   Kind
+	X, Y Expr
+	Line int32
+}
+
+// Assign is lhs op= rhs (op == Assign for plain =).
+type AssignExpr struct {
+	Op   Kind // Assign, PlusEq, ...
+	LHS  Expr
+	RHS  Expr
+	Line int32
+}
+
+// Cond is c ? t : f.
+type Cond struct {
+	C, T, F Expr
+	Line    int32
+}
+
+// IncDec is ++x, --x, x++, x--.
+type IncDec struct {
+	Op   Kind // PlusPlus or MinusMinus
+	X    Expr
+	Post bool
+	Line int32
+}
+
+// Index is base[idx].
+type Index struct {
+	Base Expr
+	Idx  Expr
+	Line int32
+}
+
+// Member is base.field or base->field.
+type Member struct {
+	Base  Expr
+	Field string
+	Arrow bool
+	Line  int32
+}
+
+// Call is fn(args...). Only direct calls by name are supported.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int32
+}
+
+// SizeofExpr is sizeof(type).
+type SizeofExpr struct {
+	T    *Type
+	Line int32
+}
+
+// CastExpr is (type)x — a no-op on values, but it retypes pointers.
+type CastExpr struct {
+	T    *Type
+	X    Expr
+	Line int32
+}
+
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*AssignExpr) exprNode() {}
+func (*Cond) exprNode()       {}
+func (*IncDec) exprNode()     {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*Call) exprNode()       {}
+func (*SizeofExpr) exprNode() {}
+func (*CastExpr) exprNode()   {}
+
+// Pos implementations.
+func (e *IntLit) Pos() int32     { return e.Line }
+func (e *StrLit) Pos() int32     { return e.Line }
+func (e *Ident) Pos() int32      { return e.Line }
+func (e *Unary) Pos() int32      { return e.Line }
+func (e *Binary) Pos() int32     { return e.Line }
+func (e *AssignExpr) Pos() int32 { return e.Line }
+func (e *Cond) Pos() int32       { return e.Line }
+func (e *IncDec) Pos() int32     { return e.Line }
+func (e *Index) Pos() int32      { return e.Line }
+func (e *Member) Pos() int32     { return e.Line }
+func (e *Call) Pos() int32       { return e.Line }
+func (e *SizeofExpr) Pos() int32 { return e.Line }
+func (e *CastExpr) Pos() int32   { return e.Line }
+
+// InitList is a brace-enclosed initializer for arrays: {1, 2, 3}.
+type InitList struct {
+	Elems []Expr
+	Line  int32
+}
+
+func (*InitList) exprNode()    {}
+func (e *InitList) Pos() int32 { return e.Line }

@@ -1,0 +1,251 @@
+package minc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge-case coverage for the front end: inputs that have historically
+// broken hand-written parsers.
+
+func TestParseEmptyAndWhitespaceOnly(t *testing.T) {
+	for _, src := range []string{"", "   \n\t  ", "// only a comment\n", "/* block */"} {
+		p, err := Parse("t.c", src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if len(p.Funcs)+len(p.Globals)+len(p.Structs) != 0 {
+			t.Fatalf("%q: produced declarations", src)
+		}
+	}
+}
+
+func TestParseEOFInEveryConstruct(t *testing.T) {
+	// Truncated programs must error, never panic or loop.
+	prefixes := []string{
+		"int",
+		"int x",
+		"int x[",
+		"int x[3",
+		"int f(",
+		"int f(int",
+		"int f(int a",
+		"int f(int a)",
+		"int f(void) {",
+		"int f(void) { if",
+		"int f(void) { if (",
+		"int f(void) { if (1",
+		"int f(void) { if (1)",
+		"int f(void) { while (1)",
+		"int f(void) { for (",
+		"int f(void) { for (;;",
+		"int f(void) { return",
+		"int f(void) { return 1 +",
+		"int f(void) { int a =",
+		"int f(void) { g(",
+		"int f(void) { a[",
+		"int f(void) { a ? 1",
+		"int f(void) { a ? 1 :",
+		"struct",
+		"struct s",
+		"struct s {",
+		"struct s { int",
+		"struct s { int a;",
+		"struct s { int a; }",
+		"const",
+		"const int g =",
+	}
+	for _, src := range prefixes {
+		if _, err := Parse("t.c", src); err == nil {
+			t.Errorf("%q: parsed successfully", src)
+		}
+	}
+}
+
+func TestDeeplyNestedExpressions(t *testing.T) {
+	// 200 levels of parens must not blow the parser.
+	src := "int g = " + strings.Repeat("(", 200) + "1" + strings.Repeat(")", 200) + ";"
+	p, err := Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := EvalConst(p.Globals[0].Init); err != nil || v != 1 {
+		t.Fatalf("deep parens: %d, %v", v, err)
+	}
+}
+
+func TestDeeplyNestedBlocks(t *testing.T) {
+	src := "int f(void) { " + strings.Repeat("{", 100) + "int x = 1;" +
+		strings.Repeat("}", 100) + " return 0; }"
+	if _, err := Parse("t.c", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperatorChains(t *testing.T) {
+	p := mustParse(t, "int g = 1 + 2 - 3 + 4 - 5 + 6;")
+	v, _ := EvalConst(p.Globals[0].Init)
+	if v != 5 {
+		t.Fatalf("chain = %d", v)
+	}
+	p = mustParse(t, "int g = 100 / 5 / 2;") // left assoc: 10
+	v, _ = EvalConst(p.Globals[0].Init)
+	if v != 10 {
+		t.Fatalf("div chain = %d", v)
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	src := `
+int /*a*/ g /*b*/ = /*c*/ 4 /*d*/ ; // trailing
+/* leading */ int f(/*p*/void/*q*/) { return /*r*/ g; }
+`
+	p := mustParse(t, src)
+	if len(p.Globals) != 1 || len(p.Funcs) != 1 {
+		t.Fatal("comment interleaving broke parsing")
+	}
+}
+
+func TestHexAndCharLiteralEdges(t *testing.T) {
+	cases := map[string]int64{
+		"int g = 0x0;":        0,
+		"int g = 0xFFFFFFFF;": 0xFFFFFFFF,
+		"int g = 0xdeadBEEF;": 0xdeadbeef,
+		"int g = '\\\\';":     '\\',
+		"int g = '\\'';":      '\'',
+		"int g = ' ';":        ' ',
+		"int g = '\\xff';":    255,
+		"int g = '\\t';":      '\t',
+		"int g = '\\r';":      '\r',
+	}
+	for src, want := range cases {
+		p := mustParse(t, src)
+		v, err := EvalConst(p.Globals[0].Init)
+		if err != nil || v != want {
+			t.Errorf("%s = %d (%v), want %d", src, v, err, want)
+		}
+	}
+}
+
+func TestStringEscapeEdges(t *testing.T) {
+	p := mustParse(t, `char g[16] = "a\x41\n\t\0";`)
+	init := p.Globals[0].Init.(*StrLit)
+	if init.Val != "aA\n\t\x00" {
+		t.Fatalf("escapes = %q", init.Val)
+	}
+}
+
+func TestUnaryStacking(t *testing.T) {
+	cases := map[string]int64{
+		"int g = --5;":  5, // -(-5); MinC lexes -- as one token only between operands... see below
+		"int g = - -5;": 5,
+		"int g = ~~7;":  7,
+		"int g = !!9;":  1,
+		"int g = -~0;":  1,
+		"int g = !-0;":  1,
+	}
+	for src, want := range cases {
+		p, err := Parse("t.c", src)
+		if err != nil {
+			// "--5" lexes as pre-decrement of a literal, which is a
+			// semantic error surfaced at lowering; accept a front-end
+			// error for that one case.
+			if strings.Contains(src, "--5") {
+				continue
+			}
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		v, err := EvalConst(p.Globals[0].Init)
+		if err != nil {
+			if strings.Contains(src, "--5") {
+				continue // pre-decrement of a constant is not a constant
+			}
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if v != want {
+			t.Errorf("%s = %d, want %d", src, v, want)
+		}
+	}
+}
+
+func TestIdentifierEdges(t *testing.T) {
+	p := mustParse(t, "int _x; int x_; int _; int x123; int X_Y_Z_0;")
+	if len(p.Globals) != 5 {
+		t.Fatalf("globals = %d", len(p.Globals))
+	}
+	// Keywords are not identifiers.
+	if _, err := Parse("t.c", "int while;"); err == nil {
+		t.Fatal("keyword as identifier accepted")
+	}
+}
+
+func TestStructLayoutCharPacking(t *testing.T) {
+	p := mustParse(t, `
+struct packed {
+	char a;
+	char b;
+	char c;
+	int  d;
+};
+struct packed g;
+`)
+	sd := p.Structs[0]
+	// chars pack byte-by-byte; the int realigns to 8.
+	offs := []int64{0, 1, 2, 8}
+	for i, f := range sd.Fields {
+		if f.Offset != offs[i] {
+			t.Fatalf("field %s at %d, want %d", f.Name, f.Offset, offs[i])
+		}
+	}
+	if sd.Size != 16 {
+		t.Fatalf("size = %d, want 16", sd.Size)
+	}
+}
+
+func TestEmptyStructHasNonzeroSize(t *testing.T) {
+	p := mustParse(t, "struct e { }; struct e g;")
+	if p.Structs[0].Size <= 0 {
+		t.Fatal("empty struct has zero size")
+	}
+}
+
+func TestPointerToStructChains(t *testing.T) {
+	mustParse(t, `
+struct node { int v; struct node *next; };
+int walk(struct node *n) {
+	int sum = 0;
+	while (n) {
+		sum += n->v;
+		n = n->next;
+	}
+	return sum;
+}
+`)
+}
+
+func TestForScopeIsolation(t *testing.T) {
+	// The loop variable's scope ends with the loop; redeclaration after is
+	// legal.
+	mustParse(t, `
+int f(void) {
+	for (int i = 0; i < 3; i++) { }
+	for (int i = 9; i > 0; i--) { }
+	int i = 5;
+	return i;
+}
+`)
+}
+
+func TestLexAllTokenPositions(t *testing.T) {
+	toks, err := LexAll("t.c", "int\nx\n=\n1\n;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int32{1, 2, 3, 4, 5} {
+		if toks[i].Line != want {
+			t.Fatalf("token %d line %d, want %d", i, toks[i].Line, want)
+		}
+	}
+}

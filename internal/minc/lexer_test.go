@@ -1,0 +1,130 @@
+package minc
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll("t.c", "int main(void) { return 42; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwInt, IDENT, LParen, KwVoid, RParen, LBrace, KwReturn, INT, Semi, RBrace, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[7].Val != 42 {
+		t.Fatalf("int literal = %d", toks[7].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "+ - * / % << >> <<= >>= == != <= >= && || ++ -- -> . ? : += -= *= /= %= &= |= ^= & | ^ ~ !"
+	toks, err := LexAll("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Plus, Minus, Star, Slash, Percent, Shl, Shr, ShlEq, ShrEq,
+		EqEq, NotEq, LtEq, GtEq, AndAnd, OrOr, PlusPlus, MinusMinus, Arrow,
+		Dot, Question, Colon, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+		AmpEq, PipeEq, CaretEq, Amp, Pipe, Caret, Tilde, Bang, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("count %d want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := LexAll("t.c", "0 123 0xff 0X10 'a' '\\n' '\\x41' '\\0'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 123, 255, 16, 'a', '\n', 0x41, 0}
+	for i, w := range want {
+		if toks[i].Kind != INT || toks[i].Val != w {
+			t.Fatalf("literal %d = %v, want %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := LexAll("t.c", `"hello\n" "a\"b" "\x41BC" ""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hello\n", `a"b`, "ABC", ""}
+	for i, w := range want {
+		if toks[i].Kind != STRING || toks[i].Text != w {
+			t.Fatalf("string %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment with int keywords
+int /* block
+spanning lines */ x;
+`
+	toks, err := LexAll("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwInt, IDENT, Semi, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s (%v)", i, got[i], want[i], got)
+		}
+	}
+	// Line numbers must account for the comment lines.
+	if toks[0].Line != 3 {
+		t.Fatalf("int on line %d, want 3", toks[0].Line)
+	}
+	if toks[1].Line != 4 {
+		t.Fatalf("x on line %d, want 4", toks[1].Line)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"@",
+		`"unterminated`,
+		"'a",
+		"/* unterminated",
+		"123abc",
+		`"bad \q escape"`,
+	}
+	for _, src := range cases {
+		if _, err := LexAll("t.c", src); err == nil {
+			t.Errorf("LexAll(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestErrorMessageHasPosition(t *testing.T) {
+	_, err := LexAll("file.c", "\n\n@")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := err.Error(); got != `file.c:3: unexpected character "@"` {
+		t.Fatalf("error = %q", got)
+	}
+}

@@ -1,0 +1,813 @@
+package minc
+
+import "fmt"
+
+// Parser is a recursive-descent parser over a pre-lexed token stream.
+type Parser struct {
+	file    string
+	toks    []Token
+	pos     int
+	structs map[string]*StructDef
+}
+
+// Parse parses a MinC translation unit.
+func Parse(file, src string) (*Program, error) {
+	toks, err := LexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{file: file, toks: toks, structs: make(map[string]*StructDef)}
+	return p.parseProgram()
+}
+
+func (p *Parser) errf(line int32, format string, args ...interface{}) error {
+	return &Error{File: p.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekKind(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errf(t.Line, "expected %s, found %s", k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *Parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case KwInt, KwChar, KwVoid, KwStruct, KwConst:
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type plus pointer stars: "int**", "struct s*".
+func (p *Parser) parseType() (*Type, error) {
+	t := p.next()
+	var base *Type
+	switch t.Kind {
+	case KwInt:
+		base = TypeInt
+	case KwChar:
+		base = TypeChar
+	case KwVoid:
+		base = TypeVoid
+	case KwStruct:
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		sd, ok := p.structs[name.Text]
+		if !ok {
+			return nil, p.errf(name.Line, "unknown struct %q", name.Text)
+		}
+		base = &Type{Kind: TStruct, Struct: sd}
+	default:
+		return nil, p.errf(t.Line, "expected type, found %s", t)
+	}
+	for p.accept(Star) {
+		base = PtrTo(base)
+	}
+	return base, nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{File: p.file}
+	for !p.peekKind(EOF) {
+		switch {
+		case p.peekKind(KwStruct) && p.pos+2 < len(p.toks) && p.toks[p.pos+2].Kind == LBrace:
+			sd, err := p.parseStructDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Structs = append(prog.Structs, sd)
+		default:
+			if err := p.parseTopLevelDecl(prog); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return prog, nil
+}
+
+// parseStructDef parses: struct NAME { fields } ;
+func (p *Parser) parseStructDef() (*StructDef, error) {
+	p.next() // struct
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := p.structs[name.Text]; dup {
+		return nil, p.errf(name.Line, "struct %q redefined", name.Text)
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	sd := &StructDef{Name: name.Text}
+	// Register before fields so self-referential pointers work.
+	p.structs[name.Text] = sd
+	var off int64
+	for !p.accept(RBrace) {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		for p.accept(LBracket) {
+			n, err := p.expect(INT)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			ft = ArrayOf(ft, n.Val)
+		}
+		if ft.Kind == TVoid {
+			return nil, p.errf(fname.Line, "field %q has void type", fname.Text)
+		}
+		if ft.Kind == TStruct && ft.Struct == sd {
+			return nil, p.errf(fname.Line, "struct %q contains itself", sd.Name)
+		}
+		align := int64(8)
+		if ft.Kind == TChar || (ft.Kind == TArray && ft.Elem.Kind == TChar) {
+			align = 1
+		}
+		off = (off + align - 1) &^ (align - 1)
+		if sd.Field(fname.Text) != nil {
+			return nil, p.errf(fname.Line, "duplicate field %q", fname.Text)
+		}
+		sd.Fields = append(sd.Fields, FieldDef{Name: fname.Text, Type: ft, Offset: off})
+		off += ft.Size()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	sd.Size = (off + 7) &^ 7
+	if sd.Size == 0 {
+		sd.Size = 8
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// parseTopLevelDecl parses a global variable or a function definition.
+func (p *Parser) parseTopLevelDecl(prog *Program) error {
+	isConst := p.accept(KwConst)
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if p.peekKind(LParen) {
+		if isConst {
+			return p.errf(name.Line, "const functions are not supported")
+		}
+		fn, err := p.parseFuncRest(ty, name)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	// Global variable: array suffixes, optional initializer.
+	for p.accept(LBracket) {
+		n, err := p.expect(INT)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return err
+		}
+		ty = ArrayOf(ty, n.Val)
+	}
+	if ty.Kind == TVoid {
+		return p.errf(name.Line, "global %q has void type", name.Text)
+	}
+	g := &GlobalDecl{Name: name.Text, Type: ty, Const: isConst, Line: name.Line}
+	if p.accept(Assign) {
+		init, err := p.parseInitializer()
+		if err != nil {
+			return err
+		}
+		g.Init = init
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return err
+	}
+	prog.Globals = append(prog.Globals, g)
+	return nil
+}
+
+// parseInitializer parses a global initializer: expression, string, or
+// brace list.
+func (p *Parser) parseInitializer() (Expr, error) {
+	if p.peekKind(LBrace) {
+		line := p.next().Line
+		lst := &InitList{Line: line}
+		for !p.accept(RBrace) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			lst.Elems = append(lst.Elems, e)
+			if !p.accept(Comma) {
+				if _, err := p.expect(RBrace); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		return lst, nil
+	}
+	return p.parseExpr()
+}
+
+// parseFuncRest parses parameters and body after "type name".
+func (p *Parser) parseFuncRest(ret *Type, name Token) (*FuncDecl, error) {
+	p.next() // (
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Line: name.Line}
+	if p.accept(KwVoid) && p.peekKind(RParen) {
+		// (void) parameter list
+	} else if !p.peekKind(RParen) {
+		for {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pname, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if pt.Kind == TVoid || pt.Kind == TStruct || pt.Kind == TArray {
+				return nil, p.errf(pname.Line,
+					"parameter %q must be scalar (int, char or pointer)", pname.Text)
+			}
+			fn.Params = append(fn.Params, Param{Name: pname.Text, Type: pt})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Line: lb.Line}
+	for !p.accept(RBrace) {
+		if p.peekKind(EOF) {
+			return nil, p.errf(lb.Line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBrace:
+		return p.parseBlock()
+	case Semi:
+		p.next()
+		return &EmptyStmt{Line: t.Line}, nil
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwDo:
+		return p.parseDoWhile()
+	case KwFor:
+		return p.parseFor()
+	case KwSwitch:
+		return p.parseSwitch()
+	case KwReturn:
+		p.next()
+		rs := &ReturnStmt{Line: t.Line}
+		if !p.peekKind(Semi) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.X = e
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	}
+	if p.isTypeStart() {
+		return p.parseVarDecl()
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Line: t.Line}, nil
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	if p.peekKind(KwConst) {
+		return nil, p.errf(p.cur().Line, "const locals are not supported")
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(LBracket) {
+		n, err := p.expect(INT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		ty = ArrayOf(ty, n.Val)
+	}
+	if ty.Kind == TVoid {
+		return nil, p.errf(name.Line, "variable %q has void type", name.Text)
+	}
+	vd := &VarDeclStmt{Name: name.Text, Type: ty, Line: name.Line}
+	if p.accept(Assign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = e
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+	if p.accept(KwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+}
+
+// parseDoWhile parses: do stmt while ( expr ) ;
+func (p *Parser) parseDoWhile() (Stmt, error) {
+	t := p.next() // do
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &DoWhileStmt{Body: body, Cond: cond, Line: t.Line}, nil
+}
+
+// parseSwitch parses a C switch with stacked case labels, fallthrough and
+// an optional default arm.
+func (p *Parser) parseSwitch() (Stmt, error) {
+	t := p.next() // switch
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{Cond: cond, Line: t.Line}
+	sawDefault := false
+	for !p.accept(RBrace) {
+		if p.peekKind(EOF) {
+			return nil, p.errf(t.Line, "unterminated switch")
+		}
+		if !p.peekKind(KwCase) && !p.peekKind(KwDefault) {
+			return nil, p.errf(p.cur().Line, "expected case or default, found %s", p.cur())
+		}
+		var arm SwitchCase
+		arm.Line = p.cur().Line
+		// One or more stacked labels.
+		for p.peekKind(KwCase) || p.peekKind(KwDefault) {
+			lt := p.next()
+			if lt.Kind == KwCase {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := EvalConst(v); err != nil {
+					return nil, p.errf(lt.Line, "case label is not constant: %v", err)
+				}
+				arm.Vals = append(arm.Vals, v)
+			} else {
+				if sawDefault {
+					return nil, p.errf(lt.Line, "duplicate default label")
+				}
+				sawDefault = true
+				arm.Default = true
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+		}
+		// Statements until the next label or the closing brace.
+		for !p.peekKind(KwCase) && !p.peekKind(KwDefault) && !p.peekKind(RBrace) {
+			if p.peekKind(EOF) {
+				return nil, p.errf(t.Line, "unterminated switch")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			arm.Stmts = append(arm.Stmts, s)
+		}
+		st.Cases = append(st.Cases, arm)
+	}
+	return st, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Line: t.Line}
+	switch {
+	case p.accept(Semi):
+	case p.isTypeStart():
+		init, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		st.Init = &ExprStmt{X: e, Line: e.Pos()}
+	}
+	if !p.peekKind(Semi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.peekKind(RParen) {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func isAssignOp(k Kind) bool {
+	switch k {
+	case Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+		AmpEq, PipeEq, CaretEq, ShlEq, ShrEq:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if isAssignOp(p.cur().Kind) {
+		op := p.next()
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Op: op.Kind, LHS: lhs, RHS: rhs, Line: op.Line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseCond() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKind(Question) {
+		q := p.next()
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		f, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: c, T: t, F: f, Line: q.Line}, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence, loosest first.
+var precLevels = [][]Kind{
+	{OrOr},
+	{AndAnd},
+	{Pipe},
+	{Caret},
+	{Amp},
+	{EqEq, NotEq},
+	{Lt, Gt, LtEq, GtEq},
+	{Shl, Shr},
+	{Plus, Minus},
+	{Star, Slash, Percent},
+}
+
+func (p *Parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		match := false
+		for _, op := range precLevels[level] {
+			if k == op {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op.Kind, X: lhs, Y: rhs, Line: op.Line}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Minus, Bang, Tilde, Star, Amp:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.Kind, X: x, Line: t.Line}, nil
+	case PlusPlus, MinusMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDec{Op: t.Kind, X: x, Post: false, Line: t.Line}, nil
+	case LParen:
+		// Cast: "(" type ")" unary — distinguished from parenthesized
+		// expression by a type-start token after the paren.
+		if p.toks[p.pos+1].Kind == KwInt || p.toks[p.pos+1].Kind == KwChar ||
+			p.toks[p.pos+1].Kind == KwVoid || p.toks[p.pos+1].Kind == KwStruct {
+			p.next() // (
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{T: ty, X: x, Line: t.Line}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case LBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			x = &Index{Base: x, Idx: idx, Line: t.Line}
+		case Dot, Arrow:
+			p.next()
+			f, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{Base: x, Field: f.Text, Arrow: t.Kind == Arrow, Line: t.Line}
+		case PlusPlus, MinusMinus:
+			p.next()
+			x = &IncDec{Op: t.Kind, X: x, Post: true, Line: t.Line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case INT:
+		return &IntLit{Val: t.Val, Line: t.Line}, nil
+	case STRING:
+		return &StrLit{Val: t.Text, Line: t.Line}, nil
+	case KwSizeof:
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{T: ty, Line: t.Line}, nil
+	case IDENT:
+		if p.peekKind(LParen) {
+			p.next()
+			call := &Call{Name: t.Text, Line: t.Line}
+			if !p.peekKind(RParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case LParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t.Line, "unexpected token %s in expression", t)
+}

@@ -1,0 +1,291 @@
+package minc
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseGlobals(t *testing.T) {
+	p := mustParse(t, `
+int counter;
+const int limit = 10 + 2;
+char name[8] = "hi";
+int table[4] = {1, 2, 3, 4};
+char *cursor;
+int **pp;
+`)
+	if len(p.Globals) != 6 {
+		t.Fatalf("globals = %d, want 6", len(p.Globals))
+	}
+	g := p.Globals[1]
+	if !g.Const || g.Name != "limit" {
+		t.Fatalf("limit mis-parsed: %+v", g)
+	}
+	if v, err := EvalConst(g.Init); err != nil || v != 12 {
+		t.Fatalf("limit init = %d, %v", v, err)
+	}
+	if p.Globals[2].Type.Kind != TArray || p.Globals[2].Type.ArrayLen != 8 {
+		t.Fatalf("name type = %s", p.Globals[2].Type)
+	}
+	if p.Globals[4].Type.Kind != TPtr || p.Globals[4].Type.Elem.Kind != TChar {
+		t.Fatalf("cursor type = %s", p.Globals[4].Type)
+	}
+	if p.Globals[5].Type.Elem.Kind != TPtr {
+		t.Fatalf("pp type = %s", p.Globals[5].Type)
+	}
+}
+
+func TestParseStruct(t *testing.T) {
+	p := mustParse(t, `
+struct header {
+	int magic;
+	char tag[4];
+	int length;
+	struct header *next;
+};
+struct header registry;
+`)
+	if len(p.Structs) != 1 {
+		t.Fatalf("structs = %d", len(p.Structs))
+	}
+	sd := p.Structs[0]
+	if sd.Name != "header" || len(sd.Fields) != 4 {
+		t.Fatalf("struct = %+v", sd)
+	}
+	// Layout: magic@0, tag@8 (4 bytes), length@16 (realigned to 8), next@24.
+	wantOff := []int64{0, 8, 16, 24}
+	for i, f := range sd.Fields {
+		if f.Offset != wantOff[i] {
+			t.Fatalf("field %s offset %d, want %d", f.Name, f.Offset, wantOff[i])
+		}
+	}
+	if sd.Size != 32 {
+		t.Fatalf("struct size = %d, want 32", sd.Size)
+	}
+	if p.Globals[0].Type.Kind != TStruct {
+		t.Fatalf("registry type = %s", p.Globals[0].Type)
+	}
+}
+
+func TestParseStructErrors(t *testing.T) {
+	cases := map[string]string{
+		"self-containing": `struct s { struct s inner; };`,
+		"dup field":       `struct s { int a; int a; };`,
+		"redefined":       `struct s { int a; }; struct s { int b; };`,
+		"unknown struct":  `struct nope *p;`,
+		"void field":      `struct s { void v; };`,
+	}
+	for name, src := range cases {
+		if _, err := Parse("t.c", src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseFunctionAndStatements(t *testing.T) {
+	p := mustParse(t, `
+int sum(int n) {
+	int total = 0;
+	for (int i = 1; i <= n; i++) {
+		if (i % 2 == 0) continue;
+		total += i;
+	}
+	while (total > 100) { total -= 100; break; }
+	return total;
+}
+void noop(void) { return; }
+`)
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	f := p.Funcs[0]
+	if f.Name != "sum" || len(f.Params) != 1 || f.Ret.Kind != TInt {
+		t.Fatalf("sum signature: %+v", f)
+	}
+	if p.Funcs[1].Ret.Kind != TVoid || len(p.Funcs[1].Params) != 0 {
+		t.Fatalf("noop signature: %+v", p.Funcs[1])
+	}
+}
+
+func TestParseExpressionShapes(t *testing.T) {
+	p := mustParse(t, `
+int f(int a, int b) {
+	int c = a ? b : -a;
+	c = a && b || !c;
+	c = (a + b) * 2 - a % 3;
+	c = a << 2 >> 1 & 0xf | 1 ^ 2;
+	c += a == b != 0;
+	c = sizeof(int) + sizeof(char*);
+	return c;
+}
+`)
+	_ = p
+}
+
+func TestPrecedence(t *testing.T) {
+	p := mustParse(t, "int g = 2 + 3 * 4;")
+	v, err := EvalConst(p.Globals[0].Init)
+	if err != nil || v != 14 {
+		t.Fatalf("2+3*4 = %d, %v", v, err)
+	}
+	p = mustParse(t, "int g = (2 + 3) * 4;")
+	v, _ = EvalConst(p.Globals[0].Init)
+	if v != 20 {
+		t.Fatalf("(2+3)*4 = %d", v)
+	}
+	p = mustParse(t, "int g = 1 << 2 + 1;") // + binds tighter than <<
+	v, _ = EvalConst(p.Globals[0].Init)
+	if v != 8 {
+		t.Fatalf("1<<2+1 = %d, want 8", v)
+	}
+	p = mustParse(t, "int g = 10 - 4 - 3;") // left assoc
+	v, _ = EvalConst(p.Globals[0].Init)
+	if v != 3 {
+		t.Fatalf("10-4-3 = %d, want 3", v)
+	}
+}
+
+func TestParsePostfixChains(t *testing.T) {
+	mustParse(t, `
+struct node { int val; struct node *next; };
+int f(struct node *n, char *buf) {
+	int x = n->next->val;
+	x = buf[x + 1];
+	x = (*n).val;
+	x++;
+	--x;
+	return x;
+}
+`)
+}
+
+func TestParseCast(t *testing.T) {
+	p := mustParse(t, `
+int f(int x) {
+	char c = (char)x;
+	int *p = (int*)x;
+	return (int)c + (int)*p;
+}
+`)
+	_ = p
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing semi":        "int x",
+		"bad toplevel":        "42;",
+		"unterminated block":  "int f(void) { return 0;",
+		"missing paren":       "int f(void { return 0; }",
+		"struct param":        "struct s { int a; }; int f(struct s v) { return 0; }",
+		"void var":            "void v;",
+		"bad expression":      "int f(void) { return +; }",
+		"const local":         "int f(void) { const int x = 1; return x; }",
+		"assign in bad place": "int f(void) { int 3 = x; return 0; }",
+	}
+	for name, src := range cases {
+		if _, err := Parse("t.c", src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestAnalyzeChecks(t *testing.T) {
+	good := `
+int g = 1;
+int f(int a, int b) { return a + b; }
+`
+	prog := mustParse(t, good)
+	if _, err := Analyze(prog); err != nil {
+		t.Fatalf("Analyze(good): %v", err)
+	}
+	bad := map[string]string{
+		"dup global":        "int g; int g;",
+		"dup func":          "int f(void){return 0;} int f(void){return 1;}",
+		"func/global clash": "int f; int f(void){return 0;}",
+		"dup param":         "int f(int a, int a){return a;}",
+		"const no init":     "const int g;",
+		"nonconst init":     "int other; int g = other;",
+		"string on int":     `int g = "hi";`,
+		"braces on scalar":  "int g = {1};",
+		"too many inits":    "int g[2] = {1,2,3};",
+		"string too long":   `char g[2] = "abc";`,
+		"zero-len array":    "int g[0];",
+	}
+	for name, src := range bad {
+		p, err := Parse("t.c", src)
+		if err != nil {
+			continue // parse-time rejection also acceptable
+		}
+		if _, err := Analyze(p); err == nil {
+			t.Errorf("%s: Analyze succeeded, want error", name)
+		}
+	}
+}
+
+func TestEvalConstForms(t *testing.T) {
+	cases := map[string]int64{
+		"int g = -5;":           -5,
+		"int g = ~0;":           -1,
+		"int g = !3;":           0,
+		"int g = !0;":           1,
+		"int g = 7 / 2;":        3,
+		"int g = 7 % 2;":        1,
+		"int g = 1 && 0;":       0,
+		"int g = 1 || 0;":       1,
+		"int g = 3 < 4;":        1,
+		"int g = sizeof(int);":  8,
+		"int g = sizeof(char);": 1,
+		"int g = sizeof(int*);": 8,
+		"int g = (char)300;":    44,
+		"int g = 0xff & 0x0f;":  0x0f,
+		"int g = 1 << 10;":      1024,
+		"int g = 5 == 5;":       1,
+		"int g = 5 != 5;":       0,
+		"int g = 6 >= 7;":       0,
+		"int g = -8 >> 1;":      -4,
+	}
+	for src, want := range cases {
+		p := mustParse(t, src)
+		v, err := EvalConst(p.Globals[0].Init)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if v != want {
+			t.Errorf("%s = %d, want %d", src, v, want)
+		}
+	}
+	// Division by zero in a constant must be rejected.
+	p := mustParse(t, "int g = 1 / 0;")
+	if _, err := Analyze(p); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("const div by zero: %v", err)
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want int64
+	}{
+		{TypeInt, 8},
+		{TypeChar, 1},
+		{PtrTo(TypeChar), 8},
+		{ArrayOf(TypeChar, 10), 10},
+		{ArrayOf(TypeInt, 10), 80},
+		{ArrayOf(PtrTo(TypeInt), 3), 24},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.want {
+			t.Errorf("sizeof(%s) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}

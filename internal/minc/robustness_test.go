@@ -1,0 +1,118 @@
+package minc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The front end must never panic or hang, no matter the input: it either
+// parses or returns a positioned error. This is the compiler's own
+// fuzz-robustness contract (we are, after all, a fuzzing paper).
+
+// mangle corrupts a valid program deterministically from a seed.
+func mangle(src []byte, seed uint64) []byte {
+	out := append([]byte(nil), src...)
+	s := seed
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	ops := int(next()%8) + 1
+	for i := 0; i < ops && len(out) > 0; i++ {
+		switch next() % 4 {
+		case 0: // flip a byte
+			out[next()%uint64(len(out))] ^= byte(next())
+		case 1: // delete a span
+			from := int(next() % uint64(len(out)))
+			n := int(next()%16) + 1
+			if from+n > len(out) {
+				n = len(out) - from
+			}
+			out = append(out[:from], out[from+n:]...)
+		case 2: // duplicate a span
+			from := int(next() % uint64(len(out)))
+			n := int(next()%16) + 1
+			if from+n > len(out) {
+				n = len(out) - from
+			}
+			blk := append([]byte(nil), out[from:from+n]...)
+			out = append(out[:from], append(blk, out[from:]...)...)
+		case 3: // insert punctuation that stresses the parser
+			punct := []byte("{}()[];,*&<>=!?:#\"'\\/")
+			at := int(next() % uint64(len(out)+1))
+			c := punct[next()%uint64(len(punct))]
+			out = append(out[:at], append([]byte{c}, out[at:]...)...)
+		}
+	}
+	return out
+}
+
+const robustnessSeedProgram = `
+struct pair { int a; char b[4]; };
+int table[8] = {1, 2, 3};
+const char *msg = "hello";
+int helper(int x, char *p) {
+	switch (x & 3) {
+	case 0: return p[0];
+	case 1:
+	case 2: x += 2; break;
+	default: x = -x;
+	}
+	do { x--; } while (x > 0 && p[x & 3]);
+	for (int i = 0; i < 4; i++) x += table[i] * i;
+	return x > 0 ? x : -x;
+}
+int main(void) {
+	struct pair pr;
+	pr.a = sizeof(struct pair);
+	char *q = (char*)malloc(8);
+	if (!q) exit(1);
+	q[0] = 'x';
+	int r = helper(pr.a, q);
+	free(q);
+	return r;
+}
+`
+
+func TestParserNeverPanicsOnMangledInput(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("front end panicked: %v", r)
+		}
+	}()
+	base := []byte(robustnessSeedProgram)
+	for seed := uint64(1); seed <= 3000; seed++ {
+		src := mangle(base, seed)
+		prog, err := Parse("m.c", string(src))
+		if err != nil {
+			continue
+		}
+		// Whatever parses must also analyze without panicking.
+		_, _ = Analyze(prog)
+	}
+}
+
+// Property: arbitrary byte soup is handled gracefully too (not just
+// near-valid programs).
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		prog, err := Parse("r.c", string(data))
+		if err == nil {
+			_, _ = Analyze(prog)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package minc
+
+import "fmt"
+
+// ProgramInfo is the semantic index built by Analyze: name tables the
+// lowerer consumes plus validated declarations.
+type ProgramInfo struct {
+	Prog    *Program
+	Globals map[string]*GlobalDecl
+	Funcs   map[string]*FuncDecl
+}
+
+// Analyze performs declaration-level semantic checks (duplicate names,
+// initializer shape, array bounds) and builds the symbol index. Expression
+// typing happens during lowering, where the types drive code generation.
+func Analyze(prog *Program) (*ProgramInfo, error) {
+	info := &ProgramInfo{
+		Prog:    prog,
+		Globals: make(map[string]*GlobalDecl),
+		Funcs:   make(map[string]*FuncDecl),
+	}
+	errf := func(line int32, format string, args ...interface{}) error {
+		return &Error{File: prog.File, Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+	for _, g := range prog.Globals {
+		if _, dup := info.Globals[g.Name]; dup {
+			return nil, errf(g.Line, "global %q redefined", g.Name)
+		}
+		if g.Type.Kind == TArray && g.Type.ArrayLen <= 0 {
+			return nil, errf(g.Line, "global array %q has non-positive length", g.Name)
+		}
+		if err := checkGlobalInit(prog.File, g); err != nil {
+			return nil, err
+		}
+		info.Globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := info.Funcs[f.Name]; dup {
+			return nil, errf(f.Line, "function %q redefined", f.Name)
+		}
+		if _, clash := info.Globals[f.Name]; clash {
+			return nil, errf(f.Line, "function %q collides with a global", f.Name)
+		}
+		seen := map[string]bool{}
+		for _, p := range f.Params {
+			if seen[p.Name] {
+				return nil, errf(f.Line, "function %q: duplicate parameter %q", f.Name, p.Name)
+			}
+			seen[p.Name] = true
+		}
+		info.Funcs[f.Name] = f
+	}
+	return info, nil
+}
+
+// checkGlobalInit validates the shape of a global initializer.
+func checkGlobalInit(file string, g *GlobalDecl) error {
+	errf := func(format string, args ...interface{}) error {
+		return &Error{File: file, Line: g.Line, Msg: fmt.Sprintf(format, args...)}
+	}
+	if g.Init == nil {
+		if g.Const {
+			return errf("const global %q lacks an initializer", g.Name)
+		}
+		return nil
+	}
+	switch init := g.Init.(type) {
+	case *StrLit:
+		if !(g.Type.Kind == TArray && g.Type.Elem.Kind == TChar) {
+			return errf("string initializer requires char[] type for %q", g.Name)
+		}
+		if int64(len(init.Val)+1) > g.Type.Size() {
+			return errf("string initializer too long for %q (%d+1 > %d)",
+				g.Name, len(init.Val), g.Type.Size())
+		}
+		return nil
+	case *InitList:
+		if g.Type.Kind != TArray {
+			return errf("brace initializer requires array type for %q", g.Name)
+		}
+		if int64(len(init.Elems)) > g.Type.ArrayLen {
+			return errf("too many initializers for %q (%d > %d)",
+				g.Name, len(init.Elems), g.Type.ArrayLen)
+		}
+		for _, e := range init.Elems {
+			if _, err := EvalConst(e); err != nil {
+				return errf("non-constant initializer element for %q: %v", g.Name, err)
+			}
+		}
+		return nil
+	default:
+		if !g.Type.IsScalar() {
+			return errf("scalar initializer on non-scalar global %q", g.Name)
+		}
+		if _, err := EvalConst(g.Init); err != nil {
+			return errf("non-constant initializer for %q: %v", g.Name, err)
+		}
+		return nil
+	}
+}
+
+// EvalConst evaluates a compile-time constant expression: integer and char
+// literals, sizeof, and operators over constants.
+func EvalConst(e Expr) (int64, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Val, nil
+	case *SizeofExpr:
+		return x.T.Size(), nil
+	case *Unary:
+		v, err := EvalConst(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case Minus:
+			return -v, nil
+		case Tilde:
+			return ^v, nil
+		case Bang:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("operator %s not constant", x.Op)
+	case *Binary:
+		a, err := EvalConst(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := EvalConst(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		return evalConstBin(x.Op, a, b)
+	case *CastExpr:
+		v, err := EvalConst(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.T.Kind == TChar {
+			return int64(byte(v)), nil
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("expression is not constant")
+}
+
+func evalConstBin(op Kind, a, b int64) (int64, error) {
+	switch op {
+	case Plus:
+		return a + b, nil
+	case Minus:
+		return a - b, nil
+	case Star:
+		return a * b, nil
+	case Slash:
+		if b == 0 {
+			return 0, fmt.Errorf("constant division by zero")
+		}
+		if b == -1 {
+			return -a, nil
+		}
+		return a / b, nil
+	case Percent:
+		if b == 0 {
+			return 0, fmt.Errorf("constant modulo by zero")
+		}
+		if b == -1 {
+			return 0, nil
+		}
+		return a % b, nil
+	case Shl:
+		return a << (uint64(b) & 63), nil
+	case Shr:
+		return a >> (uint64(b) & 63), nil
+	case Amp:
+		return a & b, nil
+	case Pipe:
+		return a | b, nil
+	case Caret:
+		return a ^ b, nil
+	case EqEq:
+		return boolInt(a == b), nil
+	case NotEq:
+		return boolInt(a != b), nil
+	case Lt:
+		return boolInt(a < b), nil
+	case LtEq:
+		return boolInt(a <= b), nil
+	case Gt:
+		return boolInt(a > b), nil
+	case GtEq:
+		return boolInt(a >= b), nil
+	case AndAnd:
+		return boolInt(a != 0 && b != 0), nil
+	case OrOr:
+		return boolInt(a != 0 || b != 0), nil
+	}
+	return 0, fmt.Errorf("operator %s not constant", op)
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+// Package minc implements the front end for MinC, the C subset the
+// benchmark targets are written in. It stands in for the C front end of
+// clang in the paper's toolchain: MinC source is parsed and lowered to the
+// IR that the ClosureX passes instrument.
+//
+// MinC supports: int (64-bit), char (unsigned 8-bit), pointers, fixed-size
+// arrays, structs, global variables with initializers (including string
+// literals), functions, the usual C statement and expression forms
+// (if/else, while, do-while, for, switch with fallthrough, break/continue,
+// return, assignment operators, short-circuit && and ||, the ?: ternary,
+// pre/post ++/--, sizeof, casts), and calls into the runtime's libc
+// surface (malloc, fopen, memcpy, exit, ...).
+package minc
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT    // integer literal (decimal, hex, char)
+	STRING // string literal (value has escapes resolved)
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwVoid
+	KwStruct
+	KwConst
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwSwitch
+	KwCase
+	KwDefault
+	KwDo
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Dot
+	Arrow // ->
+
+	Assign     // =
+	PlusEq     // +=
+	MinusEq    // -=
+	StarEq     // *=
+	SlashEq    // /=
+	PercentEq  // %=
+	AmpEq      // &=
+	PipeEq     // |=
+	CaretEq    // ^=
+	ShlEq      // <<=
+	ShrEq      // >>=
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	Pipe       // |
+	Caret      // ^
+	Tilde      // ~
+	Bang       // !
+	Shl        // <<
+	Shr        // >>
+	EqEq       // ==
+	NotEq      // !=
+	Lt         // <
+	Gt         // >
+	LtEq       // <=
+	GtEq       // >=
+	AndAnd     // &&
+	OrOr       // ||
+	PlusPlus   // ++
+	MinusMinus // --
+	Question   // ?
+	Colon      // :
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer", STRING: "string",
+	KwInt: "int", KwChar: "char", KwVoid: "void", KwStruct: "struct",
+	KwConst: "const", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwFor: "for", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue", KwSizeof: "sizeof", KwSwitch: "switch",
+	KwCase: "case", KwDefault: "default", KwDo: "do",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Arrow: "->", Assign: "=", PlusEq: "+=", MinusEq: "-=", StarEq: "*=",
+	SlashEq: "/=", PercentEq: "%=", AmpEq: "&=", PipeEq: "|=",
+	CaretEq: "^=", ShlEq: "<<=", ShrEq: ">>=", Plus: "+", Minus: "-",
+	Star: "*", Slash: "/", Percent: "%", Amp: "&", Pipe: "|", Caret: "^",
+	Tilde: "~", Bang: "!", Shl: "<<", Shr: ">>", EqEq: "==", NotEq: "!=",
+	Lt: "<", Gt: ">", LtEq: "<=", GtEq: ">=", AndAnd: "&&", OrOr: "||",
+	PlusPlus: "++", MinusMinus: "--", Question: "?", Colon: ":",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "void": KwVoid, "struct": KwStruct,
+	"const": KwConst, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue, "sizeof": KwSizeof, "switch": KwSwitch,
+	"case": KwCase, "default": KwDefault, "do": KwDo,
+}
+
+// Token is one lexeme with its source line.
+type Token struct {
+	Kind Kind
+	Text string // identifier name or resolved string value
+	Val  int64  // integer value for INT
+	Line int32
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case INT:
+		return fmt.Sprintf("%d", t.Val)
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,334 @@
+package passes
+
+import (
+	"fmt"
+
+	"closurex/internal/ir"
+)
+
+// Optimization passes — the `opt -O1`-flavored half of the pass framework.
+// They are semantics-preserving on verified modules and independent of the
+// ClosureX instrumentation; closurex-cc exposes them behind -O, and an
+// ablation benchmark measures their effect on interpreter throughput.
+
+// OptimizePipeline returns the standard optimization sequence, iterated
+// until fixpoint by the passes themselves.
+func OptimizePipeline() []Pass {
+	return []Pass{ConstFoldPass{}, DeadBlockPass{}, DeadCodePass{}}
+}
+
+// ---- ConstFoldPass ----
+
+// ConstFoldPass forward-propagates constants within each basic block:
+// OpBin/OpUn over constant operands become OpConst, OpMov of a constant
+// becomes OpConst, and OpCondBr on a constant condition becomes OpBr
+// (feeding DeadBlockPass). The analysis is per-block and kills facts at
+// calls' destination registers only (calls cannot modify other registers).
+type ConstFoldPass struct{}
+
+// Name implements Pass.
+func (ConstFoldPass) Name() string { return "ConstFoldPass" }
+
+// Description implements Pass.
+func (ConstFoldPass) Description() string {
+	return "Fold constant expressions and branches inside basic blocks"
+}
+
+// Run implements Pass.
+func (ConstFoldPass) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			foldBlock(b)
+		}
+	}
+	return nil
+}
+
+// foldBlock performs one forward pass over a block.
+func foldBlock(b *ir.Block) {
+	known := map[int]int64{}
+	setConst := func(in *ir.Instr, v int64) {
+		*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, A: -1, B: -1, Imm: v, Pos: in.Pos}
+		known[in.Dst] = v
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		switch in.Op {
+		case ir.OpConst:
+			known[in.Dst] = in.Imm
+		case ir.OpMov:
+			if v, ok := known[in.A]; ok {
+				setConst(in, v)
+			} else {
+				delete(known, in.Dst)
+			}
+		case ir.OpUn:
+			if a, ok := known[in.A]; ok {
+				var v int64
+				switch in.Un {
+				case ir.Neg:
+					v = -a
+				case ir.Not:
+					if a == 0 {
+						v = 1
+					}
+				case ir.BNot:
+					v = ^a
+				}
+				setConst(in, v)
+			} else {
+				delete(known, in.Dst)
+			}
+		case ir.OpBin:
+			a, aok := known[in.A]
+			bv, bok := known[in.B]
+			if aok && bok {
+				if v, ok := evalBin(in.Bin, a, bv); ok {
+					setConst(in, v)
+					continue
+				}
+			}
+			delete(known, in.Dst)
+		case ir.OpCondBr:
+			if c, ok := known[in.A]; ok {
+				target := in.Targets[1]
+				if c != 0 {
+					target = in.Targets[0]
+				}
+				*in = ir.Instr{Op: ir.OpBr, Dst: -1, A: -1, B: -1,
+					Targets: [2]int{target, 0}, Pos: in.Pos}
+			}
+		default:
+			if in.Dst >= 0 {
+				delete(known, in.Dst)
+			}
+		}
+	}
+}
+
+// evalBin folds a binary operation; division by zero is left to run time
+// (it must fault, not fold).
+func evalBin(op ir.BinOp, a, b int64) (int64, bool) {
+	switch op {
+	case ir.Add:
+		return a + b, true
+	case ir.Sub:
+		return a - b, true
+	case ir.Mul:
+		return a * b, true
+	case ir.Div:
+		if b == 0 {
+			return 0, false
+		}
+		if b == -1 {
+			return -a, true
+		}
+		return a / b, true
+	case ir.Rem:
+		if b == 0 {
+			return 0, false
+		}
+		if b == -1 {
+			return 0, true
+		}
+		return a % b, true
+	case ir.Shl:
+		return a << (uint64(b) & 63), true
+	case ir.Shr:
+		return a >> (uint64(b) & 63), true
+	case ir.And:
+		return a & b, true
+	case ir.Or:
+		return a | b, true
+	case ir.Xor:
+		return a ^ b, true
+	case ir.Eq:
+		return fold2i(a == b), true
+	case ir.Ne:
+		return fold2i(a != b), true
+	case ir.Lt:
+		return fold2i(a < b), true
+	case ir.Le:
+		return fold2i(a <= b), true
+	case ir.Gt:
+		return fold2i(a > b), true
+	case ir.Ge:
+		return fold2i(a >= b), true
+	case ir.Ult:
+		return fold2i(uint64(a) < uint64(b)), true
+	case ir.Ule:
+		return fold2i(uint64(a) <= uint64(b)), true
+	case ir.Ugt:
+		return fold2i(uint64(a) > uint64(b)), true
+	case ir.Uge:
+		return fold2i(uint64(a) >= uint64(b)), true
+	}
+	return 0, false
+}
+
+func fold2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- DeadBlockPass ----
+
+// DeadBlockPass removes blocks unreachable from each function's entry and
+// compacts the block list, remapping branch targets.
+type DeadBlockPass struct{}
+
+// Name implements Pass.
+func (DeadBlockPass) Name() string { return "DeadBlockPass" }
+
+// Description implements Pass.
+func (DeadBlockPass) Description() string { return "Remove unreachable basic blocks" }
+
+// Run implements Pass.
+func (DeadBlockPass) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if err := dropDeadBlocks(f); err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func dropDeadBlocks(f *ir.Func) error {
+	reachable := make([]bool, len(f.Blocks))
+	work := []int{0}
+	reachable[0] = true
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		t := f.Blocks[bi].Terminator()
+		if t == nil {
+			return fmt.Errorf("block %d unterminated", bi)
+		}
+		var succs []int
+		switch t.Op {
+		case ir.OpBr:
+			succs = []int{t.Targets[0]}
+		case ir.OpCondBr:
+			succs = []int{t.Targets[0], t.Targets[1]}
+		}
+		for _, s := range succs {
+			if !reachable[s] {
+				reachable[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reachable[i] {
+			remap[i] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	if len(kept) == len(f.Blocks) {
+		return nil
+	}
+	for _, b := range kept {
+		t := t0(b)
+		switch t.Op {
+		case ir.OpBr:
+			t.Targets[0] = remap[t.Targets[0]]
+		case ir.OpCondBr:
+			t.Targets[0] = remap[t.Targets[0]]
+			t.Targets[1] = remap[t.Targets[1]]
+		}
+	}
+	f.Blocks = kept
+	return nil
+}
+
+func t0(b *ir.Block) *ir.Instr { return &b.Instrs[len(b.Instrs)-1] }
+
+// ---- DeadCodePass ----
+
+// DeadCodePass removes pure instructions whose destination register is
+// never read anywhere in the function (a whole-function read census is
+// sound without SSA: a register no instruction reads cannot matter).
+// Iterates to fixpoint, since removing an instruction removes its reads.
+type DeadCodePass struct{}
+
+// Name implements Pass.
+func (DeadCodePass) Name() string { return "DeadCodePass" }
+
+// Description implements Pass.
+func (DeadCodePass) Description() string {
+	return "Remove pure instructions writing registers that are never read"
+}
+
+// Run implements Pass.
+func (DeadCodePass) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		for dceOnce(f) {
+		}
+	}
+	return nil
+}
+
+// pureOp reports whether an instruction has no effect beyond its Dst.
+// Div/Rem may fault and loads may trip the sanitizer, so both stay.
+func pureOp(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpConst, ir.OpMov, ir.OpUn, ir.OpGlobalAddr, ir.OpFrameAddr:
+		return true
+	case ir.OpBin:
+		return in.Bin != ir.Div && in.Bin != ir.Rem
+	}
+	return false
+}
+
+func dceOnce(f *ir.Func) bool {
+	read := make([]bool, f.NumRegs)
+	note := func(r int) {
+		if r >= 0 && r < len(read) {
+			read[r] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpConst, ir.OpGlobalAddr, ir.OpFrameAddr:
+			case ir.OpMov, ir.OpUn:
+				note(in.A)
+			case ir.OpBin:
+				note(in.A)
+				note(in.B)
+			case ir.OpLoad:
+				note(in.A)
+			case ir.OpStore:
+				note(in.A)
+				note(in.B)
+			case ir.OpCall:
+				for _, a := range in.Args {
+					note(a)
+				}
+			case ir.OpRet, ir.OpCondBr:
+				note(in.A)
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if pureOp(&in) && in.Dst >= 0 && in.Dst < len(read) && !read[in.Dst] {
+				changed = true
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}

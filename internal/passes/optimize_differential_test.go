@@ -1,0 +1,75 @@
+package passes
+
+import (
+	"testing"
+
+	"closurex/internal/fuzz"
+	"closurex/internal/ir"
+	"closurex/internal/lower"
+	"closurex/internal/targets"
+	"closurex/internal/vm"
+)
+
+// Differential validation of the optimizer across the entire benchmark
+// suite: for every target, optimized and unoptimized builds must agree on
+// dozens of mutated inputs — result, exit status, fault kind, and the
+// observable global state.
+func TestOptimizerDifferentialAllTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep")
+	}
+	for _, tg := range targets.All() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			plain, err := lower.Compile(tg.Short+".c", tg.Source, vm.Builtins())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := plain.Clone()
+			pm := NewManager(vm.Builtins())
+			pm.Add(OptimizePipeline()...)
+			if err := pm.Run(opt); err != nil {
+				t.Fatal(err)
+			}
+			rng := fuzz.NewRNG(0xD1FFE12)
+			mut := fuzz.NewMutator(rng, tg.MaxInputLen)
+			seeds := tg.Seeds()
+			inputs := append([][]byte{}, seeds...)
+			for i := 0; i < 40; i++ {
+				inputs = append(inputs, mut.Havoc(seeds[i%len(seeds)]))
+			}
+			for i := range tg.Bugs {
+				inputs = append(inputs, tg.Bugs[i].Trigger)
+			}
+			for i, in := range inputs {
+				r1, s1 := execState(t, plain, in)
+				r2, s2 := execState(t, opt, in)
+				if r1.Ret != r2.Ret || r1.Exited != r2.Exited || r1.ExitCode != r2.ExitCode {
+					t.Fatalf("input %d: results diverged: %+v vs %+v", i, r1, r2)
+				}
+				if (r1.Fault == nil) != (r2.Fault == nil) {
+					t.Fatalf("input %d: fault presence diverged: %v vs %v", i, r1.Fault, r2.Fault)
+				}
+				if r1.Fault != nil && r1.Fault.Kind != r2.Fault.Kind {
+					t.Fatalf("input %d: fault kind diverged: %v vs %v", i, r1.Fault, r2.Fault)
+				}
+				if s1 != s2 {
+					t.Fatalf("input %d: global state diverged", i)
+				}
+			}
+		})
+	}
+}
+
+// execState runs input in a fresh deterministic VM and returns the result
+// plus a fingerprint of the whole globals image.
+func execState(t *testing.T, m *ir.Module, input []byte) (vm.Result, string) {
+	t.Helper()
+	v, err := vm.New(m, vm.Options{DeterministicRand: true, RandSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetInput(input)
+	res := v.Call("main")
+	return res, string(v.SnapshotGlobals())
+}

@@ -1,0 +1,308 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"closurex/internal/ir"
+	"closurex/internal/lower"
+	"closurex/internal/vm"
+)
+
+const sampleSrc = `
+int hits;
+const int magic = 7;
+char banner[6] = "hello";
+
+int helper(int n) {
+	char *p = (char*)malloc(n);
+	if (!p) exit(2);
+	free(p);
+	return n * magic;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) exit(1);
+	hits++;
+	int r = helper(3);
+	fclose(f);
+	return r;
+}
+`
+
+func compileSample(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := lower.Compile("sample.c", sampleSrc, vm.Builtins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// callees returns the multiset of call targets in the module.
+func callees(m *ir.Module) map[string]int {
+	out := map[string]int{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpCall {
+					out[b.Instrs[i].Callee]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestRenameMainPass(t *testing.T) {
+	m := compileSample(t)
+	if err := (RenameMainPass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("main") != nil || m.Func(TargetMain) == nil {
+		t.Fatal("main not renamed")
+	}
+	// Idempotent.
+	if err := (RenameMainPass{}).Run(m); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+func TestRenameMainPassNoMain(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder("other", 0)
+	b.Ret(-1)
+	_ = m.AddFunc(b.F)
+	if err := (RenameMainPass{}).Run(m); err == nil {
+		t.Fatal("pass succeeded without main")
+	}
+}
+
+func TestExitPass(t *testing.T) {
+	m := compileSample(t)
+	if err := (ExitPass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	c := callees(m)
+	if c["exit"] != 0 {
+		t.Fatalf("exit calls remain: %d", c["exit"])
+	}
+	if c["closurex_exit"] != 2 {
+		t.Fatalf("closurex_exit calls = %d, want 2", c["closurex_exit"])
+	}
+}
+
+func TestHeapPass(t *testing.T) {
+	m := compileSample(t)
+	if err := (HeapPass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	c := callees(m)
+	for _, raw := range []string{"malloc", "calloc", "realloc", "free"} {
+		if c[raw] != 0 {
+			t.Errorf("%s calls remain", raw)
+		}
+	}
+	if c["closurex_malloc"] != 1 || c["closurex_free"] != 1 {
+		t.Fatalf("wrapper call counts: %+v", c)
+	}
+}
+
+func TestFilePass(t *testing.T) {
+	m := compileSample(t)
+	if err := (FilePass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	c := callees(m)
+	if c["fopen"] != 0 || c["fclose"] != 0 {
+		t.Fatalf("raw file calls remain: %+v", c)
+	}
+	if c["closurex_fopen"] != 1 || c["closurex_fclose"] != 1 {
+		t.Fatalf("wrapper call counts: %+v", c)
+	}
+}
+
+func TestGlobalPassSections(t *testing.T) {
+	m := compileSample(t)
+	if err := (GlobalPass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range m.Globals {
+		if g.Const {
+			if g.Section != ir.SectionRodata {
+				t.Errorf("const global %s in %s", g.Name, g.Section)
+			}
+		} else if g.Section != ir.SectionClosure {
+			t.Errorf("writable global %s in %s, want closure section", g.Name, g.Section)
+		}
+	}
+	// The mutable global must land in the closure section ("hits" and the
+	// writable banner array).
+	lay := vm.NewLayout(m)
+	sec, ok := lay.Section(ir.SectionClosure)
+	if !ok || sec.Size == 0 {
+		t.Fatalf("closure section missing or empty: %+v", lay.Sections)
+	}
+}
+
+func TestCoveragePassInstrumentsEveryBlock(t *testing.T) {
+	m := compileSample(t)
+	if err := (NewCoveragePass(1)).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	want := m.NumBlocks()
+	if got := CountProbes(m); got != want {
+		t.Fatalf("probes = %d, want %d", got, want)
+	}
+	// Idempotent: running again must not double-instrument.
+	if err := (NewCoveragePass(1)).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := CountProbes(m); got != want {
+		t.Fatalf("after rerun probes = %d, want %d", got, want)
+	}
+}
+
+func TestCoverageIDsDeterministic(t *testing.T) {
+	m1 := compileSample(t)
+	m2 := compileSample(t)
+	_ = NewCoveragePass(7).Run(m1)
+	_ = NewCoveragePass(7).Run(m2)
+	if ir.Print(m1) != ir.Print(m2) {
+		t.Fatal("coverage instrumentation not deterministic")
+	}
+	m3 := compileSample(t)
+	_ = NewCoveragePass(8).Run(m3)
+	if ir.Print(m1) == ir.Print(m3) {
+		t.Fatal("coverage seed has no effect")
+	}
+}
+
+func TestManagerRunsPipelineAndVerifies(t *testing.T) {
+	m := compileSample(t)
+	pm := NewManager(vm.Builtins())
+	pm.Add(ClosureXPipeline(false)...)
+	pm.Add(NewCoveragePass(1))
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(pm.Passes()) != 6 {
+		t.Fatalf("pipeline length = %d", len(pm.Passes()))
+	}
+	// Instrumented module still runs and produces the same answer.
+	machine, err := vm.New(m, vm.Options{Files: map[string][]byte{"/input": []byte("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := machine.Call(TargetMain)
+	if res.Fault != nil || res.Ret != 21 {
+		t.Fatalf("instrumented run: ret=%d fault=%v", res.Ret, res.Fault)
+	}
+}
+
+func TestPipelinePreservesSemantics(t *testing.T) {
+	// The full pipeline must not change observable behaviour for a single
+	// execution: compare pristine vs instrumented results.
+	pristine := compileSample(t)
+	instr := pristine.Clone()
+	pm := NewManager(vm.Builtins())
+	pm.Add(ClosureXPipeline(false)...)
+	if err := pm.Run(instr); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{"/input": []byte("x")}
+	v1, _ := vm.New(pristine, vm.Options{Files: files})
+	v2, _ := vm.New(instr, vm.Options{Files: files})
+	r1 := v1.Call("main")
+	r2 := v2.Call(TargetMain)
+	if r1.Ret != r2.Ret || r1.Exited != r2.Exited || (r1.Fault == nil) != (r2.Fault == nil) {
+		t.Fatalf("semantics diverged: pristine %+v vs instrumented %+v", r1, r2)
+	}
+}
+
+func TestDeferInitPassHoistsCalls(t *testing.T) {
+	src := `
+int table[4];
+void closurex_init(void) {
+	for (int i = 0; i < 4; i++) table[i] = i + 1;
+}
+int main(void) {
+	closurex_init();
+	return table[0] + table[3];
+}
+`
+	m, err := lower.Compile("t.c", src, vm.Builtins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (DeferInitPass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if callees(m)[InitFunc] != 0 {
+		t.Fatal("init call not hoisted")
+	}
+	// After hoisting, main alone returns 0 (table untouched)...
+	v1, _ := vm.New(m, vm.Options{})
+	if res := v1.Call("main"); res.Ret != 0 {
+		t.Fatalf("hoisted main = %d, want 0", res.Ret)
+	}
+	// ...and the harness-style sequence init-then-main returns 5.
+	v2, _ := vm.New(m, vm.Options{})
+	if res := v2.Call(InitFunc); res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+	if res := v2.Call("main"); res.Ret != 5 {
+		t.Fatalf("init+main = %d, want 5", res.Ret)
+	}
+}
+
+func TestDeferInitPassRejectsParams(t *testing.T) {
+	src := `
+void closurex_init(int x) { }
+int main(void) { return 0; }
+`
+	m, err := lower.Compile("t.c", src, vm.Builtins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (DeferInitPass{}).Run(m); err == nil || !strings.Contains(err.Error(), "no parameters") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeferInitPassNoopWithoutInitFunc(t *testing.T) {
+	m := compileSample(t)
+	before := ir.Print(m)
+	if err := (DeferInitPass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Print(m) != before {
+		t.Fatal("pass changed module without init function")
+	}
+}
+
+func TestTable3Inventory(t *testing.T) {
+	// The canonical pipeline matches the paper's Table 3.
+	want := map[string]string{
+		"RenameMainPass": "Rename target's main",
+		"ExitPass":       "Rename target's exit calls",
+		"HeapPass":       "Inject tracking of target's heap memory",
+		"FilePass":       "Inject tracking of target's file descriptors",
+		"GlobalPass":     "Move target's writable globals into a separate memory section",
+	}
+	for _, p := range ClosureXPipeline(false) {
+		d, ok := want[p.Name()]
+		if !ok {
+			t.Errorf("unexpected pass %s", p.Name())
+			continue
+		}
+		if p.Description() != d {
+			t.Errorf("%s description = %q, want %q", p.Name(), p.Description(), d)
+		}
+		delete(want, p.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing passes: %v", want)
+	}
+}

@@ -1,0 +1,184 @@
+package targets
+
+import "closurex/internal/vm"
+
+// bloscSource parses a c-blosc2-style "bframe" container. Four null
+// pointer dereferences are planted, matching Table 7's four c-blosc2
+// "Null Ptr Deref." rows: all are parse paths that assume optional state
+// (a dictionary, lazy-chunk bookkeeping, a metalayer block, a chunk body)
+// is present when the header merely claims it is.
+const bloscSource = `
+// blosclite: bframe container parser (c-blosc2 analogue).
+//
+// Header: "b2fr" | header_len le16 | frame_len le32 | flags u8 | dict_id
+// u8 | nchunks le16 | offsets[nchunks] le32 (relative to header_len; the
+// value 0xffffffff marks a missing chunk). Chunk: csize le16 | rawsize
+// le16 | filter u8 | data[csize]. flags bit2 = metalayers at header+24,
+// bit3 = lazy chunks.
+
+int frames_done;
+int chunks_done;
+int bytes_out;
+int filters_seen;
+char *g_dict;
+char *g_lazy_state;
+
+int rd_le32(char *p) {
+	return p[0] | (p[1] << 8) | (p[2] << 16) | (p[3] << 24);
+}
+int rd_le16(char *p) {
+	return p[0] | (p[1] << 8);
+}
+
+int apply_dict(char *data, int n) {
+	// BUG blosc-dict-null: the dictionary is never loaded in-band, but a
+	// nonzero dict_id routes decompression through it anyway.
+	int first = g_dict[0];
+	return first + n;
+}
+
+int decode_lazy(char *data, int n) {
+	// BUG blosc-lazy-null: lazy-chunk bookkeeping is only allocated by the
+	// (unimplemented) on-disk path.
+	int state = g_lazy_state[0];
+	return state + n;
+}
+
+void parse_meta(char *meta) {
+	// BUG blosc-meta-null: caller passes NULL when header_len < 32 but the
+	// metalayer flag is set.
+	int count = meta[0];
+	filters_seen += count;
+}
+
+int read_chunk(char *buf, int size, int off, int flags, int dict_id) {
+	char *cp;
+	if (off == 0xffffffff) {
+		// BUG blosc-chunk-null: a missing chunk yields a NULL chunk
+		// pointer that the header read below dereferences.
+		cp = (char*)0;
+	} else {
+		if (off < 0) return 0;
+		if (off + 5 > size) exit(4);
+		cp = buf + off;
+	}
+	int csize = cp[0] | (cp[1] << 8);
+	int rawsize = cp[2] | (cp[3] << 8);
+	int filter = cp[4];
+	if (csize < 0) return 0;
+	if (off + 5 + csize > size) exit(4);
+	filters_seen += filter;
+	char *out = (char*)malloc(rawsize + 1);
+	if (!out) exit(1);
+	int n = csize;
+	if (n > rawsize) n = rawsize;
+	for (int i = 0; i < n; i++) out[i] = cp[5 + i];
+	if (dict_id != 0) bytes_out += apply_dict(out, n);
+	if (flags & 8) bytes_out += decode_lazy(out, n);
+	bytes_out += n;
+	free(out);
+	chunks_done++;
+	return n;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 14 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+	if (buf[0] != 'b' || buf[1] != '2' || buf[2] != 'f' || buf[3] != 'r') {
+		free(buf);
+		fclose(f);
+		exit(2);
+	}
+	int header_len = rd_le16(buf + 4);
+	int frame_len = rd_le32(buf + 6);
+	int flags = buf[10];
+	int dict_id = buf[11];
+	int nchunks = rd_le16(buf + 12);
+	if (header_len < 14 || header_len > size) { free(buf); fclose(f); exit(3); }
+	if (frame_len > size) { free(buf); fclose(f); exit(3); }
+	if (nchunks > 128) { free(buf); fclose(f); exit(3); }
+	if (14 + nchunks * 4 > header_len) { free(buf); fclose(f); exit(3); }
+
+	if (flags & 4) {
+		char *meta = (char*)0;
+		if (header_len >= 32) meta = buf + 24;
+		parse_meta(meta);
+	}
+	for (int i = 0; i < nchunks; i++) {
+		int off = rd_le32(buf + 14 + i * 4);
+		int abs = off;
+		if (off != 0xffffffff) abs = header_len + off;
+		read_chunk(buf, size, off == 0xffffffff ? off : abs, flags, dict_id);
+	}
+	frames_done++;
+	free(buf);
+	fclose(f);
+	return chunks_done * 10 + frames_done;
+}
+`
+
+// bloscFrame assembles a bframe with the given chunk payloads.
+func bloscFrame(flags, dictID int, chunks [][]byte) []byte {
+	headerLen := 14 + len(chunks)*4
+	var bodies []byte
+	var offs []int
+	for _, c := range chunks {
+		offs = append(offs, len(bodies))
+		bodies = append(bodies, cat(le16(len(c)), le16(len(c)), []byte{0}, c)...)
+	}
+	total := headerLen + len(bodies)
+	out := cat([]byte("b2fr"), le16(headerLen), le32(total), []byte{byte(flags), byte(dictID)}, le16(len(chunks)))
+	for _, o := range offs {
+		out = cat(out, le32(o))
+	}
+	return cat(out, bodies)
+}
+
+func bloscSeeds() [][]byte {
+	return [][]byte{
+		bloscFrame(0, 0, [][]byte{[]byte("hello world"), []byte("abcabcabc")}),
+		bloscFrame(0, 0, [][]byte{[]byte("x")}),
+	}
+}
+
+func init() {
+	missing := cat([]byte("b2fr"), le16(18), le32(18), []byte{0, 0}, le16(1), le32(0xffffffff))
+	register(&Target{
+		Name:        "c-blosc2",
+		Short:       "blosclite",
+		Format:      "bframe",
+		ExecSize:    "12 M",
+		ImagePages:  680,
+		Source:      bloscSource,
+		Seeds:       bloscSeeds,
+		MaxInputLen: 1024,
+		Dict:        []string{"b2fr", "\xff\xff\xff\xff"},
+		Bugs: []Bug{
+			{
+				ID: "blosc-chunk-null", Kind: vm.FaultNullDeref, Func: "read_chunk",
+				Description: "Null Ptr Deref: missing-chunk sentinel yields NULL chunk pointer",
+				Trigger:     missing,
+			},
+			{
+				ID: "blosc-dict-null", Kind: vm.FaultNullDeref, Func: "apply_dict",
+				Description: "Null Ptr Deref: nonzero dict id without a loaded dictionary",
+				Trigger:     bloscFrame(0, 5, [][]byte{[]byte("abc")}),
+			},
+			{
+				ID: "blosc-lazy-null", Kind: vm.FaultNullDeref, Func: "decode_lazy",
+				Description: "Null Ptr Deref: lazy-chunk flag without lazy state",
+				Trigger:     bloscFrame(8, 0, [][]byte{[]byte("abc")}),
+			},
+			{
+				ID: "blosc-meta-null", Kind: vm.FaultNullDeref, Func: "parse_meta",
+				Description: "Null Ptr Deref: metalayer flag with a short header",
+				Trigger:     bloscFrame(4, 0, [][]byte{[]byte("abc")}),
+			},
+		},
+	})
+}

@@ -1,0 +1,248 @@
+package targets
+
+import "closurex/internal/vm"
+
+// bpfSource parses a miniature ELF object the way libbpf does: a section
+// table, symbol/string tables and relocation sections. Three null-pointer
+// dereferences are planted, the first mirroring the paper's libbpf 0-day
+// ("parsing the relocation section of a crashing ELF object leads to a
+// NULL pointer access").
+const bpfSource = `
+// bpflite: minimal ELF/BPF object loader (libbpf analogue).
+//
+// Layout: 0x7f 'E' 'L' 'F' class data pad pad | e_shoff le32 | e_shnum le16
+// | e_shentsize le16 (=20). Section entry: name_off le32, type le32,
+// off le32, size le32, link le32. Types: 1 progbits, 2 symtab (16-byte
+// entries: name_off, value, size, info), 3 strtab, 7 maps, 9 rel (12-byte
+// entries: r_offset, sym_idx, r_type).
+
+struct sec {
+	int name_off;
+	int type;
+	int off;
+	int size;
+	int link;
+};
+
+int sections_seen;
+int symbols_seen;
+int relocs_seen;
+int progs_seen;
+char *g_strtab;
+int g_strtab_len;
+char *g_maps_data;
+int g_file_size;
+
+int rd_le32(char *p) {
+	return p[0] | (p[1] << 8) | (p[2] << 16) | (p[3] << 24);
+}
+int rd_le16(char *p) {
+	return p[0] | (p[1] << 8);
+}
+
+char *sec_data(char *buf, struct sec *secs, int shnum, int idx) {
+	if (idx < 0) return (char*)0;
+	if (idx >= shnum) return (char*)0;
+	struct sec *s = secs + idx;
+	if (s->size <= 0) return (char*)0;
+	return buf + s->off;
+}
+
+void resolve_map(int value) {
+	// BUG bpf-maps-null: g_maps_data is only set when a maps section
+	// exists, but map-flavored symbols are resolved unconditionally.
+	int slot = g_maps_data[0];
+	progs_seen += slot + value;
+}
+
+void parse_symtab(char *buf, struct sec *s) {
+	int n = s->size / 16;
+	char *base = buf + s->off;
+	for (int i = 0; i < n; i++) {
+		char *sym = base + i * 16;
+		int name_off = rd_le32(sym);
+		int info = rd_le32(sym + 12);
+		if (name_off != 0) {
+			if (g_strtab_len == 0) {
+				// BUG bpf-sym-name-null: the "object has no string table"
+				// case was never considered, so g_strtab is NULL here.
+				char first = g_strtab[name_off & 255];
+				symbols_seen += first != 0;
+			} else if (name_off < g_strtab_len) {
+				char first = g_strtab[name_off];
+				symbols_seen += first != 0;
+			}
+		}
+		if (info == 3) {
+			resolve_map(rd_le32(sym + 4));
+		}
+		symbols_seen++;
+	}
+}
+
+void parse_rel(char *buf, struct sec *secs, int shnum, struct sec *s) {
+	char *symtab = sec_data(buf, secs, shnum, s->link);
+	int n = s->size / 12;
+	char *base = buf + s->off;
+	// BUG bpf-reloc-null: symtab is NULL when the link index is bogus,
+	// yet the first symbol is touched before any validation.
+	int first_sym = symtab[0];
+	for (int i = 0; i < n; i++) {
+		char *rel = base + i * 12;
+		int sym_idx = rd_le32(rel + 4);
+		relocs_seen += sym_idx >= 0;
+	}
+	relocs_seen += first_sym & 1;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 16 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+	g_file_size = size;
+	g_strtab = (char*)0;
+	g_maps_data = (char*)0;
+
+	if (buf[0] != 0x7f || buf[1] != 'E' || buf[2] != 'L' || buf[3] != 'F') {
+		free(buf);
+		fclose(f);
+		exit(2);
+	}
+	int shoff = rd_le32(buf + 8);
+	int shnum = rd_le16(buf + 12);
+	int shentsize = rd_le16(buf + 14);
+	if (shentsize != 20 || shnum <= 0 || shnum > 64) { free(buf); fclose(f); exit(3); }
+	if (shoff < 16 || shoff + shnum * 20 > size) { free(buf); fclose(f); exit(3); }
+
+	struct sec *secs = (struct sec*)malloc(shnum * sizeof(struct sec));
+	if (!secs) exit(1);
+	for (int i = 0; i < shnum; i++) {
+		char *e = buf + shoff + i * 20;
+		struct sec *s = secs + i;
+		s->name_off = rd_le32(e);
+		s->type = rd_le32(e + 4);
+		s->off = rd_le32(e + 8);
+		s->size = rd_le32(e + 12);
+		s->link = rd_le32(e + 16);
+		if (s->off < 0 || s->size < 0 || s->off + s->size > size) {
+			free(secs);
+			free(buf);
+			fclose(f);
+			exit(4);
+		}
+		sections_seen++;
+	}
+	// First pass: locate string table and maps data.
+	for (int i = 0; i < shnum; i++) {
+		struct sec *s = secs + i;
+		if (s->type == 3 && s->size > 0) {
+			g_strtab = buf + s->off;
+			g_strtab_len = s->size;
+		}
+		if (s->type == 7 && s->size > 0) {
+			g_maps_data = buf + s->off;
+		}
+	}
+	// Second pass: parse contents.
+	for (int i = 0; i < shnum; i++) {
+		struct sec *s = secs + i;
+		if (s->type == 1) progs_seen++;
+		if (s->type == 2 && s->size >= 16) parse_symtab(buf, s);
+		if (s->type == 9 && s->size >= 12) parse_rel(buf, secs, shnum, s);
+	}
+	free(secs);
+	free(buf);
+	fclose(f);
+	return sections_seen * 100 + symbols_seen;
+}
+`
+
+// bpfELF assembles a mini-ELF with the given section entries and blobs.
+type bpfSec struct {
+	nameOff, typ, link int
+	data               []byte
+}
+
+func bpfELF(secs []bpfSec) []byte {
+	// Layout: 16-byte header, section data blobs, section table.
+	var blobs []byte
+	offs := make([]int, len(secs))
+	base := 16
+	for i, s := range secs {
+		offs[i] = base + len(blobs)
+		blobs = append(blobs, s.data...)
+	}
+	shoff := base + len(blobs)
+	hdr := cat([]byte{0x7f, 'E', 'L', 'F', 2, 1, 0, 0}, le32(shoff), le16(len(secs)), le16(20))
+	out := cat(hdr, blobs)
+	for i, s := range secs {
+		out = cat(out, le32(s.nameOff), le32(s.typ), le32(offs[i]), le32(len(s.data)), le32(s.link))
+	}
+	return out
+}
+
+// bpfSym builds one 16-byte symbol entry.
+func bpfSym(nameOff, value, size, info int) []byte {
+	return cat(le32(nameOff), le32(value), le32(size), le32(info))
+}
+
+// bpfRel builds one 12-byte relocation entry.
+func bpfRel(off, symIdx, typ int) []byte {
+	return cat(le32(off), le32(symIdx), le32(typ))
+}
+
+func bpfSeeds() [][]byte {
+	// Valid object: progbits + strtab + symtab(link→strtab) + rel(link→symtab).
+	good := bpfELF([]bpfSec{
+		{typ: 1, data: []byte{0xb7, 0, 0, 0, 0x95, 0, 0, 0}}, // 0: code
+		{typ: 3, data: []byte("\x00main\x00license\x00")},    // 1: strtab
+		{typ: 2, link: 1, data: cat(bpfSym(1, 0, 8, 1))},     // 2: symtab
+		{typ: 9, link: 2, data: cat(bpfRel(0, 0, 1))},        // 3: rel
+	})
+	tiny := bpfELF([]bpfSec{
+		{typ: 1, data: []byte{0x95, 0, 0, 0}},
+	})
+	return [][]byte{good, tiny}
+}
+
+func init() {
+	register(&Target{
+		Name:        "libbpf",
+		Short:       "bpflite",
+		Format:      "bpf object",
+		ExecSize:    "1.9 M",
+		ImagePages:  810,
+		Source:      bpfSource,
+		Seeds:       bpfSeeds,
+		MaxInputLen: 1024,
+		Dict:        []string{"\x7fELF", "main", "license"},
+		Bugs: []Bug{
+			{
+				ID: "bpf-reloc-null", Kind: vm.FaultNullDeref, Func: "parse_rel",
+				Description: "Null Ptr Deref: relocation section with bogus symtab link",
+				Trigger: bpfELF([]bpfSec{
+					{typ: 9, link: 42, data: bpfRel(0, 0, 1)},
+				}),
+			},
+			{
+				ID: "bpf-sym-name-null", Kind: vm.FaultNullDeref, Func: "parse_symtab",
+				Description: "Null Ptr Deref: named symbol without a string table",
+				Trigger: bpfELF([]bpfSec{
+					{typ: 2, data: bpfSym(1, 0, 0, 1)},
+				}),
+			},
+			{
+				ID: "bpf-maps-null", Kind: vm.FaultNullDeref, Func: "resolve_map",
+				Description: "Null Ptr Deref: map symbol without a maps section",
+				Trigger: bpfELF([]bpfSec{
+					{typ: 3, data: []byte("\x00m\x00")},
+					{typ: 2, link: 0, data: bpfSym(1, 4, 0, 3)},
+				}),
+			},
+		},
+	})
+}

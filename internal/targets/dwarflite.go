@@ -1,0 +1,246 @@
+package targets
+
+// dwarfSource parses DWARF-style debug information out of the same
+// mini-ELF container bpflite uses: a .debug_abbrev section (ULEB128
+// abbreviation declarations) and a .debug_info section (a CU header and a
+// DIE stream referencing abbreviation codes). Clean target; it exercises
+// deep, data-dependent recursion through variable-length integers.
+const dwarfSource = `
+// dwarflite: DWARF debug-info reader (libdwarf analogue).
+//
+// Container: the bpflite mini-ELF (see bpflite.go). Section types here:
+// 0x11 = debug_abbrev, 0x12 = debug_info.
+
+int abbrevs_seen;
+int dies_seen;
+int attrs_seen;
+int cu_count;
+int max_depth;
+int strings_seen;
+
+int rd_le32(char *p) {
+	return p[0] | (p[1] << 8) | (p[2] << 16) | (p[3] << 24);
+}
+int rd_le16(char *p) {
+	return p[0] | (p[1] << 8);
+}
+
+// uleb decodes a ULEB128 at buf[pos..end) and stores the value through
+// vout; returns the new position or -1.
+int uleb(char *buf, int pos, int end, int *vout) {
+	int v = 0;
+	int shift = 0;
+	while (pos < end) {
+		int b = buf[pos];
+		pos++;
+		v = v | ((b & 127) << shift);
+		shift += 7;
+		if ((b & 128) == 0) { *vout = v; return pos; }
+		if (shift > 56) return -1;
+	}
+	return -1;
+}
+
+// abbrev_table caches decoded abbreviations: code -> (tag, nattrs,
+// has_children) packed into parallel heap arrays of 64 entries.
+int parse_abbrev(char *buf, int start, int end, int *tags, int *nattrs, int *kids) {
+	int pos = start;
+	int count = 0;
+	while (pos < end) {
+		int code = 0;
+		pos = uleb(buf, pos, end, &code);
+		if (pos < 0) return -1;
+		if (code == 0) break; // end of table
+		if (code < 1 || code > 63) return -1;
+		int tag = 0;
+		pos = uleb(buf, pos, end, &tag);
+		if (pos < 0) return -1;
+		if (pos >= end) return -1;
+		int children = buf[pos];
+		pos++;
+		int na = 0;
+		while (1) {
+			int attr = 0;
+			int form = 0;
+			pos = uleb(buf, pos, end, &attr);
+			if (pos < 0) return -1;
+			pos = uleb(buf, pos, end, &form);
+			if (pos < 0) return -1;
+			if (attr == 0 && form == 0) break;
+			if (form < 1 || form > 4) return -1;
+			na++;
+			if (na > 16) return -1;
+		}
+		tags[code] = tag;
+		nattrs[code] = na;
+		kids[code] = children & 1;
+		abbrevs_seen++;
+		count++;
+		if (count > 63) return -1;
+	}
+	return count;
+}
+
+// parse_dies walks the DIE stream: each DIE is a ULEB abbrev code; code 0
+// pops one nesting level. Attribute payloads are form-sized constants.
+int parse_dies(char *buf, int pos, int end, int *tags, int *nattrs, int *kids) {
+	int depth = 0;
+	while (pos < end) {
+		int code = 0;
+		pos = uleb(buf, pos, end, &code);
+		if (pos < 0) return -1;
+		if (code == 0) {
+			if (depth == 0) return pos;
+			depth--;
+			continue;
+		}
+		if (code > 63 || tags[code] == 0) return -1;
+		int na = nattrs[code];
+		for (int i = 0; i < na; i++) {
+			// forms: 1=u8, 2=u16, 3=u32, 4=uleb string index
+			int form = 1 + ((tags[code] + i) & 3);
+			if (form == 1) {
+				if (pos + 1 > end) return -1;
+				pos++;
+			} else if (form == 2) {
+				if (pos + 2 > end) return -1;
+				pos += 2;
+			} else if (form == 3) {
+				if (pos + 4 > end) return -1;
+				pos += 4;
+			} else {
+				int sidx = 0;
+				pos = uleb(buf, pos, end, &sidx);
+				if (pos < 0) return -1;
+				strings_seen++;
+			}
+			attrs_seen++;
+		}
+		dies_seen++;
+		if (kids[code]) {
+			depth++;
+			if (depth > 32) return -1;
+			if (depth > max_depth) max_depth = depth;
+		}
+		if (dies_seen > 4096) return -1;
+	}
+	return pos;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 16 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+
+	if (buf[0] != 0x7f || buf[1] != 'E' || buf[2] != 'L' || buf[3] != 'F') {
+		free(buf);
+		fclose(f);
+		exit(2);
+	}
+	int shoff = rd_le32(buf + 8);
+	int shnum = rd_le16(buf + 12);
+	int shentsize = rd_le16(buf + 14);
+	if (shentsize != 20 || shnum <= 0 || shnum > 64) { free(buf); fclose(f); exit(3); }
+	if (shoff < 16 || shoff + shnum * 20 > size) { free(buf); fclose(f); exit(3); }
+
+	int abbrev_off = -1;
+	int abbrev_size = 0;
+	int info_off = -1;
+	int info_size = 0;
+	for (int i = 0; i < shnum; i++) {
+		char *e = buf + shoff + i * 20;
+		int type = rd_le32(e + 4);
+		int off = rd_le32(e + 8);
+		int ssz = rd_le32(e + 12);
+		if (off < 0 || ssz < 0 || off + ssz > size) { free(buf); fclose(f); exit(4); }
+		if (type == 0x11) { abbrev_off = off; abbrev_size = ssz; }
+		if (type == 0x12) { info_off = off; info_size = ssz; }
+	}
+	if (abbrev_off < 0 || info_off < 0) { free(buf); fclose(f); exit(5); }
+
+	int *tags = (int*)calloc(64, sizeof(int));
+	int *nattrs = (int*)calloc(64, sizeof(int));
+	int *kids = (int*)calloc(64, sizeof(int));
+	if (!tags || !nattrs || !kids) exit(1);
+
+	int n = parse_abbrev(buf, abbrev_off, abbrev_off + abbrev_size, tags, nattrs, kids);
+	if (n <= 0) { free(tags); free(nattrs); free(kids); free(buf); fclose(f); exit(6); }
+
+	// CU header: length le32, version le16, abbrev_off le32, addr_size u8.
+	if (info_size < 11) { free(tags); free(nattrs); free(kids); free(buf); fclose(f); exit(7); }
+	int culen = rd_le32(buf + info_off);
+	int version = rd_le16(buf + info_off + 4);
+	if (version < 2 || version > 5) { free(tags); free(nattrs); free(kids); free(buf); fclose(f); exit(7); }
+	if (culen < 7 || 4 + culen > info_size) { free(tags); free(nattrs); free(kids); free(buf); fclose(f); exit(7); }
+	cu_count++;
+	int r = parse_dies(buf, info_off + 11, info_off + 4 + culen, tags, nattrs, kids);
+	if (r < 0) { free(tags); free(nattrs); free(kids); free(buf); fclose(f); exit(8); }
+
+	free(tags);
+	free(nattrs);
+	free(kids);
+	free(buf);
+	fclose(f);
+	return dies_seen * 100 + abbrevs_seen * 10 + cu_count;
+}
+`
+
+// dwUleb encodes a ULEB128.
+func dwUleb(v int) []byte {
+	var out []byte
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			out = append(out, b|0x80)
+		} else {
+			return append(out, b)
+		}
+	}
+}
+
+func dwarfSeeds() [][]byte {
+	// Abbrev table: code 1 = tag 4 (forms cycle u8,u16,u32 per attr),
+	// 2 attrs, has children; code 2 = tag 8, 1 attr, leaf.
+	abbrev := cat(
+		dwUleb(1), dwUleb(4), []byte{1},
+		dwUleb(3), dwUleb(1), dwUleb(4), dwUleb(2), dwUleb(0), dwUleb(0),
+		dwUleb(2), dwUleb(8), []byte{0},
+		dwUleb(5), dwUleb(1), dwUleb(0), dwUleb(0),
+		dwUleb(0),
+	)
+	// DIE stream: DIE(code1){ attrs: form1(u8)+form2(u16) } -> child
+	// DIE(code2){ form1(u8) } -> end child -> terminator.
+	dies := cat(
+		dwUleb(1), []byte{7}, le16(300),
+		dwUleb(2), []byte{9},
+		dwUleb(0),
+		dwUleb(0),
+	)
+	// tags[1]=4 → forms for attrs i=0,1: 1+((4+0)&3)=1(u8), 1+((4+1)&3)=2(u16).
+	// tags[2]=8 → form for attr 0: 1+((8+0)&3)=1(u8).
+	info := cat(le32(7+len(dies)), le16(4), le32(0), []byte{8}, dies)
+	obj := bpfELF([]bpfSec{
+		{typ: 0x11, data: abbrev},
+		{typ: 0x12, data: info},
+	})
+	return [][]byte{obj}
+}
+
+func init() {
+	register(&Target{
+		Name:        "libdwarf",
+		Short:       "dwarflite",
+		Format:      "ELF",
+		ExecSize:    "2.8 M",
+		ImagePages:  380,
+		Source:      dwarfSource,
+		Seeds:       dwarfSeeds,
+		MaxInputLen: 2048,
+		Dict:        []string{"\x7fELF", "\x11\x00\x00\x00", "\x12\x00\x00\x00"},
+	})
+}

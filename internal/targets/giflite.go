@@ -1,0 +1,170 @@
+package targets
+
+// gifSource walks GIF structure the way giftext does: header, logical
+// screen descriptor, color tables, image descriptors and extension blocks,
+// printing a textual summary. Clean target.
+const gifSource = `
+// giflite: GIF structure printer (giftext analogue).
+
+int images_seen;
+int extensions_seen;
+int comment_bytes;
+int gct_size;
+int width;
+int height;
+int loops_seen;
+int trailer_seen;
+
+int rd_le16(char *p) {
+	return p[0] | (p[1] << 8);
+}
+
+int skip_subblocks(char *buf, int size, int pos) {
+	while (pos < size) {
+		int n = buf[pos];
+		if (n == 0) return pos + 1;
+		if (pos + 1 + n > size) return -1;
+		pos = pos + 1 + n;
+	}
+	return -1;
+}
+
+int count_subblocks(char *buf, int size, int pos, int which) {
+	while (pos < size) {
+		int n = buf[pos];
+		if (n == 0) return pos + 1;
+		if (pos + 1 + n > size) return -1;
+		if (which == 1) comment_bytes += n;
+		pos = pos + 1 + n;
+	}
+	return -1;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 13 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+
+	if (buf[0] != 'G' || buf[1] != 'I' || buf[2] != 'F' || buf[3] != '8' ||
+	    (buf[4] != '7' && buf[4] != '9') || buf[5] != 'a') {
+		free(buf);
+		fclose(f);
+		exit(2);
+	}
+	width = rd_le16(buf + 6);
+	height = rd_le16(buf + 8);
+	int packed = buf[10];
+	int pos = 13;
+	if (packed & 0x80) {
+		gct_size = 2 << (packed & 7);
+		int bytes = gct_size * 3;
+		if (pos + bytes > size) { free(buf); fclose(f); exit(3); }
+		pos += bytes;
+	}
+	puts("screen descriptor ok");
+
+	int done = 0;
+	do {
+		if (pos >= size) break;
+		int tag = buf[pos];
+		switch (tag) {
+		case 0x3b:
+			trailer_seen = 1;
+			done = 1;
+			break;
+		case 0x2c:
+			if (pos + 10 > size) { free(buf); fclose(f); exit(4); }
+			int ipacked = buf[pos + 9];
+			pos += 10;
+			if (ipacked & 0x80) {
+				int lct = (2 << (ipacked & 7)) * 3;
+				if (pos + lct > size) { free(buf); fclose(f); exit(4); }
+				pos += lct;
+			}
+			if (pos + 1 > size) { free(buf); fclose(f); exit(4); }
+			pos++; // LZW minimum code size
+			pos = skip_subblocks(buf, size, pos);
+			if (pos < 0) { free(buf); fclose(f); exit(4); }
+			images_seen++;
+			break;
+		case 0x21:
+			if (pos + 2 > size) { free(buf); fclose(f); exit(5); }
+			int label = buf[pos + 1];
+			pos += 2;
+			switch (label) {
+			case 0xfe:
+				pos = count_subblocks(buf, size, pos, 1);
+				break;
+			case 0xff:
+				loops_seen++;
+				pos = skip_subblocks(buf, size, pos);
+				break;
+			default:
+				pos = skip_subblocks(buf, size, pos);
+			}
+			if (pos < 0) { free(buf); fclose(f); exit(5); }
+			extensions_seen++;
+			break;
+		default:
+			free(buf);
+			fclose(f);
+			exit(6);
+		}
+		if (images_seen + extensions_seen > 256) done = 1;
+	} while (!done);
+	if (images_seen > 0) puts("images present");
+	print_int(images_seen);
+	free(buf);
+	fclose(f);
+	return images_seen * 100 + extensions_seen * 10 + trailer_seen;
+}
+`
+
+func gifSeeds() [][]byte {
+	subblocks := func(data []byte) []byte {
+		var out []byte
+		for len(data) > 0 {
+			n := len(data)
+			if n > 255 {
+				n = 255
+			}
+			out = append(out, byte(n))
+			out = append(out, data[:n]...)
+			data = data[n:]
+		}
+		return append(out, 0)
+	}
+	gct := make([]byte, 6) // 2-entry color table
+	img := cat(
+		[]byte{0x2c}, le16(0), le16(0), le16(4), le16(4), []byte{0},
+		[]byte{2}, subblocks([]byte{0x44, 0x01}),
+	)
+	comment := cat([]byte{0x21, 0xfe}, subblocks([]byte("made by giflite")))
+	gif := cat(
+		[]byte("GIF89a"), le16(4), le16(4), []byte{0x80, 0, 0},
+		gct, comment, img, []byte{0x3b},
+	)
+	plain := cat(
+		[]byte("GIF87a"), le16(2), le16(2), []byte{0, 0, 0},
+		img, []byte{0x3b},
+	)
+	return [][]byte{gif, plain}
+}
+
+func init() {
+	register(&Target{
+		Name:        "giftext",
+		Short:       "giflite",
+		Format:      "gif",
+		ExecSize:    "232 K",
+		ImagePages:  480,
+		Source:      gifSource,
+		Seeds:       gifSeeds,
+		MaxInputLen: 1024,
+		Dict:        []string{"GIF89a", "GIF87a", "\x21\xfe", "\x21\xff", "\x2c", "\x3b"},
+	})
+}

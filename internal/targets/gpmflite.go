@@ -1,0 +1,245 @@
+package targets
+
+import "closurex/internal/vm"
+
+// gpmfSource is a GoPro GPMF KLV metadata parser (the gpmf-parser
+// analogue). KLV layout: key[4] type[1] structSize[1] repeat[2,BE], then
+// structSize*repeat payload bytes padded to 4-byte alignment; type 0 nests.
+// Six bugs are planted, matching Table 7's gpmf-parser rows: two divisions
+// by zero, two unaddressable accesses, one invalid write, one invalid read.
+const gpmfSource = `
+// gpmflite: GPMF (GoPro metadata) KLV parser.
+int klv_count;
+int device_count;
+int strict_mode;
+int total_temp;
+int scale_cache;
+int rate_cache;
+int last_tick;
+int name_len_sum;
+int gps_stamp;
+int last_run_klvs;
+int prev_probe;
+
+int rd_be32(char *p) {
+	return (p[0] << 24) | (p[1] << 16) | (p[2] << 8) | p[3];
+}
+int rd_be16(char *p) {
+	return (p[0] << 8) | p[1];
+}
+int fourcc(char *p, int a, int b, int c, int d) {
+	return p[0] == a && p[1] == b && p[2] == c && p[3] == d;
+}
+
+void handle_scal(char *payload, int plen) {
+	if (plen < 4) return;
+	int scale = rd_be32(payload);
+	scale_cache = 1000 / scale;        // BUG gpmf-div-zero-scal
+}
+
+void handle_fps(char *payload, int plen) {
+	if (strict_mode) return;
+	if (plen < 8) return;
+	int num = rd_be32(payload);
+	int den = rd_be32(payload + 4);
+	rate_cache = num / den;            // BUG gpmf-div-zero-fps
+}
+
+void handle_strd(char *payload, int plen) {
+	if (plen < 2) return;
+	int declared = rd_be16(payload);
+	int sum = 0;
+	for (int i = 0; i < declared; i++) {
+		sum += payload[2 + i];         // BUG gpmf-unaddr-strd: trusts declared length
+	}
+	total_temp += sum;
+}
+
+void handle_tick(char *payload, int plen, int repeat) {
+	if (repeat < 1) return;
+	for (int i = 0; i <= repeat; i++) {
+		last_tick = payload[i * 8];    // BUG gpmf-unaddr-tick: off-by-one repeat
+	}
+}
+
+void handle_name(char *payload, int plen) {
+	char *dst = (char*)malloc(16);
+	if (!dst) return;
+	for (int i = 0; i < plen; i++) {
+		dst[i] = payload[i];           // BUG gpmf-invalid-write: no clamp at 16
+	}
+	name_len_sum += plen;
+	free(dst);
+}
+
+void handle_gpsu(char *payload, int plen, int type) {
+	if (type != 'U') return;
+	if (plen < 1) return;
+	gps_stamp = payload[15];           // BUG gpmf-invalid-read: fixed 16-byte stamp
+}
+
+void handle_tmpc(char *payload, int plen) {
+	if (plen < 4) return;
+	total_temp += rd_be32(payload);
+}
+
+void handle_prev(char *payload, int plen) {
+	// Summarize against the previous capture's record count. In a fresh
+	// process last_run_klvs is always 0 here (it is assigned after
+	// parsing), so this can NEVER crash in correct execution — but under
+	// naive persistent fuzzing the stale value indexes far past the
+	// 8-byte scratch buffer, producing a crash whose reported input does
+	// not reproduce. The paper's non-reproducibility pathology.
+	char *scratch = (char*)malloc(8);
+	if (!scratch) return;
+	if (last_run_klvs > 0) {
+		prev_probe += scratch[last_run_klvs];
+	}
+	free(scratch);
+}
+
+int parse_klv(char *buf, int start, int end, int depth) {
+	if (depth > 6) return end;
+	int pos = start;
+	while (pos + 8 <= end) {
+		char *k = buf + pos;
+		int type = buf[pos + 4];
+		int ssize = buf[pos + 5];
+		int repeat = rd_be16(buf + pos + 6);
+		int plen = ssize * repeat;
+		int payload = pos + 8;
+		if (payload + plen > end) exit(2);
+		if (type == 0) {
+			parse_klv(buf, payload, payload + plen, depth + 1);
+		} else if (fourcc(k, 'S', 'C', 'A', 'L')) {
+			handle_scal(buf + payload, plen);
+		} else if (fourcc(k, 'F', 'P', 'S', ' ')) {
+			handle_fps(buf + payload, plen);
+		} else if (fourcc(k, 'S', 'T', 'R', 'D')) {
+			handle_strd(buf + payload, plen);
+		} else if (fourcc(k, 'T', 'I', 'C', 'K')) {
+			handle_tick(buf + payload, plen, repeat);
+		} else if (fourcc(k, 'N', 'A', 'M', 'E')) {
+			handle_name(buf + payload, plen);
+		} else if (fourcc(k, 'G', 'P', 'S', 'U')) {
+			handle_gpsu(buf + payload, plen, type);
+		} else if (fourcc(k, 'T', 'M', 'P', 'C')) {
+			handle_tmpc(buf + payload, plen);
+		} else if (fourcc(k, 'P', 'R', 'E', 'V')) {
+			handle_prev(buf + payload, plen);
+		} else if (fourcc(k, 'D', 'V', 'I', 'D')) {
+			device_count++;
+			if (plen >= 1) strict_mode = buf[payload] & 1;
+		}
+		klv_count++;
+		pos = payload + ((plen + 3) & ~3);
+	}
+	return pos;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 8 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);                 // leaks f on the OOM path
+	fread(buf, 1, size, f);
+	parse_klv(buf, 0, size, 0);
+	last_run_klvs = klv_count;
+	if (total_temp > 100000) {
+		// Overheated-device bail-out: an early return that forgets both
+		// the buffer and the file handle — the leak-per-iteration pattern
+		// that exhausts descriptors under naive persistent fuzzing.
+		return -2;
+	}
+	free(buf);
+	fclose(f);
+	return klv_count;
+}
+`
+
+// klv builds one GPMF KLV record with 4-byte payload padding.
+func klv(key string, typ byte, ssize int, repeat int, payload []byte) []byte {
+	out := cat([]byte(key), []byte{typ, byte(ssize)}, be16(repeat), payload)
+	for len(out)%4 != 0 { // the 8-byte header keeps this equal to payload padding
+		out = append(out, 0)
+	}
+	return out
+}
+
+func gpmfSeeds() [][]byte {
+	// A realistic nested stream: DEVC container holding DVID, NAME and a
+	// STRM container with SCAL/FPS/TMPC samples.
+	inner := cat(
+		klv("SCAL", 'l', 4, 1, be32(1)),
+		klv("FPS ", 'l', 8, 1, cat(be32(30), be32(1))),
+		klv("TMPC", 'l', 4, 1, be32(23)),
+	)
+	strm := klv("STRM", 0, 1, len(inner), inner)
+	dev := cat(
+		klv("DVID", 'L', 4, 1, []byte{0, 0, 0x10, 0}),
+		klv("NAME", 'c', 1, 6, []byte("hero11")),
+		strm,
+	)
+	devc := klv("DEVC", 0, 1, len(dev), dev)
+	// TICK's off-by-one read lands on the following record's header here,
+	// so the seed parses cleanly; the bug only faults when TICK sits at
+	// the very end of the buffer.
+	simple := cat(
+		klv("TICK", 'L', 8, 2, make([]byte, 16)),
+		// GPSU with a full 16-byte timestamp parses cleanly; truncating
+		// it is what trips the fixed-size read.
+		klv("GPSU", 'U', 1, 16, make([]byte, 16)),
+		klv("PREV", 'L', 4, 1, be32(0)),
+		klv("TMPC", 'l', 4, 1, be32(99)),
+	)
+	return [][]byte{devc, simple}
+}
+
+func init() {
+	register(&Target{
+		Name:        "gpmf-parser",
+		Short:       "gpmflite",
+		Format:      "mp4 (GoPro)",
+		ExecSize:    "720 K",
+		ImagePages:  350,
+		Source:      gpmfSource,
+		Seeds:       gpmfSeeds,
+		MaxInputLen: 512,
+		Dict: []string{"DEVC", "STRM", "SCAL", "FPS ", "STRD", "TICK",
+			"NAME", "GPSU", "TMPC", "PREV", "DVID"},
+		Bugs: []Bug{
+			{
+				ID: "gpmf-div-zero-scal", Kind: vm.FaultDivByZero, Func: "handle_scal",
+				Description: "Division by Zero: SCAL scale factor taken from input",
+				Trigger:     klv("SCAL", 'l', 4, 1, be32(0)),
+			},
+			{
+				ID: "gpmf-div-zero-fps", Kind: vm.FaultDivByZero, Func: "handle_fps",
+				Description: "Division by Zero: FPS denominator taken from input",
+				Trigger:     klv("FPS ", 'l', 8, 1, cat(be32(30), be32(0))),
+			},
+			{
+				ID: "gpmf-unaddr-strd", Kind: vm.FaultHeapOOB, Func: "handle_strd",
+				Description: "Unaddressable Access: STRD trusts its declared length",
+				Trigger:     klv("STRD", 'l', 4, 1, cat(be16(60000), be16(0))),
+			},
+			{
+				ID: "gpmf-unaddr-tick", Kind: vm.FaultHeapOOB, Func: "handle_tick",
+				Description: "Unaddressable Access: TICK off-by-one on repeat count",
+				Trigger:     klv("TICK", 'L', 8, 1, make([]byte, 8)),
+			},
+			{
+				ID: "gpmf-invalid-write", Kind: vm.FaultHeapOOB, Func: "handle_name",
+				Description: "Invalid Write: NAME copied into fixed 16-byte buffer",
+				Trigger:     klv("NAME", 'c', 1, 20, make([]byte, 20)),
+			},
+			{
+				ID: "gpmf-invalid-read", Kind: vm.FaultHeapOOB, Func: "handle_gpsu",
+				Description: "Invalid Read: GPSU reads a fixed 16-byte timestamp",
+				Trigger:     klv("GPSU", 'U', 1, 1, []byte{7}),
+			},
+		},
+	})
+}

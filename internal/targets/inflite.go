@@ -1,0 +1,185 @@
+package targets
+
+// infSource inflates a zlib-style archive: a 2-byte CMF/FLG header whose
+// 16-bit value must be divisible by 31, a sequence of simplified block
+// types (stored, RLE, delta), and a trailing Adler-32 checksum over the
+// decompressed output. Clean target.
+const infSource = `
+// inflite: zlib-style archive decompressor (zlib analogue).
+
+int blocks_stored;
+int blocks_rle;
+int blocks_delta;
+int out_bytes;
+int checksum_ok;
+int header_ok;
+
+int rd_le16(char *p) {
+	return p[0] | (p[1] << 8);
+}
+int rd_be16(char *p) {
+	return (p[0] << 8) | p[1];
+}
+int rd_be32(char *p) {
+	return (p[0] << 24) | (p[1] << 16) | (p[2] << 8) | p[3];
+}
+
+int adler32(char *data, int n) {
+	int a = 1;
+	int b = 0;
+	for (int i = 0; i < n; i++) {
+		a = (a + data[i]) % 65521;
+		b = (b + a) % 65521;
+	}
+	return (b << 16) | a;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 7 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+
+	int cmf = buf[0];
+	int flg = buf[1];
+	if ((cmf & 15) != 8) { free(buf); fclose(f); exit(2); }
+	if (((cmf << 8) | flg) % 31 != 0) { free(buf); fclose(f); exit(2); }
+	header_ok = 1;
+
+	int cap = 8192;
+	char *out = (char*)malloc(cap);
+	if (!out) exit(1);
+	int outn = 0;
+	int pos = 2;
+	int final = 0;
+	while (!final && pos < size - 4) {
+		int btype = buf[pos];
+		final = btype & 1;
+		btype = btype >> 1;
+		pos++;
+		if (btype == 0) {
+			// Stored: len le16, ~len le16, raw bytes.
+			if (pos + 4 > size - 4) { free(out); free(buf); fclose(f); exit(3); }
+			int len = rd_le16(buf + pos);
+			int nlen = rd_le16(buf + pos + 2);
+			if ((len ^ 0xffff) != nlen) { free(out); free(buf); fclose(f); exit(3); }
+			pos += 4;
+			if (pos + len > size - 4) { free(out); free(buf); fclose(f); exit(3); }
+			if (outn + len > cap) { free(out); free(buf); fclose(f); exit(4); }
+			for (int i = 0; i < len; i++) out[outn + i] = buf[pos + i];
+			outn += len;
+			pos += len;
+			blocks_stored++;
+		} else if (btype == 1) {
+			// RLE: count le16, value byte.
+			if (pos + 3 > size - 4) { free(out); free(buf); fclose(f); exit(3); }
+			int count = rd_le16(buf + pos);
+			char val = buf[pos + 2];
+			pos += 3;
+			if (count > 4096) { free(out); free(buf); fclose(f); exit(4); }
+			if (outn + count > cap) { free(out); free(buf); fclose(f); exit(4); }
+			for (int i = 0; i < count; i++) out[outn + i] = val;
+			outn += count;
+			blocks_rle++;
+		} else if (btype == 2) {
+			// Delta: count byte, start byte, step byte.
+			if (pos + 3 > size - 4) { free(out); free(buf); fclose(f); exit(3); }
+			int count = buf[pos];
+			int start = buf[pos + 1];
+			int step = buf[pos + 2];
+			pos += 3;
+			if (outn + count > cap) { free(out); free(buf); fclose(f); exit(4); }
+			int v = start;
+			for (int i = 0; i < count; i++) {
+				out[outn + i] = (char)v;
+				v = (v + step) & 255;
+			}
+			outn += count;
+			blocks_delta++;
+		} else {
+			free(out);
+			free(buf);
+			fclose(f);
+			exit(5);
+		}
+	}
+	int stored_sum = rd_be32(buf + size - 4);
+	int computed = adler32(out, outn);
+	if (stored_sum == computed) checksum_ok = 1;
+	out_bytes = outn;
+	free(out);
+	free(buf);
+	fclose(f);
+	return blocks_stored * 100 + blocks_rle * 10 + checksum_ok;
+}
+`
+
+// infAdler mirrors the target's checksum for seed construction.
+func infAdler(data []byte) int {
+	a, b := 1, 0
+	for _, c := range data {
+		a = (a + int(c)) % 65521
+		b = (b + a) % 65521
+	}
+	return b<<16 | a
+}
+
+// infArchive builds a valid archive producing the given output.
+func infArchive(blocks [][3]interface{}, out []byte) []byte {
+	hdr := []byte{0x78, 0}
+	v := (int(hdr[0]) << 8) | int(hdr[1])
+	hdr[1] = byte(int(hdr[1]) + (31-v%31)%31)
+	var body []byte
+	for i, b := range blocks {
+		final := 0
+		if i == len(blocks)-1 {
+			final = 1
+		}
+		switch b[0].(string) {
+		case "stored":
+			data := b[1].([]byte)
+			body = append(body, byte(0<<1|final))
+			body = append(body, le16(len(data))...)
+			body = append(body, le16(len(data)^0xffff)...)
+			body = append(body, data...)
+		case "rle":
+			body = append(body, byte(1<<1|final))
+			body = append(body, le16(b[1].(int))...)
+			body = append(body, b[2].(byte))
+		case "delta":
+			body = append(body, byte(2<<1|final))
+			body = append(body, byte(b[1].(int)), b[2].(byte), 3)
+		}
+	}
+	return cat(hdr, body, be32(infAdler(out)))
+}
+
+func infSeeds() [][]byte {
+	out1 := append([]byte("hello stored world"), []byte{7, 7, 7, 7, 7}...)
+	a1 := infArchive([][3]interface{}{
+		{"stored", []byte("hello stored world"), nil},
+		{"rle", 5, byte(7)},
+	}, out1)
+	out2 := []byte("xyz")
+	a2 := infArchive([][3]interface{}{
+		{"stored", []byte("xyz"), nil},
+	}, out2)
+	return [][]byte{a1, a2}
+}
+
+func init() {
+	register(&Target{
+		Name:        "zlib",
+		Short:       "inflite",
+		Format:      "zlib archive",
+		ExecSize:    "260 K",
+		ImagePages:  760,
+		Source:      infSource,
+		Seeds:       infSeeds,
+		MaxInputLen: 2048,
+		Dict:        []string{"\x78\x9c", "\x78\x01"},
+	})
+}

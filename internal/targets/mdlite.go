@@ -1,0 +1,175 @@
+package targets
+
+import "closurex/internal/vm"
+
+// mdSource is a line-oriented Markdown block parser (md4c analogue) with
+// the two md4c bugs of Table 7 planted: a memcpy with a negative computed
+// size in link parsing, and an out-of-bounds array access in the heading
+// histogram.
+const mdSource = `
+// mdlite: Markdown block parser (md4c analogue).
+
+int lines_seen;
+int headings_seen;
+int links_seen;
+int code_blocks;
+int quotes_seen;
+int list_items;
+int emph_runs;
+int in_fence;
+
+void count_heading(int *hist, char *line, int len) {
+	int level = 0;
+	while (level < len && line[level] == '#') level++;
+	if (level == 0) return;
+	if (level >= len) {
+		// All-hash line: still counted as a heading of its level.
+		hist[level - 1] = hist[level - 1] + 1;
+		headings_seen++;
+		return;
+	}
+	if (line[level] != ' ') return;
+	if (level > 6) level = 6;
+	hist[level - 1] = hist[level - 1] + 1;   // BUG md-heading-oob: hist has 4 slots
+	headings_seen++;
+}
+
+void parse_link(char *line, int len, int open) {
+	// open points at '['. Find the closing ']' and the '(' after it.
+	int cb = -1;
+	for (int i = open + 1; i < len; i++) {
+		if (line[i] == ']') { cb = i; break; }
+	}
+	if (cb < 0) return;
+	if (cb + 1 >= len) return;
+	if (line[cb + 1] != '(') return;
+	// The URL ends at the last ')' seen on the line — md4c-style cached
+	// index reuse.
+	int last_close = -1;
+	for (int i = 0; i < len; i++) {
+		if (line[i] == ')') last_close = i;
+	}
+	if (last_close < 0) return;
+	int url_len = last_close - cb - 2;
+	char url[64];
+	if (url_len > 63) url_len = 63;
+	// BUG md-memcpy-neg: url_len is negative when the only ')' on the
+	// line precedes the link opener.
+	memcpy(url, line + cb + 2, url_len);
+	links_seen++;
+}
+
+void parse_inline(char *line, int len) {
+	for (int i = 0; i < len; i++) {
+		char c = line[i];
+		if (c == '[') parse_link(line, len, i);
+		if (c == '*' || c == '_') emph_runs++;
+	}
+}
+
+int is_fence(char *line, int len) {
+	if (len < 3) return 0;
+	return line[0] == 96 && line[1] == 96 && line[2] == 96;
+}
+
+void parse_line(int *hist, char *line, int len) {
+	lines_seen++;
+	if (is_fence(line, len)) {
+		in_fence = !in_fence;
+		code_blocks += in_fence;
+		return;
+	}
+	if (in_fence) return;
+	if (len == 0) return;
+	if (line[0] == '#') {
+		count_heading(hist, line, len);
+		return;
+	}
+	if (line[0] == '>') {
+		quotes_seen++;
+		parse_inline(line + 1, len - 1);
+		return;
+	}
+	if (len >= 2 && (line[0] == '-' || line[0] == '*') && line[1] == ' ') {
+		list_items++;
+		parse_inline(line + 2, len - 2);
+		return;
+	}
+	parse_inline(line, len);
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size + 1);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+	buf[size] = 0;
+	// The histogram was sized for the four heading levels the authors
+	// used, but count_heading clamps to six (md4c's array-out-of-bounds
+	// bug class: a mismatch between the clamp and the allocation).
+	int *hist = (int*)malloc(4 * sizeof(int));
+	if (!hist) exit(1);
+	for (int i = 0; i < 4; i++) hist[i] = 0;
+	in_fence = 0;
+	int start = 0;
+	for (int i = 0; i <= size; i++) {
+		if (i == size || buf[i] == 10) {
+			parse_line(hist, buf + start, i - start);
+			start = i + 1;
+		}
+	}
+	int top = hist[0];
+	free(hist);
+	free(buf);
+	fclose(f);
+	return lines_seen * 100 + headings_seen * 10 + top;
+}
+`
+
+func mdSeeds() [][]byte {
+	doc1 := []byte(`# Title
+
+Some *emphasis* and a [link](https://x.dev) here.
+
+## Section
+- item one
+- item two
+
+> quoted line
+
+` + "```" + `
+code block
+` + "```" + `
+`)
+	doc2 := []byte("### Notes\n\nplain text with _underscores_ and [a](b) [c](d)\n")
+	return [][]byte{doc1, doc2}
+}
+
+func init() {
+	register(&Target{
+		Name:        "md4c",
+		Short:       "mdlite",
+		Format:      "markdown",
+		ExecSize:    "652 K",
+		ImagePages:  1600,
+		Source:      mdSource,
+		Seeds:       mdSeeds,
+		MaxInputLen: 1024,
+		Dict:        []string{"](", "```", "#####", "> ", "- ", "["},
+		Bugs: []Bug{
+			{
+				ID: "md-memcpy-neg", Kind: vm.FaultNegativeSize, Func: "parse_link",
+				Description: "Memcpy with negative size: only ')' on the line precedes the link",
+				Trigger:     []byte(") then [text](\n"),
+			},
+			{
+				ID: "md-heading-oob", Kind: vm.FaultHeapOOB, Func: "count_heading",
+				Description: "Array out of bounds access: heading histogram sized below the level clamp",
+				Trigger:     []byte("##### deep heading\n"),
+			},
+		},
+	})
+}

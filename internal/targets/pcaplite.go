@@ -1,0 +1,163 @@
+package targets
+
+// pcapSource parses libpcap capture files: the global header then
+// per-packet records, dissecting Ethernet and IPv4 on top. Clean target;
+// its state is a protocol-count table and a flow cache that persists per
+// process.
+const pcapSource = `
+// pcaplite: pcap capture-file dissector (libpcap analogue).
+
+int packets_seen;
+int ipv4_seen;
+int tcp_seen;
+int udp_seen;
+int icmp_seen;
+int other_seen;
+int truncated;
+int swapped;
+int proto_table[256];
+int flow_hash;
+
+int rd_le32(char *p) {
+	return p[0] | (p[1] << 8) | (p[2] << 16) | (p[3] << 24);
+}
+int rd_le16(char *p) {
+	return p[0] | (p[1] << 8);
+}
+int rd_be16(char *p) {
+	return (p[0] << 8) | p[1];
+}
+
+void dissect_ipv4(char *pkt, int len) {
+	if (len < 20) { truncated++; return; }
+	int vihl = pkt[0];
+	int version = vihl >> 4;
+	int ihl = (vihl & 15) * 4;
+	if (version != 4) { other_seen++; return; }
+	if (ihl < 20 || ihl > len) { truncated++; return; }
+	int total = rd_be16(pkt + 2);
+	if (total > len) truncated++;
+	int proto = pkt[9];
+	proto_table[proto] = proto_table[proto] + 1;
+	ipv4_seen++;
+	int src = rd_le32(pkt + 12);
+	int dst = rd_le32(pkt + 16);
+	flow_hash = flow_hash ^ (src * 31 + dst);
+	if (proto == 6) {
+		tcp_seen++;
+		if (len >= ihl + 20) {
+			int sport = rd_be16(pkt + ihl);
+			int dport = rd_be16(pkt + ihl + 2);
+			flow_hash = flow_hash ^ (sport << 16 | dport);
+		}
+	} else if (proto == 17) {
+		udp_seen++;
+	} else if (proto == 1) {
+		icmp_seen++;
+	}
+}
+
+void dissect_ethernet(char *pkt, int len) {
+	if (len < 14) { truncated++; return; }
+	int ethertype = rd_be16(pkt + 12);
+	if (ethertype == 0x0800) {
+		dissect_ipv4(pkt + 14, len - 14);
+	} else if (ethertype == 0x8100 && len >= 18) {
+		int inner = rd_be16(pkt + 16);
+		if (inner == 0x0800) dissect_ipv4(pkt + 18, len - 18);
+		else other_seen++;
+	} else {
+		other_seen++;
+	}
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 24 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+
+	int magic = rd_le32(buf);
+	if (magic == 0xa1b2c3d4) {
+		swapped = 0;
+	} else if (magic == 0xd4c3b2a1) {
+		swapped = 1;
+	} else {
+		free(buf);
+		fclose(f);
+		exit(2);
+	}
+	int snaplen = rd_le32(buf + 16);
+	if (snaplen <= 0 || snaplen > 262144) { free(buf); fclose(f); exit(3); }
+
+	int pos = 24;
+	while (pos + 16 <= size) {
+		int incl = rd_le32(buf + pos + 8);
+		int orig = rd_le32(buf + pos + 12);
+		if (swapped) {
+			// Byte-swapped captures: reinterpret big-endian.
+			incl = ((incl & 255) << 24) | (((incl >> 8) & 255) << 16) |
+			       (((incl >> 16) & 255) << 8) | ((incl >> 24) & 255);
+			orig = ((orig & 255) << 24) | (((orig >> 8) & 255) << 16) |
+			       (((orig >> 16) & 255) << 8) | ((orig >> 24) & 255);
+		}
+		if (incl < 0 || incl > snaplen) { free(buf); fclose(f); exit(4); }
+		if (pos + 16 + incl > size) { truncated++; break; }
+		dissect_ethernet(buf + pos + 16, incl);
+		packets_seen++;
+		if (orig < incl) truncated++;
+		pos = pos + 16 + incl;
+		if (packets_seen > 512) break;
+	}
+	free(buf);
+	fclose(f);
+	return packets_seen * 100 + ipv4_seen * 10 + tcp_seen;
+}
+`
+
+// pcapPacket builds one record wrapping an Ethernet/IPv4/TCP frame.
+func pcapPacket(proto byte, payload []byte) []byte {
+	ip := cat(
+		[]byte{0x45, 0},        // version/ihl, tos
+		be16(20+len(payload)),  // total length
+		[]byte{0, 1, 0, 0, 64}, // id, frag, ttl
+		[]byte{proto}, be16(0), // proto, checksum
+		[]byte{10, 0, 0, 1}, []byte{10, 0, 0, 2},
+		payload,
+	)
+	eth := cat(
+		[]byte{2, 0, 0, 0, 0, 1}, []byte{2, 0, 0, 0, 0, 2}, // MACs
+		be16(0x0800),
+		ip,
+	)
+	return cat(le32(1), le32(0), le32(len(eth)), le32(len(eth)), eth)
+}
+
+func pcapSeeds() [][]byte {
+	hdr := cat(le32(0xa1b2c3d4), le16(2), le16(4), le32(0), le32(0), le32(65535), le32(1))
+	tcp := cat(be16(443), be16(51000), le32(1), le32(0), []byte{0x50, 0x10}, be16(1024), be16(0), be16(0))
+	capture := cat(
+		hdr,
+		pcapPacket(6, tcp),
+		pcapPacket(17, []byte{0, 53, 0, 53, 0, 8, 0, 0}),
+		pcapPacket(1, []byte{8, 0, 0, 0}),
+	)
+	return [][]byte{capture, cat(hdr, pcapPacket(6, tcp))}
+}
+
+func init() {
+	register(&Target{
+		Name:        "libpcap",
+		Short:       "pcaplite",
+		Format:      "pcap",
+		ExecSize:    "2.4 M",
+		ImagePages:  310,
+		Source:      pcapSource,
+		Seeds:       pcapSeeds,
+		MaxInputLen: 2048,
+		Dict:        []string{"\xd4\xc3\xb2\xa1", "\xa1\xb2\xc3\xd4", "\x08\x00", "\x81\x00"},
+	})
+}

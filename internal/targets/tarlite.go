@@ -1,0 +1,190 @@
+package targets
+
+// tarSource parses USTAR archives: 512-byte headers with octal fields and
+// a checksum, followed by content blocks. No bugs are planted — bsdtar is
+// a coverage/throughput benchmark in Table 5/6; the interesting state here
+// is the global option/statistics block and the long-name heap buffer that
+// leaks on truncated archives.
+const tarSource = `
+// tarlite: USTAR archive lister (bsdtar analogue).
+
+int entries_seen;
+int files_seen;
+int dirs_seen;
+int links_seen;
+int total_bytes;
+int bad_checksums;
+int long_names;
+char *pending_longname;
+
+int parse_octal(char *p, int n) {
+	int v = 0;
+	for (int i = 0; i < n; i++) {
+		char c = p[i];
+		if (c == 0 || c == ' ') break;
+		if (c < '0' || c > '7') return -1;
+		v = v * 8 + (c - '0');
+	}
+	return v;
+}
+
+int header_checksum(char *h) {
+	int sum = 0;
+	for (int i = 0; i < 512; i++) {
+		if (i >= 148 && i < 156) {
+			sum += ' ';
+		} else {
+			sum += h[i];
+		}
+	}
+	return sum;
+}
+
+int is_zero_block(char *h) {
+	for (int i = 0; i < 512; i++) {
+		if (h[i] != 0) return 0;
+	}
+	return 1;
+}
+
+int check_magic(char *h) {
+	return h[257] == 'u' && h[258] == 's' && h[259] == 't' &&
+	       h[260] == 'a' && h[261] == 'r';
+}
+
+void note_name(char *h) {
+	int n = 0;
+	while (n < 100 && h[n] != 0) n++;
+	total_bytes += n;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 512 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+	pending_longname = (char*)0;
+
+	int pos = 0;
+	while (pos + 512 <= size) {
+		char *h = buf + pos;
+		if (is_zero_block(h)) break;
+		if (!check_magic(h)) { free(buf); fclose(f); exit(2); }
+		int fsz = parse_octal(h + 124, 12);
+		if (fsz < 0) { free(buf); fclose(f); exit(3); }
+		int stored = parse_octal(h + 148, 8);
+		if (stored != header_checksum(h)) {
+			bad_checksums++;
+			free(buf);
+			fclose(f);
+			exit(4);
+		}
+		char type = h[156];
+		if (type == '0' || type == 0) {
+			files_seen++;
+			total_bytes += fsz;
+		} else if (type == '5') {
+			dirs_seen++;
+		} else if (type == '1' || type == '2') {
+			links_seen++;
+		} else if (type == 'L') {
+			// GNU long name: content holds the real name. The buffer is
+			// replaced without freeing if two 'L' records appear in a row
+			// (a realistic leak the harness must mop up).
+			if (fsz > 0 && fsz < 4096 && pos + 512 + fsz <= size) {
+				pending_longname = (char*)malloc(fsz + 1);
+				if (pending_longname) {
+					for (int i = 0; i < fsz; i++) pending_longname[i] = buf[pos + 512 + i];
+					pending_longname[fsz] = 0;
+					long_names++;
+				}
+			}
+		}
+		note_name(h);
+		entries_seen++;
+		int blocks = (fsz + 511) / 512;
+		if (blocks > 128) { free(buf); fclose(f); exit(5); }
+		pos = pos + 512 + blocks * 512;
+	}
+	if (pending_longname) {
+		free(pending_longname);
+		pending_longname = (char*)0;
+	}
+	free(buf);
+	fclose(f);
+	return entries_seen * 100 + files_seen * 10 + dirs_seen;
+}
+`
+
+// tarHeader builds one 512-byte USTAR header.
+func tarHeader(name string, typeflag byte, size int) []byte {
+	h := make([]byte, 512)
+	copy(h, name)
+	copy(h[100:], "0000644\x00") // mode
+	copy(h[108:], "0001000\x00") // uid
+	copy(h[116:], "0001000\x00") // gid
+	octal := func(v, n int) []byte {
+		b := make([]byte, n)
+		for i := n - 2; i >= 0; i-- {
+			b[i] = byte('0' + v%8)
+			v /= 8
+		}
+		b[n-1] = 0
+		return b
+	}
+	copy(h[124:], octal(size, 12))
+	copy(h[136:], octal(0, 12)) // mtime
+	h[156] = typeflag
+	copy(h[257:], "ustar\x0000")
+	// checksum: spaces during computation.
+	for i := 148; i < 156; i++ {
+		h[i] = ' '
+	}
+	sum := 0
+	for _, b := range h {
+		sum += int(b)
+	}
+	copy(h[148:], octal(sum, 8))
+	h[155] = ' '
+	return h
+}
+
+func tarFile(name string, content []byte) []byte {
+	out := tarHeader(name, '0', len(content))
+	out = append(out, content...)
+	for len(out)%512 != 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+func tarSeeds() [][]byte {
+	a := cat(
+		tarFile("hello.txt", []byte("hello tar")),
+		tarHeader("docs/", '5', 0),
+		tarFile("docs/readme.md", []byte("# readme\ncontents here\n")),
+		make([]byte, 1024), // end-of-archive zero blocks
+	)
+	b := cat(
+		tarFile("a", []byte("x")),
+		make([]byte, 1024),
+	)
+	return [][]byte{a, b}
+}
+
+func init() {
+	register(&Target{
+		Name:        "bsdtar",
+		Short:       "tarlite",
+		Format:      "tar",
+		ExecSize:    "4.7 M",
+		ImagePages:  1600,
+		Source:      tarSource,
+		Seeds:       tarSeeds,
+		MaxInputLen: 4096,
+		Dict:        []string{"ustar", "0000644", "0001000"},
+	})
+}

@@ -1,0 +1,148 @@
+package targets
+
+// ttfSource parses sfnt (TrueType) font directories: the table directory,
+// the head table and a format-0 cmap. Like the paper's freetype target, it
+// contains PRNG-driven control flow (hinting jitter), which is exactly the
+// natural nondeterminism the correctness study must detect and mask
+// (§6.1.4 observed this in freetype).
+const ttfSource = `
+// ttflite: sfnt/TrueType font directory parser (freetype analogue).
+
+int tables_seen;
+int glyphs_mapped;
+int units_per_em;
+int head_ok;
+int cmap_ok;
+int hint_jitter;
+int hinted_glyphs;
+int checksum_acc;
+
+int rd_be32(char *p) {
+	return (p[0] << 24) | (p[1] << 16) | (p[2] << 8) | p[3];
+}
+int rd_be16(char *p) {
+	return (p[0] << 8) | p[1];
+}
+
+int tag_is(char *p, int a, int b, int c, int d) {
+	return p[0] == a && p[1] == b && p[2] == c && p[3] == d;
+}
+
+void parse_head(char *t, int len) {
+	if (len < 54) return;
+	int magic = rd_be32(t + 12);
+	if (magic != 0x5f0f3cf5) return;
+	units_per_em = rd_be16(t + 18);
+	if (units_per_em < 16) units_per_em = 16;
+	if (units_per_em > 16384) units_per_em = 16384;
+	head_ok = 1;
+}
+
+void parse_cmap(char *t, int len) {
+	if (len < 4) return;
+	int ntab = rd_be16(t + 2);
+	if (ntab < 1 || ntab > 8) return;
+	if (len < 4 + ntab * 8) return;
+	for (int i = 0; i < ntab; i++) {
+		char *rec = t + 4 + i * 8;
+		int off = rd_be32(rec + 4);
+		if (off < 0 || off + 6 > len) continue;
+		int format = rd_be16(t + off);
+		if (format == 0) {
+			int flen = rd_be16(t + off + 2);
+			if (flen < 262 || off + flen > len) continue;
+			for (int c = 0; c < 256; c++) {
+				int g = t[off + 6 + c];
+				if (g != 0) glyphs_mapped++;
+			}
+			cmap_ok = 1;
+		}
+	}
+}
+
+void hint_glyphs(void) {
+	// PRNG-driven control flow: real freetype derives hinting decisions
+	// from state that varies run to run; the correctness study must mask
+	// the resulting nondeterministic path (the paper saw this too).
+	hint_jitter = rand() & 3;
+	int rounds = glyphs_mapped;
+	if (rounds > 64) rounds = 64;
+	for (int i = 0; i < rounds; i++) {
+		if (((i + hint_jitter) & 3) == 0) hinted_glyphs++;
+	}
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 12 || size > 65536) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) exit(1);
+	fread(buf, 1, size, f);
+
+	int scaler = rd_be32(buf);
+	if (scaler != 0x00010000 && scaler != 0x74727565) {
+		free(buf);
+		fclose(f);
+		exit(2);
+	}
+	int ntables = rd_be16(buf + 4);
+	if (ntables < 1 || ntables > 32) { free(buf); fclose(f); exit(3); }
+	if (12 + ntables * 16 > size) { free(buf); fclose(f); exit(3); }
+
+	for (int i = 0; i < ntables; i++) {
+		char *e = buf + 12 + i * 16;
+		int off = rd_be32(e + 8);
+		int len = rd_be32(e + 12);
+		if (off < 0 || len < 0 || off + len > size) { free(buf); fclose(f); exit(4); }
+		checksum_acc = checksum_acc ^ rd_be32(e + 4);
+		if (tag_is(e, 'h', 'e', 'a', 'd')) parse_head(buf + off, len);
+		if (tag_is(e, 'c', 'm', 'a', 'p')) parse_cmap(buf + off, len);
+		tables_seen++;
+	}
+	if (head_ok && cmap_ok) hint_glyphs();
+	free(buf);
+	fclose(f);
+	return tables_seen * 100 + head_ok * 10 + cmap_ok;
+}
+`
+
+func ttfSeeds() [][]byte {
+	// head table: 54 bytes with the magic at offset 12, unitsPerEm at 18.
+	head := make([]byte, 54)
+	copy(head[12:], be32(0x5f0f3cf5))
+	copy(head[18:], be16(1000))
+	// cmap: header + one encoding record pointing at a format-0 subtable.
+	sub := cat(be16(0), be16(262), be16(0), make([]byte, 256))
+	for i := 65; i < 91; i++ {
+		sub[6+i] = byte(i - 64) // map A-Z
+	}
+	cmap := cat(be16(0), be16(1), be16(3), be16(1), be32(12), sub)
+
+	dirEntry := func(tag string, off, length int) []byte {
+		return cat([]byte(tag), be32(0x1234), be32(off), be32(length))
+	}
+	base := 12 + 2*16
+	font := cat(
+		be32(0x00010000), be16(2), be16(16), be16(1), be16(0),
+		dirEntry("head", base, len(head)),
+		dirEntry("cmap", base+len(head), len(cmap)),
+		head, cmap,
+	)
+	return [][]byte{font}
+}
+
+func init() {
+	register(&Target{
+		Name:        "freetype",
+		Short:       "ttflite",
+		Format:      "ttf",
+		ExecSize:    "4.6 M",
+		ImagePages:  390,
+		Source:      ttfSource,
+		Seeds:       ttfSeeds,
+		MaxInputLen: 2048,
+		Dict:        []string{"head", "cmap", "\x00\x01\x00\x00", "true", "\x5f\x0f\x3c\xf5"},
+	})
+}

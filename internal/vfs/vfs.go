@@ -1,0 +1,320 @@
+// Package vfs implements the virtual filesystem and file-descriptor table
+// that the ClosureX VM exposes to fuzzing targets. Targets read their test
+// case through fopen("/input") / fread, exactly as the paper's benchmarks
+// read their inputs from a file, and the FD table enforces the per-process
+// descriptor limit whose exhaustion causes the false crashes persistent
+// fuzzing is prone to (paper §4.2.2).
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// InputPath is the well-known path under which each test case appears.
+const InputPath = "/input"
+
+// DefaultFDLimit mirrors a conservative RLIMIT_NOFILE. Persistent targets
+// that leak handles will exhaust it within a few dozen iterations, which is
+// precisely the pathology the FilePass exists to prevent.
+const DefaultFDLimit = 64
+
+// Whence values for Seek, matching C's SEEK_SET/SEEK_CUR/SEEK_END.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// VFS errors surfaced to the VM.
+var (
+	ErrNotFound    = errors.New("vfs: file not found")
+	ErrFDExhausted = errors.New("vfs: file descriptor limit exhausted")
+	ErrBadFD       = errors.New("vfs: bad file descriptor")
+	ErrClosedFD    = errors.New("vfs: operation on closed descriptor")
+)
+
+// file is an in-memory file.
+type file struct {
+	data []byte
+}
+
+// OpenFile is one entry in the descriptor table.
+type OpenFile struct {
+	FD   int
+	Path string
+	pos  int
+	f    *file
+	// Init marks descriptors opened during target initialization; the
+	// ClosureX harness rewinds these with Seek(0) instead of closing them
+	// (the paper's initialization-handle optimization).
+	Init   bool
+	closed bool
+}
+
+// FS is a process-private view of the filesystem plus its descriptor table.
+type FS struct {
+	files   map[string]*file
+	fds     map[int]*OpenFile
+	nextFD  int
+	fdLimit int
+	// opens counts every successful open over the lifetime of the FS, for
+	// the correctness audit.
+	opens int
+}
+
+// New returns an empty filesystem with the default descriptor limit.
+func New() *FS {
+	return &FS{
+		files:   make(map[string]*file),
+		fds:     make(map[int]*OpenFile),
+		nextFD:  3, // 0,1,2 are reserved, as in POSIX
+		fdLimit: DefaultFDLimit,
+	}
+}
+
+// SetFDLimit overrides the descriptor limit (tests use tiny limits).
+func (fs *FS) SetFDLimit(n int) { fs.fdLimit = n }
+
+// WriteFile creates or replaces a file.
+func (fs *FS) WriteFile(path string, data []byte) {
+	fs.files[path] = &file{data: append([]byte(nil), data...)}
+}
+
+// SetInput installs the test case at InputPath without copying per call
+// beyond one slice clone.
+func (fs *FS) SetInput(data []byte) { fs.WriteFile(InputPath, data) }
+
+// ReadFile returns a copy of a file's contents.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Remove deletes a file; missing files are ignored.
+func (fs *FS) Remove(path string) { delete(fs.files, path) }
+
+// Open opens path for reading ("r") or writing ("w", truncates/creates).
+// It returns the new descriptor number.
+func (fs *FS) Open(path, mode string) (int, error) {
+	if len(fs.fds) >= fs.fdLimit {
+		return 0, ErrFDExhausted
+	}
+	f, ok := fs.files[path]
+	switch {
+	case !ok && (mode == "w" || mode == "a"):
+		f = &file{}
+		fs.files[path] = f
+	case !ok:
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	case mode == "w":
+		f.data = f.data[:0]
+	}
+	fd := fs.nextFD
+	fs.nextFD++
+	of := &OpenFile{FD: fd, Path: path, f: f}
+	if mode == "a" {
+		of.pos = len(f.data)
+	}
+	fs.fds[fd] = of
+	fs.opens++
+	return fd, nil
+}
+
+func (fs *FS) lookup(fd int) (*OpenFile, error) {
+	of, ok := fs.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if of.closed {
+		return nil, fmt.Errorf("%w: %d", ErrClosedFD, fd)
+	}
+	return of, nil
+}
+
+// Close releases a descriptor. Closing an unknown or already-closed
+// descriptor is an error (it is a bug in the target).
+func (fs *FS) Close(fd int) error {
+	of, err := fs.lookup(fd)
+	if err != nil {
+		return err
+	}
+	of.closed = true
+	delete(fs.fds, fd)
+	return nil
+}
+
+// Read copies up to len(dst) bytes from the descriptor's position.
+func (fs *FS) Read(fd int, dst []byte) (int, error) {
+	of, err := fs.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.pos >= len(of.f.data) {
+		return 0, nil // EOF
+	}
+	n := copy(dst, of.f.data[of.pos:])
+	of.pos += n
+	return n, nil
+}
+
+// Getc returns the next byte, or -1 at EOF (fgetc semantics).
+func (fs *FS) Getc(fd int) (int, error) {
+	of, err := fs.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.pos >= len(of.f.data) {
+		return -1, nil
+	}
+	b := of.f.data[of.pos]
+	of.pos++
+	return int(b), nil
+}
+
+// Write appends/overwrites at the descriptor's position.
+func (fs *FS) Write(fd int, src []byte) (int, error) {
+	of, err := fs.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	end := of.pos + len(src)
+	if end > len(of.f.data) {
+		grown := make([]byte, end)
+		copy(grown, of.f.data)
+		of.f.data = grown
+	}
+	copy(of.f.data[of.pos:], src)
+	of.pos = end
+	return len(src), nil
+}
+
+// Seek repositions the descriptor and returns the new offset.
+func (fs *FS) Seek(fd int, offset int64, whence int) (int64, error) {
+	of, err := fs.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = int64(of.pos)
+	case SeekEnd:
+		base = int64(len(of.f.data))
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, fmt.Errorf("vfs: seek to negative offset %d", np)
+	}
+	of.pos = int(np)
+	return np, nil
+}
+
+// Tell returns the current offset.
+func (fs *FS) Tell(fd int) (int64, error) {
+	of, err := fs.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	return int64(of.pos), nil
+}
+
+// Size returns the current size of the file behind fd.
+func (fs *FS) Size(fd int) (int64, error) {
+	of, err := fs.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(of.f.data)), nil
+}
+
+// OpenCount reports the number of live descriptors.
+func (fs *FS) OpenCount() int { return len(fs.fds) }
+
+// TotalOpens reports lifetime successful opens (audit metric).
+func (fs *FS) TotalOpens() int { return fs.opens }
+
+// LeakedFDs returns the live descriptors that were NOT opened during
+// initialization, in ascending order — the set the ClosureX harness closes
+// between test cases.
+func (fs *FS) LeakedFDs() []int {
+	var out []int
+	for fd, of := range fs.fds {
+		if !of.Init {
+			out = append(out, fd)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InitFDs returns the live initialization-time descriptors in ascending
+// order — the set the harness rewinds rather than closes.
+func (fs *FS) InitFDs() []int {
+	var out []int
+	for fd, of := range fs.fds {
+		if of.Init {
+			out = append(out, fd)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MarkInit flags every live descriptor as initialization state.
+func (fs *FS) MarkInit() {
+	for _, of := range fs.fds {
+		of.Init = true
+	}
+}
+
+// Reset closes every descriptor and removes every file except those in
+// keep. Used by the fresh-process mechanism between test cases.
+func (fs *FS) Reset(keep map[string][]byte) {
+	fs.fds = make(map[int]*OpenFile)
+	fs.nextFD = 3
+	fs.files = make(map[string]*file)
+	for p, d := range keep {
+		fs.WriteFile(p, d)
+	}
+}
+
+// Clone duplicates the filesystem view and descriptor table (forkserver
+// child). File contents are copied lazily only for open files' backing
+// stores; the cheap map copies model fd-table duplication in fork().
+func (fs *FS) Clone() *FS {
+	nf := &FS{
+		files:   make(map[string]*file, len(fs.files)),
+		fds:     make(map[int]*OpenFile, len(fs.fds)),
+		nextFD:  fs.nextFD,
+		fdLimit: fs.fdLimit,
+		opens:   fs.opens,
+	}
+	for p, f := range fs.files {
+		nf.files[p] = &file{data: append([]byte(nil), f.data...)}
+	}
+	for fd, of := range fs.fds {
+		cp := *of
+		cp.f = nf.files[of.Path]
+		nf.fds[fd] = &cp
+	}
+	return nf
+}
+
+// Snapshot captures every file's contents (for dataflow-equivalence
+// comparisons in the correctness study).
+func (fs *FS) Snapshot() map[string][]byte {
+	out := make(map[string][]byte, len(fs.files))
+	for p, f := range fs.files {
+		out[p] = append([]byte(nil), f.data...)
+	}
+	return out
+}

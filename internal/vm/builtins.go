@@ -1,0 +1,594 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"closurex/internal/ir"
+	"closurex/internal/mem"
+)
+
+// builtinFn is the signature of a runtime-provided routine.
+type builtinFn func(v *VM, in *ir.Instr, args []int64) (int64, error)
+
+// builtins is the C-library surface MinC targets may call. The closurex_*
+// names are the wrapper routines the HeapPass/FilePass/ExitPass splice in;
+// they behave identically here because the VM's heap and FD table always
+// keep the bookkeeping the wrappers exist to provide — what differs between
+// mechanisms is whether the harness *uses* that bookkeeping to restore
+// state between test cases.
+var builtins map[string]builtinFn
+
+// Builtins returns the set of resolvable builtin names, for ir.Verify.
+func Builtins() map[string]bool {
+	out := make(map[string]bool, len(builtins))
+	for name := range builtins {
+		out[name] = true
+	}
+	return out
+}
+
+// IsBuiltin reports whether name is a runtime routine.
+func IsBuiltin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}
+
+func init() {
+	builtins = map[string]builtinFn{
+		"exit":          biExit,
+		"closurex_exit": biExit,
+		"abort":         biAbort,
+		"assert":        biAssert,
+
+		"malloc":           biMalloc,
+		"calloc":           biCalloc,
+		"realloc":          biRealloc,
+		"free":             biFree,
+		"closurex_malloc":  biMalloc,
+		"closurex_calloc":  biCalloc,
+		"closurex_realloc": biRealloc,
+		"closurex_free":    biFree,
+
+		"memcpy":  biMemcpy,
+		"memmove": biMemcpy,
+		"memset":  biMemset,
+		"memcmp":  biMemcmp,
+		"strlen":  biStrlen,
+		"strcmp":  biStrcmp,
+		"strncmp": biStrncmp,
+		"strcpy":  biStrcpy,
+
+		"fopen":           biFopen,
+		"fclose":          biFclose,
+		"closurex_fopen":  biFopen,
+		"closurex_fclose": biFclose,
+		"fread":           biFread,
+		"fwrite":          biFwrite,
+		"fgetc":           biFgetc,
+		"fseek":           biFseek,
+		"ftell":           biFtell,
+		"fsize":           biFsize,
+
+		"puts":      biPuts,
+		"putchar":   biPutchar,
+		"print_int": biPrintInt,
+
+		"rand":  biRand,
+		"srand": biSrand,
+	}
+}
+
+func argn(v *VM, in *ir.Instr, args []int64, n int) error {
+	if len(args) != n {
+		return v.fault(FaultBadCall, in,
+			0, fmt.Sprintf("%s: %d args, want %d", in.Callee, len(args), n))
+	}
+	return nil
+}
+
+func biExit(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	var code int64
+	if len(args) > 0 {
+		code = args[0]
+	}
+	return 0, &exitUnwind{code: code}
+}
+
+func biAbort(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	return 0, v.fault(FaultAbort, in, 0, "abort()")
+}
+
+func biAssert(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	if args[0] == 0 {
+		return 0, v.fault(FaultAbort, in, 0, "assertion failed")
+	}
+	return 0, nil
+}
+
+// heapFault maps allocator errors onto fault kinds.
+func heapFault(v *VM, in *ir.Instr, addr uint64, err error) *Fault {
+	switch {
+	case errors.Is(err, mem.ErrDoubleFree):
+		return v.fault(FaultDoubleFree, in, addr, err.Error())
+	case errors.Is(err, mem.ErrBadFree):
+		return v.fault(FaultBadFree, in, addr, err.Error())
+	case errors.Is(err, mem.ErrUseAfterFree):
+		return v.fault(FaultUseAfterFree, in, addr, err.Error())
+	case errors.Is(err, mem.ErrHeapOOB):
+		return v.fault(FaultHeapOOB, in, addr, err.Error())
+	}
+	return v.fault(FaultOOM, in, addr, err.Error())
+}
+
+func biMalloc(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	if args[0] < 0 {
+		return 0, nil // size_t overflow request: malloc returns NULL
+	}
+	a, err := v.Heap.Alloc(uint64(args[0]))
+	if err != nil {
+		return 0, nil // NULL; unchecked callers then null-deref
+	}
+	return int64(a), nil
+}
+
+func biCalloc(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 2); err != nil {
+		return 0, err
+	}
+	n, sz := args[0], args[1]
+	if n < 0 || sz < 0 || (sz != 0 && n > (1<<40)/max64(sz, 1)) {
+		return 0, nil
+	}
+	a, err := v.Heap.AllocZeroed(uint64(n * sz))
+	if err != nil {
+		return 0, nil
+	}
+	return int64(a), nil
+}
+
+func biRealloc(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 2); err != nil {
+		return 0, err
+	}
+	if args[1] < 0 {
+		return 0, nil
+	}
+	a, err := v.Heap.Realloc(uint64(args[0]), uint64(args[1]))
+	if err != nil {
+		if errors.Is(err, mem.ErrHeapOOM) {
+			return 0, nil
+		}
+		return 0, heapFault(v, in, uint64(args[0]), err)
+	}
+	return int64(a), nil
+}
+
+func biFree(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	if err := v.Heap.Free(uint64(args[0])); err != nil {
+		return 0, heapFault(v, in, uint64(args[0]), err)
+	}
+	return 0, nil
+}
+
+// copyRegion validates and performs an n-byte read or write region access.
+func (v *VM) readRegion(in *ir.Instr, addr uint64, n int) ([]byte, *Fault) {
+	if flt := v.checkAccess(addr, n, false, in); flt != nil {
+		return nil, flt
+	}
+	b, err := v.Mem.Read(addr, n)
+	if err != nil {
+		return nil, v.fault(FaultWild, in, addr, err.Error())
+	}
+	return b, nil
+}
+
+func (v *VM) writeRegion(in *ir.Instr, addr uint64, data []byte) *Fault {
+	if flt := v.checkAccess(addr, len(data), true, in); flt != nil {
+		return flt
+	}
+	if err := v.Mem.Write(addr, data); err != nil {
+		return v.fault(FaultOOM, in, addr, err.Error())
+	}
+	return nil
+}
+
+func biMemcpy(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 3); err != nil {
+		return 0, err
+	}
+	dst, src, n := uint64(args[0]), uint64(args[1]), args[2]
+	if n < 0 {
+		// The md4c bug class: a negative length converted to size_t.
+		return 0, v.fault(FaultNegativeSize, in, dst, fmt.Sprintf("memcpy size %d", n))
+	}
+	if n == 0 {
+		return args[0], nil
+	}
+	v.budget -= n
+	if v.budget <= 0 {
+		return 0, v.fault(FaultTimeout, in, 0, "budget exhausted in memcpy")
+	}
+	b, flt := v.readRegion(in, src, int(n))
+	if flt != nil {
+		return 0, flt
+	}
+	if flt := v.writeRegion(in, dst, b); flt != nil {
+		return 0, flt
+	}
+	return args[0], nil
+}
+
+func biMemset(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 3); err != nil {
+		return 0, err
+	}
+	dst, c, n := uint64(args[0]), byte(args[1]), args[2]
+	if n < 0 {
+		return 0, v.fault(FaultNegativeSize, in, dst, fmt.Sprintf("memset size %d", n))
+	}
+	if n == 0 {
+		return args[0], nil
+	}
+	v.budget -= n
+	if v.budget <= 0 {
+		return 0, v.fault(FaultTimeout, in, 0, "budget exhausted in memset")
+	}
+	buf := make([]byte, n)
+	if c != 0 {
+		for i := range buf {
+			buf[i] = c
+		}
+	}
+	if flt := v.writeRegion(in, dst, buf); flt != nil {
+		return 0, flt
+	}
+	return args[0], nil
+}
+
+func biMemcmp(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 3); err != nil {
+		return 0, err
+	}
+	n := args[2]
+	if n < 0 {
+		return 0, v.fault(FaultNegativeSize, in, uint64(args[0]), fmt.Sprintf("memcmp size %d", n))
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	v.budget -= n
+	a, flt := v.readRegion(in, uint64(args[0]), int(n))
+	if flt != nil {
+		return 0, flt
+	}
+	b, flt := v.readRegion(in, uint64(args[1]), int(n))
+	if flt != nil {
+		return 0, flt
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1, nil
+			}
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// cstr walks a NUL-terminated string with per-byte sanitizer checks.
+func (v *VM) cstr(in *ir.Instr, addr uint64) ([]byte, *Fault) {
+	var out []byte
+	for {
+		if flt := v.checkAccess(addr, 1, false, in); flt != nil {
+			return nil, flt
+		}
+		b, err := v.Mem.LoadByte(addr)
+		if err != nil {
+			return nil, v.fault(FaultWild, in, addr, err.Error())
+		}
+		if b == 0 {
+			return out, nil
+		}
+		out = append(out, b)
+		addr++
+		v.budget--
+		if v.budget <= 0 {
+			return nil, v.fault(FaultTimeout, in, addr, "budget exhausted in string walk")
+		}
+	}
+}
+
+func biStrlen(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	s, flt := v.cstr(in, uint64(args[0]))
+	if flt != nil {
+		return 0, flt
+	}
+	return int64(len(s)), nil
+}
+
+func biStrcmp(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 2); err != nil {
+		return 0, err
+	}
+	a, flt := v.cstr(in, uint64(args[0]))
+	if flt != nil {
+		return 0, flt
+	}
+	b, flt := v.cstr(in, uint64(args[1]))
+	if flt != nil {
+		return 0, flt
+	}
+	return int64(cmpBytes(a, b)), nil
+}
+
+func biStrncmp(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 3); err != nil {
+		return 0, err
+	}
+	n := args[2]
+	if n <= 0 {
+		return 0, nil
+	}
+	a, flt := v.cstrBounded(in, uint64(args[0]), n)
+	if flt != nil {
+		return 0, flt
+	}
+	b, flt := v.cstrBounded(in, uint64(args[1]), n)
+	if flt != nil {
+		return 0, flt
+	}
+	return int64(cmpBytes(a, b)), nil
+}
+
+// cstrBounded reads at most n bytes of a C string (stops at NUL).
+func (v *VM) cstrBounded(in *ir.Instr, addr uint64, n int64) ([]byte, *Fault) {
+	var out []byte
+	for i := int64(0); i < n; i++ {
+		if flt := v.checkAccess(addr, 1, false, in); flt != nil {
+			return nil, flt
+		}
+		b, _ := v.Mem.LoadByte(addr)
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+		addr++
+		v.budget--
+		if v.budget <= 0 {
+			return nil, v.fault(FaultTimeout, in, addr, "budget exhausted")
+		}
+	}
+	return out, nil
+}
+
+func cmpBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func biStrcpy(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 2); err != nil {
+		return 0, err
+	}
+	s, flt := v.cstr(in, uint64(args[1]))
+	if flt != nil {
+		return 0, flt
+	}
+	s = append(s, 0)
+	if flt := v.writeRegion(in, uint64(args[0]), s); flt != nil {
+		return 0, flt
+	}
+	return args[0], nil
+}
+
+func biFopen(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 2); err != nil {
+		return 0, err
+	}
+	path, flt := v.cstr(in, uint64(args[0]))
+	if flt != nil {
+		return 0, flt
+	}
+	mode, flt := v.cstr(in, uint64(args[1]))
+	if flt != nil {
+		return 0, flt
+	}
+	md := "r"
+	if len(mode) > 0 {
+		md = string(mode[0])
+	}
+	fd, err := v.FS.Open(string(path), md)
+	if err != nil {
+		// fopen returns NULL on failure (including EMFILE); targets that
+		// abort on NULL turn descriptor exhaustion into the false crashes
+		// the paper describes.
+		return 0, nil
+	}
+	return int64(fd), nil
+}
+
+func biFclose(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	if err := v.FS.Close(int(args[0])); err != nil {
+		return 0, v.fault(FaultBadFree, in, uint64(args[0]), "fclose: "+err.Error())
+	}
+	return 0, nil
+}
+
+func biFread(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 4); err != nil {
+		return 0, err
+	}
+	ptr, size, nmemb, fd := uint64(args[0]), args[1], args[2], int(args[3])
+	if size <= 0 || nmemb <= 0 {
+		return 0, nil
+	}
+	total := size * nmemb
+	if total < 0 || total > 1<<26 {
+		return 0, v.fault(FaultNegativeSize, in, ptr, fmt.Sprintf("fread size %d", total))
+	}
+	v.budget -= total
+	if v.budget <= 0 {
+		return 0, v.fault(FaultTimeout, in, 0, "budget exhausted in fread")
+	}
+	buf := make([]byte, total)
+	n, err := v.FS.Read(fd, buf)
+	if err != nil {
+		return 0, nil // EOF/err: fread returns 0 items
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if flt := v.writeRegion(in, ptr, buf[:n]); flt != nil {
+		return 0, flt
+	}
+	return int64(n) / size, nil
+}
+
+func biFwrite(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 4); err != nil {
+		return 0, err
+	}
+	ptr, size, nmemb, fd := uint64(args[0]), args[1], args[2], int(args[3])
+	if size <= 0 || nmemb <= 0 {
+		return 0, nil
+	}
+	total := size * nmemb
+	if total < 0 || total > 1<<26 {
+		return 0, v.fault(FaultNegativeSize, in, ptr, fmt.Sprintf("fwrite size %d", total))
+	}
+	v.budget -= total
+	b, flt := v.readRegion(in, ptr, int(total))
+	if flt != nil {
+		return 0, flt
+	}
+	n, err := v.FS.Write(fd, b)
+	if err != nil {
+		return 0, nil
+	}
+	return int64(n) / size, nil
+}
+
+func biFgetc(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	c, err := v.FS.Getc(int(args[0]))
+	if err != nil {
+		return -1, nil
+	}
+	return int64(c), nil
+}
+
+func biFseek(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 3); err != nil {
+		return 0, err
+	}
+	if _, err := v.FS.Seek(int(args[0]), args[1], int(args[2])); err != nil {
+		return -1, nil
+	}
+	return 0, nil
+}
+
+func biFtell(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	off, err := v.FS.Tell(int(args[0]))
+	if err != nil {
+		return -1, nil
+	}
+	return off, nil
+}
+
+func biFsize(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	n, err := v.FS.Size(int(args[0]))
+	if err != nil {
+		return -1, nil
+	}
+	return n, nil
+}
+
+func biPuts(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	s, flt := v.cstr(in, uint64(args[0]))
+	if flt != nil {
+		return 0, flt
+	}
+	v.appendStdout(append(s, '\n'))
+	return 0, nil
+}
+
+func biPutchar(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	v.appendStdout([]byte{byte(args[0])})
+	return args[0], nil
+}
+
+func biPrintInt(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	v.appendStdout([]byte(strconv.FormatInt(args[0], 10)))
+	return 0, nil
+}
+
+func biRand(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	return int64(v.rand() & 0x7fffffff), nil
+}
+
+func biSrand(v *VM, in *ir.Instr, args []int64) (int64, error) {
+	if err := argn(v, in, args, 1); err != nil {
+		return 0, err
+	}
+	v.rngState = uint64(args[0]) | 1
+	return 0, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package vm
+
+import "fmt"
+
+// FaultKind classifies sanitizer reports. Crash triage deduplicates on
+// (Kind, Fn, Line), mirroring how the paper buckets its discovered bugs
+// ("Null Ptr Deref.", "Division by Zero", ...).
+type FaultKind uint8
+
+// Fault kinds. The names track Table 7's bug-type column.
+const (
+	FaultNone          FaultKind = iota
+	FaultNullDeref               // access inside the null page
+	FaultHeapOOB                 // unaddressable access / invalid read / invalid write
+	FaultUseAfterFree            // access to a quarantined chunk
+	FaultDoubleFree              // free of an already-freed chunk
+	FaultBadFree                 // free of a non-chunk pointer
+	FaultDivByZero               // integer division/remainder by zero
+	FaultOOM                     // heap or page exhaustion
+	FaultGlobalOOB               // access past the globals image
+	FaultWriteRodata             // store into a read-only section
+	FaultWild                    // access to an unmapped segment
+	FaultStackOverflow           // call depth or frame exhaustion
+	FaultNegativeSize            // memcpy/memset with negative size
+	FaultAbort                   // abort() or failed assertion
+	FaultUnreachable             // executed an unreachable instruction
+	FaultTimeout                 // instruction budget exhausted (hang)
+	FaultBadCall                 // call of an unknown function at run time
+)
+
+var faultNames = [...]string{
+	FaultNone:          "none",
+	FaultNullDeref:     "null-pointer-dereference",
+	FaultHeapOOB:       "heap-out-of-bounds",
+	FaultUseAfterFree:  "use-after-free",
+	FaultDoubleFree:    "double-free",
+	FaultBadFree:       "bad-free",
+	FaultDivByZero:     "division-by-zero",
+	FaultOOM:           "out-of-memory",
+	FaultGlobalOOB:     "global-out-of-bounds",
+	FaultWriteRodata:   "write-to-rodata",
+	FaultWild:          "wild-access",
+	FaultStackOverflow: "stack-overflow",
+	FaultNegativeSize:  "negative-size",
+	FaultAbort:         "abort",
+	FaultUnreachable:   "unreachable-executed",
+	FaultTimeout:       "timeout",
+	FaultBadCall:       "bad-call",
+}
+
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault is a sanitizer report: what went wrong and where.
+type Fault struct {
+	Kind FaultKind
+	Fn   string // function containing the faulting instruction
+	Line int32  // source line of the faulting instruction
+	Addr uint64 // faulting address, when applicable
+	Msg  string // extra detail
+}
+
+// Error makes *Fault usable as an error through the interpreter unwind.
+func (f *Fault) Error() string {
+	s := fmt.Sprintf("%s in %s:%d", f.Kind, f.Fn, f.Line)
+	if f.Addr != 0 {
+		s += fmt.Sprintf(" addr=%#x", f.Addr)
+	}
+	if f.Msg != "" {
+		s += " (" + f.Msg + ")"
+	}
+	return s
+}
+
+// Key returns the triage bucket for this fault; two crashes with the same
+// key are considered the same bug.
+func (f *Fault) Key() string {
+	return fmt.Sprintf("%s@%s:%d", f.Kind, f.Fn, f.Line)
+}
+
+// exitUnwind is the non-local transfer used when the target calls exit():
+// the interpreter unwinds every frame back to the harness, which is exactly
+// the setjmp/longjmp mechanism the paper's ExitPass relies on.
+type exitUnwind struct {
+	code int64
+}
+
+func (e *exitUnwind) Error() string { return fmt.Sprintf("exit(%d)", e.code) }

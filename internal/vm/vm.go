@@ -1,0 +1,341 @@
+// Package vm executes ClosureX IR. It is the stand-in for native execution
+// in the paper: a register-machine interpreter over a paged address space,
+// with an always-on sanitizer (null/page, heap bounds, use-after-free,
+// division by zero, rodata writes, FD exhaustion, hangs) so that the bugs
+// the fuzzer plants and finds are the same classes the paper reports.
+package vm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"closurex/internal/ir"
+	"closurex/internal/mem"
+	"closurex/internal/vfs"
+)
+
+// DefaultBudget bounds a single execution to this many interpreted
+// instructions before it is declared a hang.
+const DefaultBudget = 4_000_000
+
+// DefaultMaxDepth bounds the call stack.
+const DefaultMaxDepth = 200
+
+// aslrCounter feeds the per-VM PRNG seed, emulating the run-to-run
+// nondeterminism (ASLR, time seeds) that the paper's correctness study has
+// to mask out for freetype.
+var aslrCounter atomic.Uint64
+
+// Options configures VM construction.
+type Options struct {
+	// CovMap, when non-nil, receives AFL-style hit counts; must be 64 KiB.
+	CovMap []byte
+	// Budget overrides DefaultBudget when > 0.
+	Budget int64
+	// MaxDepth overrides DefaultMaxDepth when > 0.
+	MaxDepth int
+	// Files pre-populates the virtual filesystem.
+	Files map[string][]byte
+	// FDLimit overrides the descriptor limit when > 0.
+	FDLimit int
+	// PageLimit overrides the resident-page limit when > 0.
+	PageLimit int
+	// ImagePages materializes that many resident pages of simulated
+	// program image (text + static data) at TextBase, modeling the
+	// executable sizes of Table 4. Loading them is part of fresh-process
+	// cost; their page-table entries are part of fork cost.
+	ImagePages int
+	// DeterministicRand pins the rand() builtin's seed (used by the
+	// correctness study's ground-truth runs); when false each VM gets a
+	// fresh seed, modeling real process-level nondeterminism.
+	DeterministicRand bool
+	RandSeed          uint64
+	// TraceEdges enables path-sensitive edge tracing (control-flow
+	// equivalence checks, §6.1.4). Costs time; off during fuzzing.
+	TraceEdges bool
+}
+
+// Result describes one completed call into the target.
+type Result struct {
+	Ret      int64  // return value (0 if exited or faulted)
+	Exited   bool   // the target called exit()
+	ExitCode int64  // exit status when Exited
+	Fault    *Fault // non-nil if the sanitizer fired
+	Instrs   int64  // instructions interpreted
+	PathHash uint64 // FNV over the edge sequence (when TraceEdges)
+	PathLen  int    // number of edges traversed (when TraceEdges)
+}
+
+// Crashed reports whether the execution ended in a sanitizer fault.
+func (r *Result) Crashed() bool { return r.Fault != nil }
+
+// VM is one simulated process image: module + memory + heap + files.
+type VM struct {
+	Mod    *ir.Module
+	Layout *Layout
+	Mem    *mem.Memory
+	Heap   *mem.Heap
+	FS     *vfs.FS
+
+	covMap  []byte
+	prevLoc uint64
+
+	budget    int64
+	maxBudget int64
+	maxDepth  int
+	depth     int
+	sp        uint64 // next free frame byte in the stack segment
+
+	traceEdges bool
+	pathHash   uint64
+	pathLen    int
+
+	rngState uint64
+
+	// Stdout captures target output (bounded).
+	Stdout []byte
+
+	instrs int64
+
+	curFn *ir.Func
+
+	// regPool reuses register frames per call depth, avoiding a heap
+	// allocation on every target function call.
+	regPool [][]int64
+}
+
+// New builds a process image for mod: lays out globals, writes their
+// initializers, and prepares heap, stack and filesystem. This is the
+// expensive "load the binary" step that fresh-process fuzzing repeats for
+// every test case.
+func New(mod *ir.Module, opts Options) (*VM, error) {
+	lay := NewLayout(mod)
+	if lay.End >= HeapBase {
+		return nil, fmt.Errorf("vm: globals image too large: ends at %#x", lay.End)
+	}
+	v := &VM{
+		Mod:        mod,
+		Layout:     lay,
+		Mem:        mem.NewMemoryLimit(opts.PageLimit),
+		covMap:     opts.CovMap,
+		maxBudget:  opts.Budget,
+		maxDepth:   opts.MaxDepth,
+		traceEdges: opts.TraceEdges,
+	}
+	if v.maxBudget <= 0 {
+		v.maxBudget = DefaultBudget
+	}
+	if v.maxDepth <= 0 {
+		v.maxDepth = DefaultMaxDepth
+	}
+	if opts.DeterministicRand {
+		// splitmix64 scramble: adjacent seeds must yield independent
+		// streams (raw xorshift keeps low-bit correlations for small,
+		// arithmetic-progression seeds).
+		z := opts.RandSeed + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		v.rngState = (z ^ (z >> 31)) | 1
+	} else {
+		v.rngState = aslrCounter.Add(0x9e3779b97f4a7c15) | 1
+	}
+	v.Heap = mem.NewHeap(v.Mem, HeapBase, HeapEnd)
+	// Heap ASLR: every process image allocates from a base jittered across
+	// 8 MiB, so heap addresses stored into globals vary across fresh
+	// executions — the natural nondeterminism the paper's correctness
+	// study identifies and masks. The span deliberately exceeds any
+	// drift a long-lived persistent process accumulates, as real ASLR
+	// entropy does. Deterministic seeds give deterministic bases.
+	v.Heap.Shift((v.rand() % (1 << 19)) * 16)
+	v.FS = vfs.New()
+	if opts.FDLimit > 0 {
+		v.FS.SetFDLimit(opts.FDLimit)
+	}
+	for p, d := range opts.Files {
+		v.FS.WriteFile(p, d)
+	}
+	v.sp = StackBase
+	if err := v.writeGlobalInitializers(); err != nil {
+		return nil, err
+	}
+	if err := v.materializeImage(opts.ImagePages); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// materializeImage loads n pages of simulated program image at TextBase,
+// the analogue of the loader mapping the executable and its static data.
+func (v *VM) materializeImage(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	var pattern [mem.PageSize]byte
+	for i := range pattern {
+		pattern[i] = byte(i * 7)
+	}
+	for p := 0; p < n; p++ {
+		if err := v.Mem.Write(TextBase+uint64(p)*mem.PageSize, pattern[:]); err != nil {
+			return fmt.Errorf("vm: image page %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+func (v *VM) writeGlobalInitializers() error {
+	for gi, g := range v.Mod.Globals {
+		addr := v.Layout.GlobalAddr[gi]
+		if len(g.Init) > 0 {
+			if err := v.Mem.Write(addr, g.Init); err != nil {
+				return fmt.Errorf("vm: init global %s: %w", g.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// SetCovMap (re)binds the coverage bitmap; nil disables coverage.
+func (v *VM) SetCovMap(m []byte) { v.covMap = m }
+
+// SetTraceEdges toggles path-sensitive tracing.
+func (v *VM) SetTraceEdges(on bool) { v.traceEdges = on }
+
+// SetInput installs the test case at vfs.InputPath.
+func (v *VM) SetInput(data []byte) { v.FS.SetInput(data) }
+
+// Fork clones the image copy-on-write — the forkserver's per-test-case
+// step. The returned child shares pages with the parent until written.
+func (v *VM) Fork() *VM {
+	cm := v.Mem.Fork()
+	child := &VM{
+		Mod:        v.Mod,
+		Layout:     v.Layout,
+		Mem:        cm,
+		Heap:       v.Heap.Clone(cm),
+		FS:         v.FS.Clone(),
+		covMap:     v.covMap,
+		maxBudget:  v.maxBudget,
+		maxDepth:   v.maxDepth,
+		traceEdges: v.traceEdges,
+		rngState:   aslrCounter.Add(0x9e3779b97f4a7c15) | 1,
+		sp:         v.sp,
+	}
+	return child
+}
+
+// Release returns the child's pages (process tear-down).
+func (v *VM) Release() { v.Mem.Release() }
+
+// RestoreFromSnapshot rolls this image back to the template it was forked
+// from: dirty pages are re-shared or unmapped (O(dirty)), and heap and
+// descriptor bookkeeping is re-cloned. This is the kernel-snapshot restore
+// (AFL++ Snapshot LKM): cheaper than a fresh fork, but page-granular.
+func (v *VM) RestoreFromSnapshot(template *VM) {
+	v.Mem.RestoreTo(template.Mem)
+	v.Heap = template.Heap.Clone(v.Mem)
+	v.FS = template.FS.Clone()
+	v.sp = template.sp
+	v.Stdout = v.Stdout[:0]
+}
+
+// Call invokes the named function with args as one execution: the budget,
+// coverage context and capture buffers are reset first.
+func (v *VM) Call(name string, args ...int64) Result {
+	f := v.Mod.Func(name)
+	if f == nil {
+		return Result{Fault: &Fault{Kind: FaultBadCall, Fn: name, Msg: "no such function"}}
+	}
+	v.budget = v.maxBudget
+	v.prevLoc = 0
+	v.pathHash = 14695981039346656037 // FNV offset basis
+	v.pathLen = 0
+	v.instrs = 0
+	v.depth = 0
+	v.Stdout = v.Stdout[:0]
+
+	ret, err := v.execFunc(f, args)
+	res := Result{Ret: ret, Instrs: v.instrs, PathHash: v.pathHash, PathLen: v.pathLen}
+	switch e := err.(type) {
+	case nil:
+	case *exitUnwind:
+		res.Ret = 0
+		res.Exited = true
+		res.ExitCode = e.code
+	case *Fault:
+		res.Ret = 0
+		res.Fault = e
+	default:
+		res.Fault = &Fault{Kind: FaultWild, Fn: name, Msg: err.Error()}
+	}
+	return res
+}
+
+// SnapshotGlobals copies the entire globals image (every section) — the
+// dataflow-equivalence comparand in the correctness study.
+func (v *VM) SnapshotGlobals() []byte {
+	n := int(v.Layout.End - GlobalsBase)
+	buf := make([]byte, n)
+	_ = v.Mem.ReadInto(GlobalsBase, buf)
+	return buf
+}
+
+// SnapshotSection copies one named section.
+func (v *VM) SnapshotSection(name string) ([]byte, bool) {
+	s, ok := v.Layout.Section(name)
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, s.Size)
+	_ = v.Mem.ReadInto(s.Addr, buf)
+	return buf, true
+}
+
+// RestoreSection writes bytes back over the named section (the harness's
+// global-restore step, Figure 4).
+func (v *VM) RestoreSection(name string, data []byte) bool {
+	s, ok := v.Layout.Section(name)
+	if !ok || uint64(len(data)) != s.Size {
+		return false
+	}
+	_ = v.Mem.Write(s.Addr, data)
+	return true
+}
+
+// ReadCString reads a NUL-terminated string from target memory (bounded).
+func (v *VM) ReadCString(addr uint64) (string, error) {
+	const maxLen = 4096
+	var out []byte
+	for i := 0; i < maxLen; i++ {
+		b, err := v.Mem.LoadByte(addr + uint64(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", fmt.Errorf("vm: unterminated string at %#x", addr)
+}
+
+// appendStdout captures target output, bounded to 64 KiB per execution.
+func (v *VM) appendStdout(b []byte) {
+	const cap = 64 << 10
+	if len(v.Stdout) >= cap {
+		return
+	}
+	if len(v.Stdout)+len(b) > cap {
+		b = b[:cap-len(v.Stdout)]
+	}
+	v.Stdout = append(v.Stdout, b...)
+}
+
+// rand steps the xorshift PRNG backing the rand() builtin.
+func (v *VM) rand() uint64 {
+	x := v.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	v.rngState = x
+	return x
+}
