@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test vet race faultcheck check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the gate every change must pass.
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The fault-injection / resilience suite on its own, verbose: every
+# degradation edge (restore failure -> quarantine + rebuild; repeated
+# failure -> forkserver fallback; sentinel divergence; checkpoint resume).
+faultcheck:
+	$(GO) test -v ./internal/faultinject/
+	$(GO) test -v -run 'Injected|Fault|Resilient|Restore|Watchdog|Sentinel|Checkpoint|Resume|Degrad|Hang|Stop' \
+		./internal/harness/ ./internal/execmgr/ ./internal/fuzz/ .
+
+check: vet test race faultcheck
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -67,6 +67,27 @@ type Options struct {
 	// Dict supplies format keywords (magics, FourCCs) for the dictionary
 	// mutators, as AFL users would via -x.
 	Dict [][]byte
+	// Resilient wraps the closurex mechanism in the campaign resilience
+	// ladder: a restore watchdog that validates post-iteration invariants,
+	// quarantine + image rebuild on violation, and graceful degradation to
+	// the forkserver after bounded retries.
+	Resilient bool
+	// SentinelEvery arms the divergence sentinel: every N executions one
+	// queue entry is replayed in a fresh process image and cross-checked
+	// against the persistent mechanism (edge set + fault verdict). 0
+	// disables. Implies DeterministicRand so per-process entropy cannot
+	// masquerade as divergence.
+	SentinelEvery int64
+	// DeterministicRand pins the target's rand()/heap-ASLR entropy to
+	// Seed. Required for bit-identical checkpoint/resume.
+	DeterministicRand bool
+	// Stop, when non-nil, makes RunFor/RunExecs return cleanly (at a
+	// checkpointable boundary) once the channel is closed.
+	Stop <-chan struct{}
+	// ResumeFrom restores campaign state from Fuzzer.Checkpoint bytes.
+	// The source/benchmark, mechanism and Seed must match the
+	// checkpointed run. Implies DeterministicRand.
+	ResumeFrom []byte
 }
 
 // CrashReport describes one triaged, deduplicated crash.
@@ -105,11 +126,34 @@ type Stats struct {
 	Spawns int64
 	// Crashes lists triaged crashes in discovery order.
 	Crashes []CrashReport
+	// Hangs lists triaged hangs (instruction-budget exhaustion), kept in a
+	// separate table with function-level dedup so slow inputs are never
+	// conflated with sanitizer faults.
+	Hangs []CrashReport
+	// Divergences counts sentinel probes whose persistent replay
+	// disagreed with the fresh-process reference.
+	Divergences int
+	// Quarantined counts inputs pulled out of rotation by the sentinel or
+	// the restore watchdog.
+	Quarantined int
+	// Degraded reports that the resilience ladder fell back from the
+	// persistent mechanism to the forkserver.
+	Degraded bool
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("execs=%d (%.0f/s) edges=%d/%d queue=%d spawns=%d crashes=%d",
+	out := fmt.Sprintf("execs=%d (%.0f/s) edges=%d/%d queue=%d spawns=%d crashes=%d",
 		s.Execs, s.ExecsPerSec, s.Edges, s.TotalEdges, s.QueueLen, s.Spawns, len(s.Crashes))
+	if len(s.Hangs) > 0 {
+		out += fmt.Sprintf(" hangs=%d", len(s.Hangs))
+	}
+	if s.Divergences > 0 || s.Quarantined > 0 {
+		out += fmt.Sprintf(" divergences=%d quarantined=%d", s.Divergences, s.Quarantined)
+	}
+	if s.Degraded {
+		out += " DEGRADED(forkserver)"
+	}
+	return out
 }
 
 // Fuzzer is a ready-to-run fuzzing configuration: an instrumented target,
@@ -140,21 +184,46 @@ func NewFuzzer(source string, seeds [][]byte, opts Options) (*Fuzzer, error) {
 	for _, tok := range opts.Dict {
 		t.Dict = append(t.Dict, string(tok))
 	}
-	inst, err := core.NewInstance(t, mechanism, core.InstanceOptions{
-		TrialSeed: opts.Seed,
-		Budget:    opts.Budget,
-		DeferInit: opts.DeferInit,
-		Files:     opts.Files,
-	})
+	inst, err := core.NewInstance(t, mechanism, instanceOptions(opts))
 	if err != nil {
 		return nil, err
 	}
 	return &Fuzzer{inst: inst}, nil
 }
 
+// instanceOptions maps the public Options onto core's instance knobs.
+func instanceOptions(opts Options) core.InstanceOptions {
+	io := core.InstanceOptions{
+		TrialSeed:         opts.Seed,
+		Budget:            opts.Budget,
+		DeferInit:         opts.DeferInit,
+		Files:             opts.Files,
+		SentinelEvery:     opts.SentinelEvery,
+		DeterministicRand: opts.DeterministicRand,
+		Stop:              opts.Stop,
+		ResumeFrom:        opts.ResumeFrom,
+	}
+	if opts.Resilient {
+		rc := execmgr.DefaultResilienceConfig()
+		io.Resilience = &rc
+	}
+	if opts.SentinelEvery > 0 || opts.ResumeFrom != nil {
+		// Probe replays and resumed runs must reproduce executions
+		// exactly; per-process entropy would read as divergence/drift.
+		io.DeterministicRand = true
+	}
+	return io
+}
+
 // NewBenchmarkFuzzer builds a fuzzer for a registered Table 4 benchmark
 // under the given mechanism; trialSeed makes runs reproducible.
 func NewBenchmarkFuzzer(benchmark, mechanism string, trialSeed uint64) (*Fuzzer, error) {
+	return NewBenchmarkFuzzerOptions(benchmark, mechanism, Options{Seed: trialSeed})
+}
+
+// NewBenchmarkFuzzerOptions is NewBenchmarkFuzzer with the full option
+// surface (resilience ladder, sentinel, checkpoint resume, stop channel).
+func NewBenchmarkFuzzerOptions(benchmark, mechanism string, opts Options) (*Fuzzer, error) {
 	t := targets.Get(benchmark)
 	if t == nil {
 		return nil, fmt.Errorf("closurex: unknown benchmark %q (have %v)", benchmark, Benchmarks())
@@ -162,7 +231,7 @@ func NewBenchmarkFuzzer(benchmark, mechanism string, trialSeed uint64) (*Fuzzer,
 	if mechanism == "" {
 		mechanism = "closurex"
 	}
-	inst, err := core.NewInstance(t, mechanism, core.InstanceOptions{TrialSeed: trialSeed})
+	inst, err := core.NewInstance(t, mechanism, instanceOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -202,18 +271,37 @@ func (f *Fuzzer) Stats() Stats {
 		st.ExecsPerSec = float64(c.Execs()) / el.Seconds()
 	}
 	for _, cr := range c.Crashes() {
-		st.Crashes = append(st.Crashes, CrashReport{
-			Key:     cr.Key,
-			Kind:    cr.Kind.String(),
-			Fn:      cr.Fn,
-			Line:    cr.Line,
-			Input:   append([]byte(nil), cr.Input...),
-			FirstAt: cr.FirstAt,
-			Count:   cr.Count,
-		})
+		st.Crashes = append(st.Crashes, report(cr))
+	}
+	for _, h := range c.Hangs() {
+		st.Hangs = append(st.Hangs, report(h))
+	}
+	st.Divergences = len(c.Divergences())
+	st.Quarantined = len(c.Quarantined())
+	if r, ok := f.inst.Mech.(*execmgr.Resilient); ok {
+		st.Quarantined += len(r.Quarantined())
+		st.Degraded = r.Degraded()
 	}
 	return st
 }
+
+func report(cr *fuzz.Crash) CrashReport {
+	return CrashReport{
+		Key:     cr.Key,
+		Kind:    cr.Kind.String(),
+		Fn:      cr.Fn,
+		Line:    cr.Line,
+		Input:   append([]byte(nil), cr.Input...),
+		FirstAt: cr.FirstAt,
+		Count:   cr.Count,
+	}
+}
+
+// Checkpoint serializes the campaign's resumable state (queue, bitmap,
+// crash and hang tables, RNG, scheduler and sentinel cursors). Feed the
+// bytes back through Options.ResumeFrom to continue the campaign — with
+// DeterministicRand, bit-identically to an uninterrupted run.
+func (f *Fuzzer) Checkpoint() ([]byte, error) { return f.inst.Campaign.Checkpoint() }
 
 // MinimizeCrash shrinks a crashing input to a minimal witness that still
 // triggers the same triage bucket, then zeroes every byte that is not

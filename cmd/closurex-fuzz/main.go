@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"closurex"
@@ -40,14 +42,52 @@ func main() {
 		tmin   = flag.Bool("minimize-crashes", false, "minimize each crash input before reporting")
 		cmin   = flag.Bool("minimize-corpus", false, "write the coverage-preserving corpus subset to -out")
 	)
+	var (
+		resilient = flag.Bool("resilient", false, "arm the restore watchdog + rebuild/fallback ladder")
+		sentEvery = flag.Int64("sentinel-every", 0, "divergence sentinel period in execs (0 = off)")
+		ckptPath  = flag.String("checkpoint", "", "write campaign checkpoints to this file (periodically and on exit/signal)")
+		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (with -checkpoint)")
+		resume    = flag.String("resume", "", "resume a campaign from a checkpoint file (same target/mechanism/seed)")
+	)
 	flag.Var(&seeds, "seed-file", "seed corpus file (repeatable; -file mode)")
 	flag.Parse()
+
+	// A supervisor signal stops the campaign at the next coarse check
+	// instead of killing it mid-iteration, so the final checkpoint always
+	// lands on a clean Step boundary.
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "closurex-fuzz: signal received, stopping cleanly...")
+		close(stop)
+	}()
+
+	opts := closurex.Options{
+		Mechanism:     *mechanism,
+		Seed:          *seed,
+		Resilient:     *resilient,
+		SentinelEvery: *sentEvery,
+		Stop:          stop,
+	}
+	if *ckptPath != "" {
+		// Bit-identical resume needs the target's entropy pinned.
+		opts.DeterministicRand = true
+	}
+	if *resume != "" {
+		data, rerr := os.ReadFile(*resume)
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		opts.ResumeFrom = data
+	}
 
 	var f *closurex.Fuzzer
 	var err error
 	switch {
 	case *targetName != "":
-		f, err = closurex.NewBenchmarkFuzzer(*targetName, *mechanism, *seed)
+		f, err = closurex.NewBenchmarkFuzzerOptions(*targetName, *mechanism, opts)
 	case *file != "":
 		data, rerr := os.ReadFile(*file)
 		if rerr != nil {
@@ -61,9 +101,7 @@ func main() {
 			}
 			corpus = append(corpus, b)
 		}
-		f, err = closurex.NewFuzzer(string(data), corpus, closurex.Options{
-			Mechanism: *mechanism, Seed: *seed,
-		})
+		f, err = closurex.NewFuzzer(string(data), corpus, opts)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -89,17 +127,37 @@ func main() {
 
 	fmt.Printf("fuzzing with mechanism=%s for %v\n", f.Mechanism(), *duration)
 	deadline := time.Now().Add(*duration)
-	for time.Now().Before(deadline) {
+	lastCkpt := time.Now()
+	for time.Now().Before(deadline) && !stopped(stop) {
 		slice := *status
 		if rem := time.Until(deadline); rem < slice {
 			slice = rem
 		}
 		f.RunFor(slice)
 		fmt.Println(f.Stats())
+		if *ckptPath != "" && time.Since(lastCkpt) >= *ckptEvery {
+			if err := writeCheckpoint(f, *ckptPath); err != nil {
+				fmt.Fprintf(os.Stderr, "closurex-fuzz: checkpoint: %v\n", err)
+			}
+			lastCkpt = time.Now()
+		}
+	}
+	if *ckptPath != "" {
+		if err := writeCheckpoint(f, *ckptPath); err != nil {
+			fatalf("final checkpoint: %v", err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *ckptPath)
 	}
 
 	st := f.Stats()
 	fmt.Printf("\nfinal: %s\n", st)
+	if len(st.Hangs) > 0 {
+		fmt.Printf("%d unique hang(s):\n", len(st.Hangs))
+		for i := range st.Hangs {
+			h := &st.Hangs[i]
+			fmt.Printf("  %-50s first at %8.2fs, %5d hits\n", h.Key, h.FirstAt.Seconds(), h.Count)
+		}
+	}
 	if len(st.Crashes) == 0 {
 		fmt.Println("no crashes found")
 		return
@@ -158,6 +216,31 @@ func persist(dir string, f *closurex.Fuzzer, st closurex.Stats, minimizeCorpus b
 		}
 	}
 	return nil
+}
+
+// stopped reports whether the supervisor channel has closed.
+func stopped(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// writeCheckpoint atomically replaces path with the campaign's current
+// resumable state (write-to-temp + rename, so a crash mid-write never
+// truncates the previous good checkpoint).
+func writeCheckpoint(f *closurex.Fuzzer, path string) error {
+	data, err := f.Checkpoint()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func preview(b []byte) string {

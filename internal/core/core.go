@@ -7,8 +7,10 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"closurex/internal/execmgr"
+	"closurex/internal/faultinject"
 	"closurex/internal/fuzz"
 	"closurex/internal/harness"
 	"closurex/internal/ir"
@@ -50,11 +52,20 @@ func (v Variant) String() string {
 
 // VariantFor returns the build variant an execution mechanism needs.
 func VariantFor(mechanism string) Variant {
-	if mechanism == "closurex" {
+	if strings.HasPrefix(mechanism, "closurex") {
 		return ClosureX
 	}
 	return Baseline
 }
+
+// RegisterTarget adds a user-defined benchmark target to the registry,
+// surfacing validation failures (nil target, empty or duplicate name) as
+// errors — registration input must never panic a library.
+func RegisterTarget(t *targets.Target) error { return targets.Register(t) }
+
+// TargetInitErrors reports registration problems from the built-in target
+// suite's package initialization (empty for a healthy build).
+func TargetInitErrors() []error { return targets.InitErrors() }
 
 // CoverageSeed fixes coverage-probe IDs so both configurations of a trial
 // share the same map geometry (the evaluation holds instrumentation
@@ -127,6 +138,25 @@ type InstanceOptions struct {
 	// ImagePagesOverride overrides the target's Table 4 image size; < 0
 	// means "no image" (unit tests), 0 means "use the target's".
 	ImagePagesOverride int
+	// Resilience wraps a "closurex" mechanism in the watchdog/rebuild/
+	// fallback ladder (execmgr.Resilient). Nil leaves the bare mechanism.
+	Resilience *execmgr.ResilienceConfig
+	// SentinelEvery arms the divergence sentinel every N campaign
+	// executions: replays under a fresh reference image are cross-checked
+	// against the campaign mechanism. 0 disables.
+	SentinelEvery int64
+	// DeterministicRand pins the VM rand()/heap-ASLR seeds to TrialSeed,
+	// which the sentinel and checkpoint/resume both want: probe replays
+	// and resumed runs then reproduce executions exactly.
+	DeterministicRand bool
+	// Injector arms fault injection across the VM and harness.
+	Injector *faultinject.Injector
+	// Stop propagates a supervisor's shutdown request into the campaign.
+	Stop <-chan struct{}
+	// ResumeFrom, when non-nil, restores campaign state from a checkpoint
+	// (fuzz.Campaign.Checkpoint) instead of starting fresh. The target,
+	// mechanism and TrialSeed must match the checkpointed run.
+	ResumeFrom []byte
 }
 
 // NewInstance builds target t for the named mechanism and wires a
@@ -151,15 +181,24 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	case opts.ImagePagesOverride < 0:
 		pages = 0
 	}
-	mech, err := execmgr.New(mechanism, execmgr.Config{
-		Module:      mod,
-		CovMap:      cov,
-		Budget:      opts.Budget,
-		ImagePages:  pages,
-		TraceEdges:  opts.TraceEdges,
-		HarnessOpts: opts.HarnessOpts,
-		Files:       opts.Files,
-	})
+	mcfg := execmgr.Config{
+		Module:            mod,
+		CovMap:            cov,
+		Budget:            opts.Budget,
+		ImagePages:        pages,
+		TraceEdges:        opts.TraceEdges,
+		HarnessOpts:       opts.HarnessOpts,
+		Files:             opts.Files,
+		Injector:          opts.Injector,
+		DeterministicRand: opts.DeterministicRand,
+		RandSeed:          opts.TrialSeed,
+	}
+	var mech execmgr.Mechanism
+	if opts.Resilience != nil && mechanism == "closurex" {
+		mech, err = execmgr.NewResilient(mcfg, *opts.Resilience)
+	} else {
+		mech, err = execmgr.New(mechanism, mcfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -167,14 +206,57 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	for _, tok := range t.Dict {
 		dict = append(dict, []byte(tok))
 	}
-	camp := fuzz.NewCampaign(fuzz.Config{
+	ccfg := fuzz.Config{
 		Executor:    mech,
 		CovMap:      cov,
 		Seeds:       t.Seeds(),
 		Seed:        opts.TrialSeed,
+		Fingerprint: t.Name + "@" + mechanism,
 		MaxInputLen: t.MaxInputLen,
 		Dict:        dict,
-	})
+		Stop:        opts.Stop,
+	}
+	if opts.SentinelEvery > 0 {
+		// The reference replays each probe in a brand-new process image of
+		// the SAME instrumented module, so both coverage maps share probe
+		// geometry. Image pages are skipped: the reference models fresh
+		// semantics, not fresh cost. Its PRNG seed matches the campaign
+		// mechanism's so rand()/heap-ASLR streams cannot masquerade as
+		// divergence (the §6.1.4 nondeterminism masking, done by
+		// construction).
+		refCov := make([]byte, fuzz.MapSize)
+		ref, rerr := execmgr.NewFresh(execmgr.Config{
+			Module:            mod,
+			CovMap:            refCov,
+			Budget:            opts.Budget,
+			Files:             opts.Files,
+			DeterministicRand: opts.DeterministicRand,
+			RandSeed:          opts.TrialSeed,
+		})
+		if rerr != nil {
+			mech.Close()
+			return nil, fmt.Errorf("core: sentinel reference: %w", rerr)
+		}
+		sc := &fuzz.SentinelConfig{
+			Reference: ref,
+			RefCovMap: refCov,
+			Every:     opts.SentinelEvery,
+		}
+		if ctrl, ok := mech.(fuzz.Controller); ok {
+			sc.Controller = ctrl
+		}
+		ccfg.Sentinel = sc
+	}
+	var camp *fuzz.Campaign
+	if opts.ResumeFrom != nil {
+		camp, err = fuzz.Resume(ccfg, opts.ResumeFrom)
+		if err != nil {
+			mech.Close()
+			return nil, fmt.Errorf("core: resume %s: %w", t.Name, err)
+		}
+	} else {
+		camp = fuzz.NewCampaign(ccfg)
+	}
 	return &Instance{Target: t, Module: mod, Mech: mech, CovMap: cov, Campaign: camp}, nil
 }
 

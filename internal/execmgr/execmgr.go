@@ -15,6 +15,7 @@ package execmgr
 import (
 	"fmt"
 
+	"closurex/internal/faultinject"
 	"closurex/internal/harness"
 	"closurex/internal/ir"
 	"closurex/internal/passes"
@@ -48,6 +49,9 @@ type Config struct {
 	// RestartEvery bounds iterations per persistent process, like
 	// __AFL_LOOP(1000). Applies to PersistentNaive. Default 1000.
 	RestartEvery int
+	// Injector arms deterministic fault injection in the VM (heap, files)
+	// and the harness restore paths; nil injects nothing.
+	Injector *faultinject.Injector
 }
 
 func (c *Config) vmOptions() vm.Options {
@@ -61,6 +65,7 @@ func (c *Config) vmOptions() vm.Options {
 		TraceEdges:        c.TraceEdges,
 		DeterministicRand: c.DeterministicRand,
 		RandSeed:          c.RandSeed,
+		Injector:          c.Injector,
 	}
 }
 
@@ -92,6 +97,8 @@ func New(name string, cfg Config) (Mechanism, error) {
 		return NewPersistentNaive(cfg)
 	case "closurex":
 		return NewClosureX(cfg)
+	case "closurex-resilient":
+		return NewResilient(cfg, DefaultResilienceConfig())
 	}
 	return nil, fmt.Errorf("execmgr: unknown mechanism %q", name)
 }
@@ -312,6 +319,9 @@ func (c *ClosureX) respawn() error {
 	opts := harness.FullRestore()
 	if c.cfg.HarnessOpts != nil {
 		opts = *c.cfg.HarnessOpts
+	}
+	if opts.Injector == nil {
+		opts.Injector = c.cfg.Injector
 	}
 	h, err := harness.New(v, opts)
 	if err != nil {

@@ -1,0 +1,99 @@
+package faultinject
+
+import "testing"
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if in.Should(HeapAlloc) {
+			t.Fatal("nil injector fired")
+		}
+	}
+	if in.Hits(HeapAlloc) != 0 || in.Fired(HeapAlloc) != 0 {
+		t.Fatal("nil injector counted")
+	}
+	if in.Armed() != nil {
+		t.Fatal("nil injector armed")
+	}
+}
+
+func TestFailAfterWindow(t *testing.T) {
+	in := New(1)
+	in.FailAfter(VFSOpen, 3, 2)
+	var got []bool
+	for i := 0; i < 7; i++ {
+		got = append(got, in.Should(VFSOpen))
+	}
+	want := []bool{false, false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("probe %d: got %v want %v (seq %v)", i, got[i], want[i], got)
+		}
+	}
+	if in.Hits(VFSOpen) != 7 || in.Fired(VFSOpen) != 2 {
+		t.Fatalf("counters: hits=%d fired=%d", in.Hits(VFSOpen), in.Fired(VFSOpen))
+	}
+}
+
+func TestFailForever(t *testing.T) {
+	in := New(1)
+	in.FailAfter(RestoreGlobals, 0, -1)
+	for i := 0; i < 50; i++ {
+		if !in.Should(RestoreGlobals) {
+			t.Fatalf("probe %d did not fire", i)
+		}
+	}
+}
+
+func TestUnarmedSiteIsQuiet(t *testing.T) {
+	in := New(1)
+	in.FailAfter(HeapAlloc, 0, -1)
+	if in.Should(VFSClose) {
+		t.Fatal("unarmed site fired")
+	}
+	if !in.Should(HeapAlloc) {
+		t.Fatal("armed site silent")
+	}
+}
+
+func TestClearAndReset(t *testing.T) {
+	in := New(1)
+	in.FailAfter(HeapAlloc, 0, -1)
+	in.Clear(HeapAlloc)
+	if in.Should(HeapAlloc) {
+		t.Fatal("cleared site fired")
+	}
+	in.FailAfter(VFSOpen, 0, -1)
+	in.Reset()
+	if in.Should(VFSOpen) {
+		t.Fatal("reset site fired")
+	}
+	if len(in.Armed()) != 0 {
+		t.Fatal("reset left rules armed")
+	}
+}
+
+func TestProbabilisticIsSeededDeterministic(t *testing.T) {
+	seq := func(seed uint64) []bool {
+		in := New(seed)
+		in.FailWithProb(HeapAlloc, 0.5)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, in.Should(HeapAlloc))
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at probe %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Fatalf("p=0.5 fired %d/64 — rule not probabilistic", fired)
+	}
+}

@@ -1,6 +1,9 @@
 package fuzz
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // MapSize is the AFL-compatible coverage map size.
 const MapSize = 1 << 16
@@ -95,6 +98,29 @@ func (b *Bitmap) merge(i int, v byte, ret int) int {
 // Edges returns the number of distinct map indices hit so far — the
 // numerator of Table 6's coverage percentages.
 func (b *Bitmap) Edges() int { return b.edges }
+
+// Snapshot copies the cumulative virgin map for checkpointing.
+func (b *Bitmap) Snapshot() []byte {
+	out := make([]byte, MapSize)
+	copy(out, b.virgin[:])
+	return out
+}
+
+// SetSnapshot restores a checkpointed virgin map, recomputing the edge
+// count from it.
+func (b *Bitmap) SetSnapshot(virgin []byte) error {
+	if len(virgin) != MapSize {
+		return fmt.Errorf("fuzz: bitmap snapshot is %d bytes, want %d", len(virgin), MapSize)
+	}
+	copy(b.virgin[:], virgin)
+	b.edges = 0
+	for _, v := range b.virgin {
+		if v != 0 {
+			b.edges++
+		}
+	}
+	return nil
+}
 
 // Reset clears the cumulative map.
 func (b *Bitmap) Reset() {

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -43,6 +44,10 @@ type Config struct {
 	Seeds [][]byte
 	// Seed seeds the campaign RNG (one trial = one seed).
 	Seed uint64
+	// Fingerprint identifies the target+mechanism a checkpoint belongs to;
+	// Resume rejects a checkpoint whose fingerprint differs (a bitmap or
+	// crash table grafted onto the wrong target is silent corruption).
+	Fingerprint string
 	// MaxInputLen bounds mutated inputs (default 4096).
 	MaxInputLen int
 	// HavocPerSeed is how many mutants are derived from a queue entry per
@@ -52,6 +57,20 @@ type Config struct {
 	SpliceProb int
 	// Dict supplies format keywords for the dictionary mutators (AFL -x).
 	Dict [][]byte
+	// Stop, when non-nil, requests clean shutdown: RunFor/RunExecs return
+	// at the next coarse check once it is closed, leaving the campaign in a
+	// checkpointable state. This is how a supervisor (signal handler,
+	// fleet controller) stops a campaign without killing the process.
+	Stop <-chan struct{}
+	// CheckEvery is how many Steps run between deadline/stop polls
+	// (default 64) — the per-iteration time.Now() cost hoisted out of the
+	// hot loop.
+	CheckEvery int
+	// Sentinel, when non-nil, arms the divergence sentinel: a periodic
+	// replay of a queue entry under a fresh-process reference executor,
+	// cross-checked against the persistent mechanism (§6.1.4 as a runtime
+	// self-check).
+	Sentinel *SentinelConfig
 }
 
 // Campaign is one fuzzing run: a queue, a cumulative bitmap, and a crash
@@ -63,13 +82,28 @@ type Campaign struct {
 	bitmap  *Bitmap
 	queue   []*Entry
 	crashes map[string]*Crash
+	// hangs triages vm.FaultTimeout separately from crashes: a hang is a
+	// budget exhaustion, not a sanitizer fault, and its dedup key drops the
+	// line (wherever the budget happened to run out is arbitrary). Keeping
+	// the tables distinct stops the sentinel and the Table 7 driver from
+	// conflating the two.
+	hangs map[string]*Crash
 
 	execs   int64
 	start   time.Time
+	elapsed time.Duration // accumulated before the last (re)start — resume support
 	started bool
 	cursor  int // queue round-robin position
 	burst   int // mutations left in the current entry's burst
 	cur     *Entry
+
+	// Divergence-sentinel state (see sentinel.go).
+	sentNext    int64 // exec count of the next probe
+	sentCursor  int   // round-robin position over the queue
+	sentBackoff int64 // probe-interval multiplier, doubled per divergence
+	sentFails   int   // consecutive divergent probes
+	divergences []Divergence
+	quarantined []*Entry
 }
 
 // NewCampaign prepares a campaign (seeds are executed on the first Step).
@@ -83,16 +117,28 @@ func NewCampaign(cfg Config) *Campaign {
 	if cfg.SpliceProb <= 0 {
 		cfg.SpliceProb = 40
 	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 64
+	}
+	if cfg.Sentinel != nil {
+		cfg.Sentinel.setDefaults()
+	}
 	rng := NewRNG(cfg.Seed)
 	mut := NewMutator(rng, cfg.MaxInputLen)
 	mut.SetDict(cfg.Dict)
-	return &Campaign{
-		cfg:     cfg,
-		rng:     rng,
-		mut:     mut,
-		bitmap:  NewBitmap(),
-		crashes: make(map[string]*Crash),
+	c := &Campaign{
+		cfg:         cfg,
+		rng:         rng,
+		mut:         mut,
+		bitmap:      NewBitmap(),
+		crashes:     make(map[string]*Crash),
+		hangs:       make(map[string]*Crash),
+		sentBackoff: 1,
 	}
+	if s := cfg.Sentinel; s != nil {
+		c.sentNext = s.Every
+	}
+	return c
 }
 
 // runOne executes input and processes coverage and crashes.
@@ -110,25 +156,35 @@ func (c *Campaign) runOne(input []byte, gainOverride int) {
 	if gain > 0 {
 		c.queue = append(c.queue, &Entry{
 			Input:   append([]byte(nil), input...),
-			FoundAt: time.Since(c.start),
+			FoundAt: c.Elapsed(),
 			Gain:    gain,
 		})
 	}
 }
 
+// HangKey is the dedup bucket for a hang: unlike crashes, the line where
+// the instruction budget ran out is arbitrary, so hangs dedup on the
+// function alone.
+func HangKey(f *vm.Fault) string { return fmt.Sprintf("hang@%s", f.Fn) }
+
 func (c *Campaign) recordCrash(f *vm.Fault, input []byte) {
+	table := c.crashes
 	key := f.Key()
-	if cr, ok := c.crashes[key]; ok {
+	if f.Kind == vm.FaultTimeout {
+		table = c.hangs
+		key = HangKey(f)
+	}
+	if cr, ok := table[key]; ok {
 		cr.Count++
 		return
 	}
-	c.crashes[key] = &Crash{
+	table[key] = &Crash{
 		Key:       key,
 		Kind:      f.Kind,
 		Fn:        f.Fn,
 		Line:      f.Line,
 		Input:     append([]byte(nil), input...),
-		FirstAt:   time.Since(c.start),
+		FirstAt:   c.Elapsed(),
 		FirstExec: c.execs,
 		Count:     1,
 	}
@@ -169,26 +225,53 @@ func (c *Campaign) Step() int64 {
 		input = c.mut.Havoc(c.cur.Input)
 	}
 	c.runOne(input, 0)
+	if c.cfg.Sentinel != nil && c.execs >= c.sentNext {
+		c.sentinelProbe()
+	}
 	return 1
 }
 
-// RunFor drives the campaign until d has elapsed.
+// stopRequested reports whether the supervisor closed the stop channel.
+// Polled only at coarse-check boundaries, never per iteration.
+func (c *Campaign) stopRequested() bool {
+	if c.cfg.Stop == nil {
+		return false
+	}
+	select {
+	case <-c.cfg.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunFor drives the campaign until d has elapsed or the stop channel
+// closes. The deadline and stop checks run every CheckEvery steps, keeping
+// time.Now() and channel polling out of the per-iteration hot path.
 func (c *Campaign) RunFor(d time.Duration) {
 	deadline := time.Now().Add(d)
 	for {
-		for i := 0; i < 64; i++ {
+		for i := 0; i < c.cfg.CheckEvery; i++ {
 			c.Step()
 		}
-		if time.Now().After(deadline) {
+		if c.stopRequested() || time.Now().After(deadline) {
 			return
 		}
 	}
 }
 
-// RunExecs drives the campaign until at least n executions have happened.
+// RunExecs drives the campaign until at least n executions have happened
+// or the stop channel closes (checked every CheckEvery steps).
 func (c *Campaign) RunExecs(n int64) {
+	steps := 0
 	for c.execs < n {
 		c.Step()
+		if steps++; steps >= c.cfg.CheckEvery {
+			steps = 0
+			if c.stopRequested() {
+				return
+			}
+		}
 	}
 }
 
@@ -205,10 +288,21 @@ func (c *Campaign) QueueLen() int { return len(c.queue) }
 // queue the correctness study replays).
 func (c *Campaign) Queue() []*Entry { return c.queue }
 
-// Crashes returns triaged crashes ordered by first discovery.
+// Crashes returns triaged crashes ordered by first discovery. Hangs are
+// kept out of this table; see Hangs.
 func (c *Campaign) Crashes() []*Crash {
-	out := make([]*Crash, 0, len(c.crashes))
-	for _, cr := range c.crashes {
+	return sortedTable(c.crashes)
+}
+
+// Hangs returns triaged hangs (vm.FaultTimeout buckets) ordered by first
+// discovery.
+func (c *Campaign) Hangs() []*Crash {
+	return sortedTable(c.hangs)
+}
+
+func sortedTable(m map[string]*Crash) []*Crash {
+	out := make([]*Crash, 0, len(m))
+	for _, cr := range m {
 		out = append(out, cr)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].FirstExec < out[j].FirstExec })
@@ -218,10 +312,13 @@ func (c *Campaign) Crashes() []*Crash {
 // CrashByKey looks up a triaged crash.
 func (c *Campaign) CrashByKey(key string) *Crash { return c.crashes[key] }
 
-// Elapsed returns time since bootstrap.
+// HangByKey looks up a triaged hang (keys are HangKey format).
+func (c *Campaign) HangByKey(key string) *Crash { return c.hangs[key] }
+
+// Elapsed returns cumulative fuzzing time, surviving checkpoint/resume.
 func (c *Campaign) Elapsed() time.Duration {
 	if !c.started {
-		return 0
+		return c.elapsed
 	}
-	return time.Since(c.start)
+	return c.elapsed + time.Since(c.start)
 }

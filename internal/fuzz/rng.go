@@ -24,6 +24,18 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{s: z}
 }
 
+// State exposes the generator's internal state for checkpointing.
+func (r *RNG) State() uint64 { return r.s }
+
+// SetState restores a checkpointed state (0 is remapped to the same
+// non-zero constant NewRNG uses, since xorshift cannot leave 0).
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x2545f4914f6cdd1d
+	}
+	r.s = s
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.s

@@ -10,8 +10,10 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 
+	"closurex/internal/faultinject"
 	"closurex/internal/ir"
 	"closurex/internal/passes"
 	"closurex/internal/vfs"
@@ -27,6 +29,9 @@ type Options struct {
 	// RunDeferredInit invokes passes.InitFunc once before the loop and
 	// marks the resulting heap/FD state as persistent (DeferInitPass).
 	RunDeferredInit bool
+	// Injector arms deterministic fault injection in the restore paths
+	// (resilience tests); nil injects nothing.
+	Injector *faultinject.Injector
 }
 
 // FullRestore enables every restoration step.
@@ -50,6 +55,9 @@ type Harness struct {
 	opts       Options
 	globalSnap []byte
 	stats      Stats
+	// restoreErr is the first error the most recent restore hit; the
+	// resilience layer drains it via TakeRestoreError after each iteration.
+	restoreErr error
 }
 
 // New prepares the harness: optionally runs deferred initialization, marks
@@ -86,7 +94,9 @@ func (h *Harness) Stats() Stats { return h.stats }
 // GlobalSnapshotSize reports the closure section size in bytes.
 func (h *Harness) GlobalSnapshotSize() int { return len(h.globalSnap) }
 
-// RunOne executes one test case and restores state for the next.
+// RunOne executes one test case and restores state for the next. A restore
+// failure is not part of the test case's result — it is recorded and
+// drained by the resilience layer via TakeRestoreError.
 func (h *Harness) RunOne(input []byte) vm.Result {
 	h.v.SetInput(input)
 	res := h.v.Call(passes.TargetMain)
@@ -94,37 +104,132 @@ func (h *Harness) RunOne(input []byte) vm.Result {
 	if res.Exited {
 		h.stats.ExitsUnwound++
 	}
-	h.Restore()
+	if err := h.Restore(); err != nil {
+		h.restoreErr = err
+	}
 	return res
 }
 
+// TakeRestoreError returns and clears the first error the most recent
+// restore hit (nil when restoration succeeded). The execmgr resilience
+// layer polls this after every execution: a non-nil value means the
+// process image can no longer be trusted and must be quarantined/rebuilt.
+func (h *Harness) TakeRestoreError() error {
+	err := h.restoreErr
+	h.restoreErr = nil
+	return err
+}
+
 // Restore performs the between-test-cases cleanup. Exported separately so
-// the correctness study can interleave probes.
-func (h *Harness) Restore() {
+// the correctness study can interleave probes. It is idempotent: a second
+// Restore after an exit-hook unwind (or a partial first attempt) only
+// re-runs the steps that still have work to do. The returned error is the
+// first failure encountered; later steps still run so a single bad close
+// does not leave the heap polluted too.
+func (h *Harness) Restore() error {
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	inj := h.opts.Injector
 	if h.opts.RestoreGlobals && h.globalSnap != nil {
-		h.v.RestoreSection(ir.SectionClosure, h.globalSnap)
-		h.stats.GlobalBytes += int64(len(h.globalSnap))
+		if inj.Should(faultinject.RestoreGlobals) {
+			fail(faultinject.Err(faultinject.RestoreGlobals))
+		} else {
+			h.v.RestoreSection(ir.SectionClosure, h.globalSnap)
+			h.stats.GlobalBytes += int64(len(h.globalSnap))
+		}
 	}
 	if h.opts.ResetHeap {
-		for _, c := range h.v.Heap.Leaked() {
-			// Chunks the target leaked; free() cannot fail on live chunks.
-			if err := h.v.Heap.Free(c.Addr); err == nil {
-				h.stats.ChunksFreed++
+		if inj.Should(faultinject.RestoreHeap) {
+			fail(faultinject.Err(faultinject.RestoreHeap))
+		} else {
+			for _, c := range h.v.Heap.Leaked() {
+				// Chunks the target leaked; free() cannot fail on live chunks.
+				if err := h.v.Heap.Free(c.Addr); err == nil {
+					h.stats.ChunksFreed++
+				} else {
+					fail(fmt.Errorf("harness: reset heap: %w", err))
+				}
 			}
 		}
 	}
 	if h.opts.CloseFiles {
-		for _, fd := range h.v.FS.LeakedFDs() {
-			if err := h.v.FS.Close(fd); err == nil {
-				h.stats.FDsClosed++
+		if inj.Should(faultinject.RestoreFiles) {
+			fail(faultinject.Err(faultinject.RestoreFiles))
+		} else {
+			for _, fd := range h.v.FS.LeakedFDs() {
+				if err := h.v.FS.Close(fd); err == nil {
+					h.stats.FDsClosed++
+				} else {
+					fail(fmt.Errorf("harness: close leaked fd: %w", err))
+				}
 			}
-		}
-		for _, fd := range h.v.FS.InitFDs() {
-			// Initialization-time handles are rewound, not reopened — the
-			// paper's optimization for init handles.
-			if _, err := h.v.FS.Seek(fd, 0, vfs.SeekSet); err == nil {
-				h.stats.FDsRewound++
+			for _, fd := range h.v.FS.InitFDs() {
+				// Initialization-time handles are rewound, not reopened — the
+				// paper's optimization for init handles.
+				if _, err := h.v.FS.Seek(fd, 0, vfs.SeekSet); err == nil {
+					h.stats.FDsRewound++
+				} else {
+					fail(fmt.Errorf("harness: rewind init fd: %w", err))
+				}
 			}
 		}
 	}
+	return firstErr
+}
+
+// Verify is the restore watchdog: it validates the post-restore invariants
+// that make persistent execution equivalent to a fresh process. Each check
+// applies only when the corresponding restore option is enabled (ablated
+// harnesses legitimately leave state behind). A non-nil return means the
+// image has drifted and subsequent executions would run against polluted
+// state — the caller must quarantine/rebuild rather than continue.
+func (h *Harness) Verify() error {
+	if h.opts.ResetHeap {
+		// Live-chunk census: every test-case allocation must be gone.
+		if n := len(h.v.Heap.Leaked()); n != 0 {
+			return fmt.Errorf("harness: watchdog: %d test-case heap chunks survive restore", n)
+		}
+	}
+	if h.opts.RestoreGlobals && h.globalSnap != nil {
+		cur, ok := h.v.SnapshotSection(ir.SectionClosure)
+		if !ok {
+			return fmt.Errorf("harness: watchdog: %s vanished", ir.SectionClosure)
+		}
+		if !bytes.Equal(cur, h.globalSnap) {
+			return fmt.Errorf("harness: watchdog: %s differs from snapshot (%d bytes)",
+				ir.SectionClosure, diffBytes(cur, h.globalSnap))
+		}
+	}
+	if h.opts.CloseFiles {
+		if n := len(h.v.FS.LeakedFDs()); n != 0 {
+			return fmt.Errorf("harness: watchdog: %d leaked descriptors survive restore", n)
+		}
+		for _, fd := range h.v.FS.InitFDs() {
+			if pos, err := h.v.FS.Tell(fd); err != nil || pos != 0 {
+				return fmt.Errorf("harness: watchdog: init fd %d not rewound (pos %d, err %v)", fd, pos, err)
+			}
+		}
+	}
+	return nil
+}
+
+// diffBytes counts positions where a and b differ (length mismatch counts
+// the tail).
+func diffBytes(a, b []byte) int {
+	n := 0
+	min := len(a)
+	if len(b) < min {
+		min = len(b)
+	}
+	for i := 0; i < min; i++ {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	n += len(a) - min + len(b) - min
+	return n
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"closurex/internal/faultinject"
 )
 
 // Heap manages a segment of a Memory as a malloc-style arena and keeps the
@@ -28,6 +30,11 @@ type Heap struct {
 	quarantineCap  int
 	bytesAllocated uint64 // live bytes (for the memory-usage audit, §6.1.4)
 	epoch          uint64 // bumped on Reset; stale chunk handles become invalid
+
+	// inj, when armed, fails allocations on demand so tests can drive the
+	// target's (and the harness's) OOM paths deterministically. Nil in
+	// production.
+	inj *faultinject.Injector
 }
 
 // Chunk describes one live heap allocation.
@@ -67,6 +74,9 @@ func NewHeap(m *Memory, base, end uint64) *Heap {
 		quarantineCap: defaultQuarantine,
 	}
 }
+
+// SetInjector arms fault injection for this heap (nil disarms).
+func (h *Heap) SetInjector(inj *faultinject.Injector) { h.inj = inj }
 
 // Base returns the lowest address the heap may hand out.
 func (h *Heap) Base() uint64 { return h.base }
@@ -129,6 +139,9 @@ func (h *Heap) findQuarantined(addr uint64) (Chunk, bool) {
 // Alloc allocates size bytes (zero-size allocations get a minimal chunk so
 // they still have a unique address, as malloc(0) may).
 func (h *Heap) Alloc(size uint64) (uint64, error) {
+	if h.inj.Should(faultinject.HeapAlloc) {
+		return 0, fmt.Errorf("%w (%v)", ErrHeapOOM, faultinject.Err(faultinject.HeapAlloc))
+	}
 	if size == 0 {
 		size = 1
 	}
@@ -314,6 +327,7 @@ func (h *Heap) Clone(m *Memory) *Heap {
 		quarantineCap:  h.quarantineCap,
 		bytesAllocated: h.bytesAllocated,
 		epoch:          h.epoch,
+		inj:            h.inj,
 	}
 	nh.chunks = append([]Chunk(nil), h.chunks...)
 	nh.quarantine = append([]Chunk(nil), h.quarantine...)

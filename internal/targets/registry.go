@@ -62,13 +62,48 @@ type Target struct {
 var registry = map[string]*Target{}
 var order []string
 
-func register(t *Target) {
+// initErrs collects registration failures from package-init time; a
+// library must not panic on registration input, so built-in registration
+// problems surface through InitErrors (and from there through
+// internal/core) instead of taking the process down.
+var initErrs []error
+
+// Register adds a target to the registry. It rejects nil targets, targets
+// without a name, and duplicates (by paper name or short name) with an
+// error rather than a panic, so embedders can register their own targets
+// safely.
+func Register(t *Target) error {
+	if t == nil {
+		return fmt.Errorf("targets: register nil target")
+	}
+	if t.Name == "" {
+		return fmt.Errorf("targets: register target with empty name")
+	}
 	if _, dup := registry[t.Name]; dup {
-		panic(fmt.Sprintf("targets: duplicate %q", t.Name))
+		return fmt.Errorf("targets: duplicate target %q", t.Name)
+	}
+	if t.Short != "" {
+		for _, existing := range registry {
+			if existing.Short == t.Short {
+				return fmt.Errorf("targets: duplicate short name %q (target %q)", t.Short, existing.Name)
+			}
+		}
 	}
 	registry[t.Name] = t
 	order = append(order, t.Name)
+	return nil
 }
+
+// register is the package-init shim the built-in Table 4 targets use.
+func register(t *Target) {
+	if err := Register(t); err != nil {
+		initErrs = append(initErrs, err)
+	}
+}
+
+// InitErrors returns registration errors from package initialization
+// (empty for a healthy build).
+func InitErrors() []error { return initErrs }
 
 // All returns every target in registration (Table 4) order.
 func All() []*Target {

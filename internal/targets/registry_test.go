@@ -1,0 +1,57 @@
+package targets
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRejectsBadTargets(t *testing.T) {
+	if err := Register(nil); err == nil {
+		t.Error("nil target accepted")
+	}
+	if err := Register(&Target{}); err == nil {
+		t.Error("unnamed target accepted")
+	}
+
+	existing := All()[0]
+	if err := Register(&Target{Name: existing.Name}); err == nil {
+		t.Error("duplicate paper name accepted")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate-name error = %q", err)
+	}
+	if err := Register(&Target{Name: "brand-new-target", Short: existing.Short}); err == nil {
+		t.Error("duplicate short name accepted")
+	}
+
+	// Failed registrations must not have modified the registry.
+	if Get("brand-new-target") != nil {
+		t.Error("rejected target is resolvable")
+	}
+	if len(All()) != len(Names()) {
+		t.Errorf("registry order (%d) and names (%d) out of sync", len(All()), len(Names()))
+	}
+}
+
+func TestRegisterAcceptsAndExposesNewTarget(t *testing.T) {
+	before := len(All())
+	nt := &Target{Name: "registry-test-target", Short: "rtt", Source: "int main(void){return 0;}"}
+	if err := Register(nt); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		delete(registry, nt.Name)
+		order = order[:len(order)-1]
+	})
+	if len(All()) != before+1 {
+		t.Fatalf("registry size %d, want %d", len(All()), before+1)
+	}
+	if Get("registry-test-target") != nt || Get("rtt") != nt {
+		t.Fatal("registered target not resolvable by name or short name")
+	}
+}
+
+func TestBuiltinRegistrationClean(t *testing.T) {
+	if errs := InitErrors(); len(errs) != 0 {
+		t.Fatalf("built-in suite registration errors: %v", errs)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"closurex/internal/faultinject"
 )
 
 // InputPath is the well-known path under which each test case appears.
@@ -62,6 +64,10 @@ type FS struct {
 	// opens counts every successful open over the lifetime of the FS, for
 	// the correctness audit.
 	opens int
+	// inj, when armed, fails opens/closes on demand so tests can drive the
+	// descriptor-exhaustion pathologies deterministically. Nil in
+	// production.
+	inj *faultinject.Injector
 }
 
 // New returns an empty filesystem with the default descriptor limit.
@@ -76,6 +82,9 @@ func New() *FS {
 
 // SetFDLimit overrides the descriptor limit (tests use tiny limits).
 func (fs *FS) SetFDLimit(n int) { fs.fdLimit = n }
+
+// SetInjector arms fault injection for this filesystem (nil disarms).
+func (fs *FS) SetInjector(inj *faultinject.Injector) { fs.inj = inj }
 
 // WriteFile creates or replaces a file.
 func (fs *FS) WriteFile(path string, data []byte) {
@@ -101,6 +110,11 @@ func (fs *FS) Remove(path string) { delete(fs.files, path) }
 // Open opens path for reading ("r") or writing ("w", truncates/creates).
 // It returns the new descriptor number.
 func (fs *FS) Open(path, mode string) (int, error) {
+	if fs.inj.Should(faultinject.VFSOpen) {
+		// Injected exhaustion: the same errno-shaped failure the target
+		// would see when the real descriptor table fills up.
+		return 0, fmt.Errorf("%w (%v)", ErrFDExhausted, faultinject.Err(faultinject.VFSOpen))
+	}
 	if len(fs.fds) >= fs.fdLimit {
 		return 0, ErrFDExhausted
 	}
@@ -142,6 +156,11 @@ func (fs *FS) Close(fd int) error {
 	of, err := fs.lookup(fd)
 	if err != nil {
 		return err
+	}
+	if fs.inj.Should(faultinject.VFSClose) {
+		// Injected close failure: the descriptor stays live, as EINTR/EIO
+		// from close(2) can leave a process believing.
+		return fmt.Errorf("vfs: close %d: %v", fd, faultinject.Err(faultinject.VFSClose))
 	}
 	of.closed = true
 	delete(fs.fds, fd)
@@ -297,6 +316,7 @@ func (fs *FS) Clone() *FS {
 		nextFD:  fs.nextFD,
 		fdLimit: fs.fdLimit,
 		opens:   fs.opens,
+		inj:     fs.inj,
 	}
 	for p, f := range fs.files {
 		nf.files[p] = &file{data: append([]byte(nil), f.data...)}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"closurex/internal/faultinject"
 	"closurex/internal/ir"
 	"closurex/internal/mem"
 	"closurex/internal/vfs"
@@ -53,6 +54,9 @@ type Options struct {
 	// TraceEdges enables path-sensitive edge tracing (control-flow
 	// equivalence checks, §6.1.4). Costs time; off during fuzzing.
 	TraceEdges bool
+	// Injector arms deterministic fault injection in the heap and the
+	// filesystem (resilience tests); nil injects nothing.
+	Injector *faultinject.Injector
 }
 
 // Result describes one completed call into the target.
@@ -147,7 +151,9 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 	// drift a long-lived persistent process accumulates, as real ASLR
 	// entropy does. Deterministic seeds give deterministic bases.
 	v.Heap.Shift((v.rand() % (1 << 19)) * 16)
+	v.Heap.SetInjector(opts.Injector)
 	v.FS = vfs.New()
+	v.FS.SetInjector(opts.Injector)
 	if opts.FDLimit > 0 {
 		v.FS.SetFDLimit(opts.FDLimit)
 	}

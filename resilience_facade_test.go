@@ -1,0 +1,141 @@
+package closurex
+
+import (
+	"testing"
+)
+
+// Facade-level resilience coverage: checkpoint/resume round-trips through
+// the public API, the resilience ladder and sentinel are reachable through
+// Options, and a resumed campaign matches an uninterrupted one.
+
+func TestFuzzerCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	seeds := [][]byte{[]byte("B?"), []byte("B!")} // second seed crashes at bootstrap
+	opts := Options{Seed: 11, MaxInputLen: 8, DeterministicRand: true}
+
+	uninterrupted, err := NewFuzzer(demoSource, seeds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uninterrupted.Close()
+	uninterrupted.RunExecs(8000)
+
+	killed, err := NewFuzzer(demoSource, seeds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed.RunExecs(3000)
+	ckpt, err := killed.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed.Close() // the "killed" process is gone; only the bytes survive
+
+	ropts := opts
+	ropts.ResumeFrom = ckpt
+	resumed, err := NewFuzzer(demoSource, seeds, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if got := resumed.Stats().Execs; got != 3000 {
+		t.Fatalf("resumed at %d execs, want 3000", got)
+	}
+	resumed.RunExecs(8000)
+
+	a, b := uninterrupted.Stats(), resumed.Stats()
+	if a.Execs != b.Execs || a.Edges != b.Edges || a.QueueLen != b.QueueLen {
+		t.Fatalf("resumed run diverged: execs %d/%d edges %d/%d queue %d/%d",
+			a.Execs, b.Execs, a.Edges, b.Edges, a.QueueLen, b.QueueLen)
+	}
+	if len(a.Crashes) == 0 {
+		t.Fatal("test premise broken: the crashing seed produced no crash")
+	}
+	if len(a.Crashes) != len(b.Crashes) {
+		t.Fatalf("crash tables: %d vs %d", len(a.Crashes), len(b.Crashes))
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i].Key != b.Crashes[i].Key || a.Crashes[i].Count != b.Crashes[i].Count {
+			t.Fatalf("crash %d: %+v vs %+v", i, a.Crashes[i], b.Crashes[i])
+		}
+	}
+}
+
+func TestResumeRejectsMismatchedSeed(t *testing.T) {
+	f, err := NewFuzzer(demoSource, [][]byte{[]byte("ab")}, Options{Seed: 1, DeterministicRand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.RunExecs(200)
+	ckpt, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFuzzer(demoSource, [][]byte{[]byte("ab")}, Options{Seed: 2, ResumeFrom: ckpt}); err == nil {
+		t.Fatal("resume with a different seed accepted")
+	}
+}
+
+func TestResilientOptionWrapsClosureX(t *testing.T) {
+	f, err := NewFuzzer(demoSource, [][]byte{[]byte("ab")}, Options{Seed: 5, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Mechanism() != "closurex-resilient" {
+		t.Fatalf("Mechanism = %q", f.Mechanism())
+	}
+	f.RunExecs(2000)
+	st := f.Stats()
+	if st.Degraded {
+		t.Fatal("healthy target degraded the mechanism")
+	}
+	if st.Execs < 2000 || st.Edges == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// driftSource makes the stale global observable: without restoration the
+// return value climbs with every iteration of the persistent child.
+const driftSource = `
+int runs;
+int main(void) {
+	runs++;
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int a = fgetc(f);
+	fclose(f);
+	return 100 * runs + a;
+}
+`
+
+func TestSentinelOptionFlagsNaivePersistence(t *testing.T) {
+	f, err := NewFuzzer(driftSource, [][]byte{[]byte("ab")}, Options{
+		Mechanism:     "persistent-naive",
+		Seed:          6,
+		SentinelEvery: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.RunExecs(600)
+	if st := f.Stats(); st.Divergences == 0 {
+		t.Fatalf("sentinel missed persistent-naive's state pollution: %+v", st)
+	}
+}
+
+func TestSentinelOptionQuietOnClosureX(t *testing.T) {
+	f, err := NewFuzzer(demoSource, [][]byte{[]byte("ab")}, Options{
+		Seed:          6,
+		SentinelEvery: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.RunExecs(600)
+	if st := f.Stats(); st.Divergences != 0 {
+		t.Fatalf("false-positive divergences on closurex: %+v", st)
+	}
+}
