@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race faultcheck check bench clean
+.PHONY: all build test vet race faultcheck lint check bench clean
 
 all: build
 
@@ -25,7 +25,15 @@ faultcheck:
 	$(GO) test -v -run 'Injected|Fault|Resilient|Restore|Watchdog|Sentinel|Checkpoint|Resume|Degrad|Hang|Stop' \
 		./internal/harness/ ./internal/execmgr/ ./internal/fuzz/ .
 
-check: vet test race faultcheck
+# Static correctness gate: go vet, the restore-completeness lints over
+# every registered target, and the pipeline test suites with the deep
+# analysis verifier re-checking the module after every pass (verifyeach).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/closurex-lint -q -target all
+	$(GO) test -tags verifyeach ./internal/analysis/ ./internal/passes/ ./internal/core/
+
+check: vet test race faultcheck lint
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"closurex/internal/analysis"
 	"closurex/internal/core"
 	"closurex/internal/execmgr"
 	"closurex/internal/fuzz"
@@ -357,6 +358,81 @@ func (f *Fuzzer) Close() { f.inst.Close() }
 func CheckSource(source string) error {
 	_, err := core.Compile("user.c", source)
 	return err
+}
+
+// Diagnostic is one structured finding from the static verifier or the
+// restore-completeness lints: a stable catalog ID (CLX001…), a severity
+// ("error" diagnostics make Lint-gated campaigns refuse to start), the
+// pipeline pass held responsible, and the IR location.
+type Diagnostic struct {
+	ID       string
+	Severity string
+	Pass     string
+	Func     string
+	Block    int
+	Instr    int
+	Line     int32
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	loc := ""
+	if d.Func != "" {
+		loc = " " + d.Func
+		if d.Block >= 0 {
+			loc += fmt.Sprintf(" b%d", d.Block)
+		}
+		if d.Line > 0 {
+			loc += fmt.Sprintf(" line %d", d.Line)
+		}
+	}
+	return fmt.Sprintf("%s %s [%s]%s: %s", d.ID, d.Severity, d.Pass, loc, d.Msg)
+}
+
+func publicDiags(ds analysis.Diagnostics) []Diagnostic {
+	out := make([]Diagnostic, len(ds))
+	for i, d := range ds {
+		out[i] = Diagnostic{
+			ID: d.ID, Severity: d.Sev.String(), Pass: d.Pass, Func: d.Func,
+			Block: d.Block, Instr: d.Instr, Line: d.Line, Msg: d.Msg,
+		}
+	}
+	return out
+}
+
+// HasLintErrors reports whether any diagnostic is error-severity — the
+// condition under which a -lint campaign refuses to start.
+func HasLintErrors(ds []Diagnostic) bool {
+	for i := range ds {
+		if ds[i].Severity == analysis.SevError.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// Lint statically checks the fuzzer's instrumented module: the IR verifier
+// (structure + definite-assignment dataflow) plus the restore-completeness
+// lints appropriate for the active mechanism. A persistent (closurex)
+// build is checked against the full catalog — no raw malloc/fopen/exit
+// call sites, every writable global in closure_global_section, main
+// renamed, collision-free coverage probes; baseline builds are checked
+// against the shared subset. An empty result means the static analyzer
+// can prove the campaign's between-iteration restores are complete.
+func (f *Fuzzer) Lint() []Diagnostic {
+	v := core.VariantFor(f.inst.Mech.Name())
+	return publicDiags(core.CheckModule(f.inst.Module, v))
+}
+
+// LintSource compiles MinC source, runs the full ClosureX pipeline plus
+// coverage over it, and returns the verifier/lint findings — the
+// library-level equivalent of the closurex-lint command.
+func LintSource(source string) ([]Diagnostic, error) {
+	mod, err := core.Build("user.c", source, core.ClosureX)
+	if err != nil {
+		return nil, err
+	}
+	return publicDiags(core.CheckModule(mod, core.ClosureX)), nil
 }
 
 // SectionLayout compiles source with the full ClosureX pipeline and

@@ -43,6 +43,7 @@ func main() {
 		cmin   = flag.Bool("minimize-corpus", false, "write the coverage-preserving corpus subset to -out")
 	)
 	var (
+		lint      = flag.Bool("lint", false, "run the static restore-completeness lints and refuse to fuzz a module that fails them")
 		resilient = flag.Bool("resilient", false, "arm the restore watchdog + rebuild/fallback ladder")
 		sentEvery = flag.Int64("sentinel-every", 0, "divergence sentinel period in execs (0 = off)")
 		ckptPath  = flag.String("checkpoint", "", "write campaign checkpoints to this file (periodically and on exit/signal)")
@@ -110,6 +111,20 @@ func main() {
 		fatalf("%v", err)
 	}
 	defer f.Close()
+
+	if *lint {
+		// A campaign against a module that fails the restore-completeness
+		// lints would fuzz polluted state from iteration two onward; refuse
+		// up front rather than let the sentinel discover it hours in.
+		diags := f.Lint()
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "closurex-fuzz: lint: %s\n", d)
+		}
+		if closurex.HasLintErrors(diags) {
+			fatalf("module failed the restore-completeness lints; not starting the campaign")
+		}
+		fmt.Printf("lint clean: module statically restartable under mechanism=%s\n", f.Mechanism())
+	}
 
 	if *replay != "" {
 		data, rerr := os.ReadFile(*replay)

@@ -1,0 +1,98 @@
+package analysis
+
+import "closurex/internal/ir"
+
+// CFG is the control-flow graph of one function: successor and predecessor
+// block-index lists derived from each block's terminator. Construction is
+// tolerant of malformed functions (missing terminators, out-of-range branch
+// targets); such edges are simply absent, and the structural verifier
+// reports the defect separately.
+type CFG struct {
+	F     *ir.Func
+	Succs [][]int
+	Preds [][]int
+}
+
+// BuildCFG derives the control-flow graph of f.
+func BuildCFG(f *ir.Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		F:     f,
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+	}
+	for bi, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		add := func(target int) {
+			if target < 0 || target >= n {
+				return // verifier's problem, not the CFG's
+			}
+			for _, s := range c.Succs[bi] {
+				if s == target {
+					return // CondBr with both arms equal: one edge
+				}
+			}
+			c.Succs[bi] = append(c.Succs[bi], target)
+			c.Preds[target] = append(c.Preds[target], bi)
+		}
+		switch t.Op {
+		case ir.OpBr:
+			add(t.Targets[0])
+		case ir.OpCondBr:
+			add(t.Targets[0])
+			add(t.Targets[1])
+		}
+	}
+	return c
+}
+
+// Reachable reports, per block, whether it is reachable from the entry
+// block by CFG edges.
+func (c *CFG) Reachable() []bool {
+	seen := make([]bool, len(c.Succs))
+	if len(seen) == 0 {
+		return seen
+	}
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range c.Succs[b] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// ReversePostorder returns the reachable blocks in reverse postorder of a
+// depth-first walk from the entry — the iteration order under which a
+// forward dataflow problem converges fastest.
+func (c *CFG) ReversePostorder() []int {
+	n := len(c.Succs)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range c.Succs[b] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if n > 0 {
+		dfs(0)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

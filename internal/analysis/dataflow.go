@@ -1,0 +1,210 @@
+package analysis
+
+import "closurex/internal/ir"
+
+// BitSet is a fixed-capacity bit vector — the transfer-function currency of
+// every dataflow instance in this package.
+type BitSet []uint64
+
+// NewBitSet returns an empty set with capacity for n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports membership of i.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Union adds every element of o, reporting whether s changed.
+func (s BitSet) Union(o BitSet) bool {
+	changed := false
+	for i := range s {
+		v := s[i] | o[i]
+		if v != s[i] {
+			s[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect drops elements absent from o.
+func (s BitSet) Intersect(o BitSet) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+// Fill adds every element in [0, n).
+func (s BitSet) Fill(n int) {
+	for i := 0; i < n; i++ {
+		s.Set(i)
+	}
+}
+
+// Copy returns an independent copy.
+func (s BitSet) Copy() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports element-wise equality.
+func (s BitSet) Equal(o BitSet) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the cardinality.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Direction orients a dataflow problem.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem is a monotone dataflow problem over a CFG. The framework owns
+// iteration order and convergence; an instance supplies the lattice:
+//
+//   - NewValue allocates a lattice element at its initial interior value
+//     (⊤ for must-problems, ⊥/empty for may-problems).
+//   - Boundary allocates the entry (Forward) or exit (Backward) value.
+//   - Meet folds a neighbor's out-value into acc in place.
+//   - Transfer computes the block's out-value from its in-value; it must
+//     not retain or mutate in.
+type Problem struct {
+	Dir      Direction
+	NewValue func() BitSet
+	Boundary func() BitSet
+	Meet     func(acc, neighbor BitSet)
+	Transfer func(block int, in BitSet) BitSet
+}
+
+// Solution holds the per-block fixpoint of a dataflow problem. For Forward
+// problems In is at block entry and Out at block exit; for Backward
+// problems In is the value flowing into the transfer function (block exit)
+// and Out the result (block entry).
+type Solution struct {
+	In, Out []BitSet
+}
+
+// Solve runs the worklist algorithm to fixpoint. Blocks are seeded in
+// reverse postorder for forward problems and postorder for backward ones,
+// which makes one or two sweeps suffice for reducible flow graphs.
+func Solve(c *CFG, p Problem) *Solution {
+	n := len(c.Succs)
+	sol := &Solution{In: make([]BitSet, n), Out: make([]BitSet, n)}
+	for i := 0; i < n; i++ {
+		sol.In[i] = p.NewValue()
+		sol.Out[i] = p.Transfer(i, sol.In[i])
+	}
+
+	order := c.ReversePostorder()
+	if p.Dir == Backward {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	// Neighbors feeding a block's meet, and those notified when it changes.
+	feed, notify := c.Preds, c.Succs
+	if p.Dir == Backward {
+		feed, notify = c.Succs, c.Preds
+	}
+
+	inWork := make([]bool, n)
+	work := make([]int, 0, n)
+	for _, b := range order {
+		work = append(work, b)
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		var in BitSet
+		boundary := (p.Dir == Forward && b == 0) || (p.Dir == Backward && len(feed[b]) == 0)
+		if boundary {
+			in = p.Boundary()
+			if len(feed[b]) > 0 { // entry block with back-edges into it
+				for _, f := range feed[b] {
+					p.Meet(in, sol.Out[f])
+				}
+			}
+		} else {
+			in = p.NewValue()
+			for i, f := range feed[b] {
+				if i == 0 {
+					copy(in, sol.Out[f])
+				} else {
+					p.Meet(in, sol.Out[f])
+				}
+			}
+		}
+		sol.In[b] = in
+		out := p.Transfer(b, in)
+		if !out.Equal(sol.Out[b]) {
+			sol.Out[b] = out
+			for _, s := range notify[b] {
+				if !inWork[s] {
+					inWork[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return sol
+}
+
+// InstrDef returns the register an instruction writes, or -1.
+func InstrDef(in *ir.Instr) int {
+	switch in.Op {
+	case ir.OpConst, ir.OpMov, ir.OpBin, ir.OpUn, ir.OpLoad,
+		ir.OpGlobalAddr, ir.OpFrameAddr, ir.OpCall:
+		return in.Dst
+	}
+	return -1
+}
+
+// InstrUses appends the registers an instruction reads to dst and returns
+// the extended slice (pass a reusable buffer to avoid allocation).
+func InstrUses(in *ir.Instr, dst []int) []int {
+	switch in.Op {
+	case ir.OpMov, ir.OpUn:
+		dst = append(dst, in.A)
+	case ir.OpBin:
+		dst = append(dst, in.A, in.B)
+	case ir.OpLoad:
+		dst = append(dst, in.A)
+	case ir.OpStore:
+		dst = append(dst, in.A, in.B)
+	case ir.OpCall:
+		dst = append(dst, in.Args...)
+	case ir.OpRet:
+		if in.A >= 0 {
+			dst = append(dst, in.A)
+		}
+	case ir.OpCondBr:
+		dst = append(dst, in.A)
+	}
+	return dst
+}

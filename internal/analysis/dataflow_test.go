@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"closurex/internal/ir"
+)
+
+// loopFunc builds the canonical counting loop:
+//
+//	func f(p0) { b0: r1=0; br b1
+//	             b1: r2 = r1 < p0; condbr r2 -> b2, b3
+//	             b2: r3=1; r1 = r1+r3; br b1
+//	             b3: r3=99 (dead); ret r1 }
+func loopFunc() *ir.Func {
+	return &ir.Func{Name: "f", NumParams: 1, NumRegs: 4, Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 1, Imm: 0},
+			{Op: ir.OpBr, Dst: -1, Targets: [2]int{1, 0}},
+		}},
+		{Instrs: []ir.Instr{
+			{Op: ir.OpBin, Bin: ir.Lt, Dst: 2, A: 1, B: 0},
+			{Op: ir.OpCondBr, A: 2, Dst: -1, Targets: [2]int{2, 3}},
+		}},
+		{Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 3, Imm: 1},
+			{Op: ir.OpBin, Bin: ir.Add, Dst: 1, A: 1, B: 3},
+			{Op: ir.OpBr, Dst: -1, Targets: [2]int{1, 0}},
+		}},
+		{Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 3, Imm: 99}, // dead: r3 never read afterwards
+			{Op: ir.OpRet, A: 1, Dst: -1},
+		}},
+	}}
+}
+
+func TestBitSet(t *testing.T) {
+	s := NewBitSet(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		s.Set(i)
+		if !s.Has(i) {
+			t.Fatalf("Set(%d) then Has(%d) = false", i, i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 3 {
+		t.Fatalf("Clear(64) left Has=%v Count=%d", s.Has(64), s.Count())
+	}
+	o := NewBitSet(130)
+	o.Set(5)
+	if !o.Union(s) {
+		t.Fatal("Union with new elements reported no change")
+	}
+	if o.Union(s) {
+		t.Fatal("idempotent Union reported change")
+	}
+	o.Intersect(s)
+	if o.Has(5) || o.Count() != 3 {
+		t.Fatalf("Intersect kept 5 or wrong count %d", o.Count())
+	}
+	c := o.Copy()
+	c.Set(100)
+	if o.Has(100) {
+		t.Fatal("Copy aliases the original")
+	}
+	f := NewBitSet(70)
+	f.Fill(70)
+	if f.Count() != 70 {
+		t.Fatalf("Fill(70) count = %d", f.Count())
+	}
+}
+
+func TestCFGEdges(t *testing.T) {
+	c := BuildCFG(loopFunc())
+	wantSuccs := [][]int{{1}, {2, 3}, {1}, nil}
+	if !reflect.DeepEqual(c.Succs, wantSuccs) {
+		t.Fatalf("Succs = %v, want %v", c.Succs, wantSuccs)
+	}
+	wantPreds := [][]int{nil, {0, 2}, {1}, {1}}
+	if !reflect.DeepEqual(c.Preds, wantPreds) {
+		t.Fatalf("Preds = %v, want %v", c.Preds, wantPreds)
+	}
+	rpo := c.ReversePostorder()
+	if len(rpo) != 4 || rpo[0] != 0 {
+		t.Fatalf("RPO = %v, want entry first over 4 blocks", rpo)
+	}
+	pos := map[int]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	if pos[1] > pos[2] || pos[1] > pos[3] {
+		t.Fatalf("RPO %v orders the loop header after its body/exit", rpo)
+	}
+}
+
+func TestCFGToleratesMalformedIR(t *testing.T) {
+	f := &ir.Func{Name: "bad", NumRegs: 1, Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpBr, Dst: -1, Targets: [2]int{7, 0}}}}, // out of range
+		{Instrs: []ir.Instr{{Op: ir.OpConst, Dst: 0}}},                      // unterminated
+		{Instrs: []ir.Instr{{Op: ir.OpCondBr, A: 0, Dst: -1, Targets: [2]int{1, 1}}}},
+	}}
+	c := BuildCFG(f)
+	if len(c.Succs[0]) != 0 || len(c.Succs[1]) != 0 {
+		t.Fatalf("malformed edges materialized: %v", c.Succs)
+	}
+	// CondBr with both arms equal contributes exactly one edge.
+	if !reflect.DeepEqual(c.Succs[2], []int{1}) || !reflect.DeepEqual(c.Preds[1], []int{2}) {
+		t.Fatalf("duplicate CondBr arms: succs=%v preds=%v", c.Succs[2], c.Preds[1])
+	}
+	reach := c.Reachable()
+	if !reach[0] || reach[1] || reach[2] {
+		t.Fatalf("reachability = %v, want only the entry", reach)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	c := BuildCFG(loopFunc())
+	d := Dominators(c)
+	if want := []int{-1, 0, 1, 1}; !reflect.DeepEqual(d.IDom, want) {
+		t.Fatalf("IDom = %v, want %v", d.IDom, want)
+	}
+	for _, b := range []int{0, 1, 2, 3} {
+		if !d.Dominates(0, b) {
+			t.Errorf("entry must dominate b%d", b)
+		}
+		if !d.Dominates(b, b) {
+			t.Errorf("dominance must be reflexive at b%d", b)
+		}
+	}
+	if !d.Dominates(1, 2) || !d.Dominates(1, 3) {
+		t.Error("loop header must dominate body and exit")
+	}
+	if d.Dominates(2, 3) || d.Dominates(2, 1) || d.Dominates(3, 2) {
+		t.Error("body/exit must not dominate siblings or the header")
+	}
+}
+
+func TestDominatorsUnreachableBlock(t *testing.T) {
+	f := loopFunc()
+	f.Blocks = append(f.Blocks, &ir.Block{Instrs: []ir.Instr{
+		{Op: ir.OpRet, A: -1, Dst: -1}, // nothing branches here
+	}})
+	d := Dominators(BuildCFG(f))
+	if d.IDom[4] != -1 {
+		t.Fatalf("unreachable block got IDom %d", d.IDom[4])
+	}
+	if d.Dominates(0, 4) || d.Dominates(4, 0) || d.Dominates(4, 4) {
+		t.Fatal("unreachable blocks must not participate in dominance")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	c := BuildCFG(loopFunc())
+	lv := ComputeLiveness(c)
+	// The loop-carried registers p0 and r1 are live into the header...
+	for _, r := range []int{0, 1} {
+		if !lv.LiveIn[1].Has(r) {
+			t.Errorf("r%d not live into the loop header", r)
+		}
+	}
+	// ...and across the back edge.
+	for _, r := range []int{0, 1} {
+		if !lv.LiveOut[2].Has(r) {
+			t.Errorf("r%d not live out of the loop body", r)
+		}
+	}
+	// The comparison scratch register dies inside the header.
+	if lv.LiveOut[3].Has(2) || lv.LiveIn[0].Has(2) {
+		t.Error("r2 leaked out of the header")
+	}
+	// Nothing is live out of the exit block.
+	if got := lv.LiveOut[3].Count(); got != 0 {
+		t.Errorf("LiveOut[exit] has %d registers, want 0", got)
+	}
+}
+
+func TestDeadStores(t *testing.T) {
+	c := BuildCFG(loopFunc())
+	lv := ComputeLiveness(c)
+	if got, want := lv.DeadStores(c), [][2]int{{3, 0}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DeadStores = %v, want %v (the r3=99 in the exit block)", got, want)
+	}
+	// Calls are exempt even when their result register is never read.
+	f := &ir.Func{Name: "g", NumRegs: 2, Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 0, Imm: 8},
+			{Op: ir.OpCall, Dst: 1, Callee: "closurex_malloc", Args: []int{0}},
+			{Op: ir.OpRet, A: -1, Dst: -1},
+		}},
+	}}
+	c2 := BuildCFG(f)
+	if ds := ComputeLiveness(c2).DeadStores(c2); len(ds) != 0 {
+		t.Fatalf("call with ignored result flagged as dead store: %v", ds)
+	}
+}
+
+func TestReachingDefs(t *testing.T) {
+	f := loopFunc()
+	c := BuildCFG(f)
+	rd := ComputeReachingDefs(c)
+	// Sites: 0 = param p0, then textual order of defs.
+	if rd.Sites[0] != (DefSite{Block: -1, Instr: -1, Reg: 0}) {
+		t.Fatalf("site 0 = %+v, want the virtual param def", rd.Sites[0])
+	}
+	siteOf := func(block, instr int) int {
+		for i, s := range rd.Sites {
+			if s.Block == block && s.Instr == instr {
+				return i
+			}
+		}
+		t.Fatalf("no def site at b%d#%d", block, instr)
+		return -1
+	}
+	init := siteOf(0, 0) // r1 = 0
+	incr := siteOf(2, 1) // r1 = r1 + r3
+	// Both defs of the induction register reach the loop header...
+	for _, s := range []int{init, incr} {
+		if !rd.In[1].Has(s) {
+			t.Errorf("def site %d (%+v) does not reach the header", s, rd.Sites[s])
+		}
+	}
+	// ...and the param def reaches every block.
+	for b := 0; b < len(f.Blocks); b++ {
+		if !rd.In[b].Has(0) {
+			t.Errorf("param def does not reach b%d", b)
+		}
+	}
+	// Inside the body, the increment kills the init def at the block exit.
+	if rd.Out[2].Has(init) {
+		t.Error("killed init def survives the loop body's exit")
+	}
+	if !rd.Out[2].Has(incr) {
+		t.Error("the body's own def missing from its out set")
+	}
+}
+
+// TestSolveForwardMust exercises the solver's must-analysis configuration
+// (intersection meet, ⊤ interior init) directly on the loop: the definite-
+// assignment instance must converge and prove the loop-carried register
+// assigned at the header without being fooled by the back edge.
+func TestSolveForwardMust(t *testing.T) {
+	f := loopFunc()
+	c := BuildCFG(f)
+	a := computeAssigned(c)
+	if !a.in[1].Has(1) {
+		t.Error("r1 not definitely assigned at the loop header")
+	}
+	if !a.in[1].Has(0) {
+		t.Error("param not definitely assigned at the loop header")
+	}
+	// r3 is assigned only inside the body, so at the header — reachable via
+	// the entry edge that bypasses the body — it must NOT be definite.
+	if a.in[1].Has(3) {
+		t.Error("r3 wrongly proven assigned at the header (back-edge over-trust)")
+	}
+	if !a.in[2].Has(2) {
+		t.Error("r2 (defined in the header) not definite in the body")
+	}
+}

@@ -1,0 +1,169 @@
+// Package analysis provides compile-time correctness tooling for the
+// ClosureX pipeline: a structural IR verifier, a generic dataflow framework
+// (CFG, dominator tree, forward/backward worklist solver with liveness and
+// reaching-definitions instances), and restore-completeness lints that
+// statically prove a pipeline's output is restartable — the compile-time
+// counterpart of the runtime divergence sentinel and restore watchdog.
+//
+// Every checker emits structured Diagnostics carrying a stable catalog ID
+// (CLX001…), the producing checker or pass, and the precise IR location
+// (function, block, instruction, source line), so tools and tests can
+// assert that exactly the intended check caught a defect.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities, least to most severe.
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warn"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("sev(%d)", int(s))
+}
+
+// Diagnostic is one structured finding from the verifier or a lint.
+type Diagnostic struct {
+	// ID is the stable catalog identifier ("CLX001").
+	ID string
+	// Sev is the severity; campaigns refuse to start on SevError.
+	Sev Severity
+	// Pass names the checker or the pipeline pass held responsible
+	// ("verifier", "HeapPass", "CoveragePass", ...).
+	Pass string
+	// Func is the containing function; empty for module-level findings.
+	Func string
+	// Block and Instr locate the finding inside Func; -1 when not
+	// applicable (module- or function-level findings).
+	Block, Instr int
+	// Line is the source line attached to the offending instruction.
+	Line int32
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s [%s]", d.ID, d.Sev, d.Pass)
+	if d.Func != "" {
+		fmt.Fprintf(&b, " %s", d.Func)
+		if d.Block >= 0 {
+			fmt.Fprintf(&b, " b%d", d.Block)
+			if d.Instr >= 0 {
+				fmt.Fprintf(&b, "#%d", d.Instr)
+			}
+		}
+		if d.Line > 0 {
+			fmt.Fprintf(&b, " line %d", d.Line)
+		}
+	}
+	fmt.Fprintf(&b, ": %s", d.Msg)
+	return b.String()
+}
+
+// Diagnostics is an ordered finding list.
+type Diagnostics []Diagnostic
+
+// HasErrors reports whether any diagnostic is SevError.
+func (ds Diagnostics) HasErrors() bool {
+	for i := range ds {
+		if ds[i].Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors counts SevError diagnostics.
+func (ds Diagnostics) Errors() int {
+	n := 0
+	for i := range ds {
+		if ds[i].Sev == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// ByID returns the subset carrying the given catalog ID.
+func (ds Diagnostics) ByID(id string) Diagnostics {
+	var out Diagnostics
+	for i := range ds {
+		if ds[i].ID == id {
+			out = append(out, ds[i])
+		}
+	}
+	return out
+}
+
+// IDs returns the distinct catalog IDs present, sorted.
+func (ds Diagnostics) IDs() []string {
+	seen := map[string]bool{}
+	for i := range ds {
+		seen[ds[i].ID] = true
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sort orders diagnostics by function, block, instruction, then ID, giving
+// tools a stable presentation independent of checker execution order.
+func (ds Diagnostics) Sort() {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := &ds[i], &ds[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		return a.ID < b.ID
+	})
+}
+
+func (ds Diagnostics) String() string {
+	lines := make([]string, len(ds))
+	for i := range ds {
+		lines[i] = ds[i].String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ErrDiagnostics is wrapped by every error produced from a non-empty
+// diagnostic list, so callers can errors.Is across the toolchain.
+var ErrDiagnostics = errors.New("analysis: diagnostics reported")
+
+// Err converts the list into an error: nil when no SevError diagnostic is
+// present, otherwise an error wrapping ErrDiagnostics whose message renders
+// every finding.
+func (ds Diagnostics) Err() error {
+	if !ds.HasErrors() {
+		return nil
+	}
+	return fmt.Errorf("%w (%d error(s)):\n%s", ErrDiagnostics, ds.Errors(), ds.String())
+}

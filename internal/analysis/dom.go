@@ -1,0 +1,90 @@
+package analysis
+
+// DomTree is the dominator tree of a CFG, computed with the
+// Cooper-Harvey-Kennedy iterative algorithm over reverse postorder ("A
+// Simple, Fast Dominance Algorithm"). Unreachable blocks have no
+// dominators (IDom -1) and dominate nothing.
+type DomTree struct {
+	// IDom[b] is b's immediate dominator, -1 for the entry block and for
+	// unreachable blocks.
+	IDom []int
+	// rpoNum[b] is b's reverse-postorder number, -1 if unreachable.
+	rpoNum []int
+}
+
+// Dominators computes the dominator tree of c.
+func Dominators(c *CFG) *DomTree {
+	n := len(c.Succs)
+	t := &DomTree{
+		IDom:   make([]int, n),
+		rpoNum: make([]int, n),
+	}
+	for i := range t.IDom {
+		t.IDom[i] = -1
+		t.rpoNum[i] = -1
+	}
+	if n == 0 {
+		return t
+	}
+	rpo := c.ReversePostorder()
+	for i, b := range rpo {
+		t.rpoNum[b] = i
+	}
+	t.IDom[0] = 0 // sentinel: entry's idom is itself during iteration
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if t.rpoNum[p] < 0 || t.IDom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && t.IDom[b] != newIdom {
+				t.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.IDom[0] = -1 // restore the conventional root marker
+	return t
+}
+
+func (t *DomTree) intersect(a, b int) int {
+	for a != b {
+		for t.rpoNum[a] > t.rpoNum[b] {
+			a = t.IDom[a]
+		}
+		for t.rpoNum[b] > t.rpoNum[a] {
+			b = t.IDom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexively: every
+// block dominates itself). Unreachable blocks dominate nothing and are
+// dominated by nothing.
+func (t *DomTree) Dominates(a, b int) bool {
+	if a < 0 || b < 0 || a >= len(t.IDom) || b >= len(t.IDom) {
+		return false
+	}
+	if t.rpoNum[a] < 0 || t.rpoNum[b] < 0 {
+		return false
+	}
+	for b != a && b != 0 {
+		b = t.IDom[b]
+		if b < 0 {
+			return false
+		}
+	}
+	return b == a
+}

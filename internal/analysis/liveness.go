@@ -1,0 +1,90 @@
+package analysis
+
+import "closurex/internal/ir"
+
+// Liveness is the classic backward may-analysis: LiveIn[b] holds the
+// registers whose values may be read before being overwritten on some path
+// starting at block b's entry; LiveOut[b] the same at its exit.
+type Liveness struct {
+	LiveIn, LiveOut []BitSet
+}
+
+// ComputeLiveness solves liveness for f over its CFG.
+func ComputeLiveness(c *CFG) *Liveness {
+	f := c.F
+	n := len(f.Blocks)
+	// Per-block gen (upward-exposed uses) and kill (defs) sets.
+	gen := make([]BitSet, n)
+	kill := make([]BitSet, n)
+	var buf []int
+	for bi, b := range f.Blocks {
+		g := NewBitSet(f.NumRegs)
+		k := NewBitSet(f.NumRegs)
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			buf = InstrUses(in, buf[:0])
+			for _, r := range buf {
+				if r >= 0 && r < f.NumRegs && !k.Has(r) {
+					g.Set(r)
+				}
+			}
+			if d := InstrDef(in); d >= 0 && d < f.NumRegs {
+				k.Set(d)
+			}
+		}
+		gen[bi], kill[bi] = g, k
+	}
+
+	sol := Solve(c, Problem{
+		Dir:      Backward,
+		NewValue: func() BitSet { return NewBitSet(f.NumRegs) },
+		Boundary: func() BitSet { return NewBitSet(f.NumRegs) },
+		Meet:     func(acc, nb BitSet) { acc.Union(nb) },
+		Transfer: func(b int, out BitSet) BitSet {
+			// liveIn = gen ∪ (liveOut − kill)
+			in := out.Copy()
+			for i := range in {
+				in[i] = gen[b][i] | (out[i] &^ kill[b][i])
+			}
+			return in
+		},
+	})
+	// Backward solution: In carries block-exit values, Out block-entry.
+	return &Liveness{LiveIn: sol.Out, LiveOut: sol.In}
+}
+
+// DeadStores returns (block, instr) positions whose defined register is
+// never subsequently read — a cheap consumer of the liveness instance used
+// by tests and by pipeline-quality reporting. Calls are exempt (their
+// side effects matter regardless of the ignored result register).
+func (lv *Liveness) DeadStores(c *CFG) [][2]int {
+	f := c.F
+	var out [][2]int
+	var buf []int
+	for bi, b := range f.Blocks {
+		live := lv.LiveOut[bi].Copy()
+		// Walk backwards, maintaining liveness within the block.
+		type rec struct{ instr, def int }
+		var order []rec
+		for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+			in := &b.Instrs[ii]
+			d := InstrDef(in)
+			if d >= 0 && in.Op != ir.OpCall && !live.Has(d) {
+				order = append(order, rec{ii, d})
+			}
+			if d >= 0 {
+				live.Clear(d)
+			}
+			buf = InstrUses(in, buf[:0])
+			for _, r := range buf {
+				if r >= 0 && r < f.NumRegs {
+					live.Set(r)
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			out = append(out, [2]int{bi, order[i].instr})
+		}
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"closurex/internal/analysis"
 	"closurex/internal/execmgr"
 	"closurex/internal/faultinject"
 	"closurex/internal/fuzz"
@@ -81,7 +82,7 @@ func Compile(file, src string) (*ir.Module, error) {
 // untouched, and returns the instrumented module.
 func Instrument(m *ir.Module, v Variant) (*ir.Module, error) {
 	out := m.Clone()
-	pm := passes.NewManager(vm.Builtins())
+	pm := passes.NewManager(vm.Builtins()).VerifyEach(verifyEachDefault)
 	switch v {
 	case Pristine:
 		return out, nil
@@ -109,6 +110,38 @@ func Build(file, src string, v Variant) (*ir.Module, error) {
 		return nil, err
 	}
 	return Instrument(m, v)
+}
+
+// VerifyModule runs the deep analysis verifier (structural invariants plus
+// definite-assignment dataflow) over m with the VM's builtin set.
+func VerifyModule(m *ir.Module) analysis.Diagnostics {
+	return analysis.Verify(m, vm.Builtins())
+}
+
+// LintModule runs the restore-completeness lints appropriate for a build
+// variant: the full catalog for ClosureX builds, whose output must be
+// restartable, and the shared subset (entry renaming, coverage sanity) for
+// baseline builds, which legitimately keep raw heap/file/exit calls.
+func LintModule(m *ir.Module, v Variant) analysis.Diagnostics {
+	switch v {
+	case ClosureX, ClosureXDeferInit:
+		return analysis.Lint(m)
+	case Baseline:
+		return analysis.LintShared(m)
+	default:
+		return nil // pristine modules carry no pipeline contract to lint
+	}
+}
+
+// CheckModule verifies then, on a structurally sound module, lints for the
+// given variant — the one-call gate closurex-lint and the -lint campaign
+// flag share.
+func CheckModule(m *ir.Module, v Variant) analysis.Diagnostics {
+	ds := VerifyModule(m)
+	if ds.HasErrors() {
+		return ds
+	}
+	return append(ds, LintModule(m, v)...)
 }
 
 // Instance is one runnable fuzzing configuration: a target built for a

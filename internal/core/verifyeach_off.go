@@ -1,0 +1,9 @@
+//go:build !verifyeach
+
+package core
+
+// verifyEachDefault is false in ordinary builds: pipelines run the quick
+// structural ir.Verify between passes, and the deep analysis verifier runs
+// standalone (closurex-lint, tests). Build with -tags verifyeach to re-run
+// the full verifier after every pass of every build — `make lint` does.
+const verifyEachDefault = false

@@ -3,9 +3,15 @@ package fuzz
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"time"
 )
+
+// ErrBadCheckpoint wraps every Resume rejection — version skew, seed or
+// fingerprint mismatch, corrupt or inconsistent state — so supervisors can
+// errors.Is the whole class and fall back to a fresh campaign.
+var ErrBadCheckpoint = errors.New("fuzz: incompatible checkpoint")
 
 // checkpointVersion guards the serialized layout; bump on any change to
 // checkpointState so a stale file fails loudly instead of resuming a
@@ -108,17 +114,17 @@ func (c *Campaign) Checkpoint() ([]byte, error) {
 func Resume(cfg Config, data []byte) (*Campaign, error) {
 	var st checkpointState
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
-		return nil, fmt.Errorf("fuzz: decode checkpoint: %w", err)
+		return nil, fmt.Errorf("%w: decode: %w", ErrBadCheckpoint, err)
 	}
 	if st.Version != checkpointVersion {
-		return nil, fmt.Errorf("fuzz: checkpoint version %d, want %d", st.Version, checkpointVersion)
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, st.Version, checkpointVersion)
 	}
 	if cfg.Seed != st.Seed {
-		return nil, fmt.Errorf("fuzz: checkpoint was taken with seed %d, config says %d", st.Seed, cfg.Seed)
+		return nil, fmt.Errorf("%w: taken with seed %d, config says %d", ErrBadCheckpoint, st.Seed, cfg.Seed)
 	}
 	if st.Fingerprint != cfg.Fingerprint {
-		return nil, fmt.Errorf("fuzz: checkpoint was taken for %q, config says %q (resume needs the same target and mechanism)",
-			st.Fingerprint, cfg.Fingerprint)
+		return nil, fmt.Errorf("%w: taken for %q, config says %q (resume needs the same target and mechanism)",
+			ErrBadCheckpoint, st.Fingerprint, cfg.Fingerprint)
 	}
 	c := NewCampaign(cfg)
 	c.rng.SetState(st.RNGState)
@@ -132,7 +138,7 @@ func Resume(cfg Config, data []byte) (*Campaign, error) {
 	if st.CurIndex >= 0 && st.CurIndex < len(c.queue) {
 		c.cur = c.queue[st.CurIndex]
 	} else if st.Burst > 0 {
-		return nil, fmt.Errorf("fuzz: checkpoint mid-burst without a current entry")
+		return nil, fmt.Errorf("%w: mid-burst without a current entry", ErrBadCheckpoint)
 	}
 	for _, e := range st.Quarantined {
 		c.quarantined = append(c.quarantined, &Entry{Input: e.Input, FoundAt: e.FoundAt, Gain: e.Gain})
@@ -141,7 +147,7 @@ func Resume(cfg Config, data []byte) (*Campaign, error) {
 		return nil, err
 	}
 	if got := c.bitmap.Edges(); got != st.Edges {
-		return nil, fmt.Errorf("fuzz: checkpoint edge count %d does not match bitmap (%d)", st.Edges, got)
+		return nil, fmt.Errorf("%w: edge count %d does not match bitmap (%d)", ErrBadCheckpoint, st.Edges, got)
 	}
 	for i := range st.Crashes {
 		cr := st.Crashes[i]

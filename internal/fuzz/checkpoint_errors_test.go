@@ -1,0 +1,45 @@
+package fuzz
+
+import (
+	"errors"
+	"testing"
+)
+
+// Supervisors decide between "retry with the right flags" and "start
+// fresh" by errors.Is(err, ErrBadCheckpoint); every Resume rejection must
+// carry the sentinel.
+func TestResumeRejectionsWrapErrBadCheckpoint(t *testing.T) {
+	c, ex := newResilienceCampaign([][]byte{{'a'}}, 5)
+	c.RunExecs(100)
+	good, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Executor: ex, CovMap: ex.cov, Seed: 5}
+
+	cases := []struct {
+		name string
+		cfg  Config
+		data []byte
+	}{
+		{"garbage bytes", cfg, []byte("not a checkpoint")},
+		{"seed mismatch", func() Config { c := cfg; c.Seed = 6; return c }(), good},
+		{"fingerprint mismatch", func() Config { c := cfg; c.Fingerprint = "other@fresh"; return c }(), good},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Resume(tc.cfg, tc.data)
+			if err == nil {
+				t.Fatal("bad checkpoint accepted")
+			}
+			if !errors.Is(err, ErrBadCheckpoint) {
+				t.Fatalf("rejection not errors.Is(ErrBadCheckpoint): %v", err)
+			}
+		})
+	}
+
+	// The matching configuration still resumes.
+	if _, err := Resume(cfg, good); err != nil {
+		t.Fatalf("good checkpoint rejected: %v", err)
+	}
+}

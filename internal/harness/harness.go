@@ -11,6 +11,7 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"closurex/internal/faultinject"
@@ -18,6 +19,16 @@ import (
 	"closurex/internal/passes"
 	"closurex/internal/vfs"
 	"closurex/internal/vm"
+)
+
+// Sentinel errors the resilience layer and tests branch on with errors.Is.
+var (
+	// ErrRestore wraps every failure of the between-iteration restore
+	// steps (global copy-back, heap reset, descriptor close/rewind).
+	ErrRestore = errors.New("harness: restore failed")
+	// ErrWatchdog wraps every post-restore invariant violation Verify
+	// detects — the image has drifted and must be quarantined/rebuilt.
+	ErrWatchdog = errors.New("harness: watchdog invariant violated")
 )
 
 // Options tunes which pieces of state the harness restores — the knobs the
@@ -178,7 +189,13 @@ func (h *Harness) Restore() error {
 			}
 		}
 	}
-	return firstErr
+	if firstErr != nil {
+		// Double-wrap so callers can branch on the broad class
+		// (errors.Is(err, ErrRestore)) or the precise cause (the injected
+		// fault kind, the vfs error) without string matching.
+		return fmt.Errorf("%w: %w", ErrRestore, firstErr)
+	}
+	return nil
 }
 
 // Verify is the restore watchdog: it validates the post-restore invariants
@@ -191,26 +208,26 @@ func (h *Harness) Verify() error {
 	if h.opts.ResetHeap {
 		// Live-chunk census: every test-case allocation must be gone.
 		if n := len(h.v.Heap.Leaked()); n != 0 {
-			return fmt.Errorf("harness: watchdog: %d test-case heap chunks survive restore", n)
+			return fmt.Errorf("%w: %d test-case heap chunks survive restore", ErrWatchdog, n)
 		}
 	}
 	if h.opts.RestoreGlobals && h.globalSnap != nil {
 		cur, ok := h.v.SnapshotSection(ir.SectionClosure)
 		if !ok {
-			return fmt.Errorf("harness: watchdog: %s vanished", ir.SectionClosure)
+			return fmt.Errorf("%w: %s vanished", ErrWatchdog, ir.SectionClosure)
 		}
 		if !bytes.Equal(cur, h.globalSnap) {
-			return fmt.Errorf("harness: watchdog: %s differs from snapshot (%d bytes)",
-				ir.SectionClosure, diffBytes(cur, h.globalSnap))
+			return fmt.Errorf("%w: %s differs from snapshot (%d bytes)",
+				ErrWatchdog, ir.SectionClosure, diffBytes(cur, h.globalSnap))
 		}
 	}
 	if h.opts.CloseFiles {
 		if n := len(h.v.FS.LeakedFDs()); n != 0 {
-			return fmt.Errorf("harness: watchdog: %d leaked descriptors survive restore", n)
+			return fmt.Errorf("%w: %d leaked descriptors survive restore", ErrWatchdog, n)
 		}
 		for _, fd := range h.v.FS.InitFDs() {
 			if pos, err := h.v.FS.Tell(fd); err != nil || pos != 0 {
-				return fmt.Errorf("harness: watchdog: init fd %d not rewound (pos %d, err %v)", fd, pos, err)
+				return fmt.Errorf("%w: init fd %d not rewound (pos %d, err %v)", ErrWatchdog, fd, pos, err)
 			}
 		}
 	}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"closurex/internal/faultinject"
+)
+
+// The resilience layer branches on error classes with errors.Is rather than
+// string matching; these tests pin the wrapping contract.
+func TestRestoreFailureWrapsErrRestore(t *testing.T) {
+	inj := faultinject.New(1)
+	h := newFaultyHarness(t, inj)
+	if res := h.RunOne([]byte("a")); res.Fault != nil {
+		t.Fatalf("clean run faulted: %v", res.Fault)
+	}
+	if err := h.TakeRestoreError(); err != nil {
+		t.Fatalf("clean run reported restore error: %v", err)
+	}
+
+	inj.FailAfter(faultinject.RestoreGlobals, 0, 1)
+	h.RunOne([]byte("b"))
+	err := h.TakeRestoreError()
+	if err == nil {
+		t.Fatal("injected restore failure not reported")
+	}
+	if !errors.Is(err, ErrRestore) {
+		t.Fatalf("restore failure not errors.Is(ErrRestore): %v", err)
+	}
+	if errors.Is(err, ErrWatchdog) {
+		t.Fatalf("restore failure claims to be a watchdog violation: %v", err)
+	}
+}
+
+func TestWatchdogViolationWrapsErrWatchdog(t *testing.T) {
+	inj := faultinject.New(1)
+	h := newFaultyHarness(t, inj)
+	h.RunOne([]byte("a"))
+	if err := h.Verify(); err != nil {
+		t.Fatalf("watchdog tripped on a healthy image: %v", err)
+	}
+
+	// A skipped global copy-back leaves the section polluted; Verify's
+	// finding must carry the watchdog sentinel and only that sentinel.
+	inj.FailAfter(faultinject.RestoreGlobals, 0, 1)
+	h.RunOne([]byte("b"))
+	h.TakeRestoreError() // drain; the watchdog is the subject here
+	err := h.Verify()
+	if err == nil {
+		t.Fatal("watchdog missed the polluted section")
+	}
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("watchdog violation not errors.Is(ErrWatchdog): %v", err)
+	}
+	if errors.Is(err, ErrRestore) {
+		t.Fatalf("watchdog violation claims to be a restore failure: %v", err)
+	}
+}

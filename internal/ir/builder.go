@@ -1,5 +1,7 @@
 package ir
 
+import "fmt"
+
 // Builder incrementally constructs a Func. It is used by the AST lowerer
 // and by tests that hand-assemble programs.
 type Builder struct {
@@ -56,7 +58,29 @@ func (b *Builder) Alloca(size int64) int64 {
 func (b *Builder) emit(in Instr) {
 	in.Pos = b.pos
 	blk := b.F.Blocks[b.cur]
+	if t := blk.Terminator(); t != nil {
+		// Emitting past a terminator is always a caller bug: the
+		// instruction would be unreachable yet verify as live code, the
+		// exact miscompilation class the analysis verifier hunts. Fail
+		// loudly at the construction site instead.
+		panic(fmt.Sprintf("ir: emit %s into terminated block b%d of %s (already ends in %s near line %d)",
+			in.Op, b.cur, b.F.Name, t.Op, t.Pos))
+	}
 	blk.Instrs = append(blk.Instrs, in)
+}
+
+// Finish seals construction: it checks that every block ends in exactly one
+// terminator, so control cannot fall off the end of the function into
+// whatever block the slice happens to hold next. Callers that synthesize
+// implicit returns (the lowerer) do so before calling Finish.
+func (b *Builder) Finish() (*Func, error) {
+	for i, blk := range b.F.Blocks {
+		if blk.Terminator() == nil {
+			return nil, fmt.Errorf("ir: function %s: block %d falls through without a terminator (%d instrs)",
+				b.F.Name, i, len(blk.Instrs))
+		}
+	}
+	return b.F, nil
 }
 
 // Const emits dst = v and returns the destination register.

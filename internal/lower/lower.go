@@ -202,7 +202,11 @@ func (l *lowerer) lowerFunc(decl *minc.FuncDecl) (*ir.Func, error) {
 			blk.Instrs = append(blk.Instrs, ir.Instr{Op: ir.OpRet, Dst: -1, A: -1, B: -1, Pos: decl.Line})
 		}
 	}
-	return fl.b.F, nil
+	fn, err := fl.b.Finish()
+	if err != nil {
+		return nil, l.errf(decl.Line, "%v", err)
+	}
+	return fn, nil
 }
 
 // collectAddrTaken records every identifier appearing under unary &.

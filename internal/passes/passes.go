@@ -16,6 +16,7 @@ package passes
 import (
 	"fmt"
 
+	"closurex/internal/analysis"
 	"closurex/internal/ir"
 )
 
@@ -37,8 +38,9 @@ type Pass interface {
 // Manager runs a pipeline of passes, verifying the module after each one
 // (like `opt -verify-each`).
 type Manager struct {
-	passes   []Pass
-	builtins map[string]bool
+	passes     []Pass
+	builtins   map[string]bool
+	verifyEach bool
 }
 
 // NewManager returns an empty pipeline; builtins is the callee set the
@@ -53,6 +55,17 @@ func (pm *Manager) Add(p ...Pass) *Manager {
 	return pm
 }
 
+// VerifyEach arms the deep analysis verifier between passes: in addition
+// to the quick structural ir.Verify gate, the full analysis.Verify
+// (definite assignment, section attributes, every violation collected)
+// re-checks the module after every pass, and a failure names the pass that
+// broke the invariant. This is the `opt -verify-each` workflow; the
+// verifyeach build tag turns it on for every build in the test suite.
+func (pm *Manager) VerifyEach(on bool) *Manager {
+	pm.verifyEach = on
+	return pm
+}
+
 // Passes lists the registered passes in order.
 func (pm *Manager) Passes() []Pass { return pm.passes }
 
@@ -64,6 +77,11 @@ func (pm *Manager) Run(m *ir.Module) error {
 		}
 		if err := ir.Verify(m, pm.builtins); err != nil {
 			return fmt.Errorf("after pass %s: %w", p.Name(), err)
+		}
+		if pm.verifyEach {
+			if ds := analysis.Verify(m, pm.builtins); ds.HasErrors() {
+				return fmt.Errorf("verify-each: pass %s left the module invalid: %w", p.Name(), ds.Err())
+			}
 		}
 	}
 	return nil
@@ -266,15 +284,65 @@ func (CoveragePass) Name() string { return "CoveragePass" }
 // Description implements Pass.
 func (CoveragePass) Description() string { return "Insert hit-count edge-coverage probes" }
 
-// Run implements Pass.
+// covSpace is the number of distinct probe IDs (the 16-bit coverage map).
+const covSpace = 1 << 16
+
+// Run implements Pass. Probe IDs are collision-free by construction: the
+// hash is the preferred slot, and an occupied slot deterministically probes
+// forward (id+1 mod 2^16), so two blocks can never alias one coverage cell
+// — a collision used to be silently ignored and cost both coverage signal
+// and sentinel sensitivity. Pre-existing probes (idempotent re-runs,
+// hand-instrumented modules) claim their IDs first; duplicates among them
+// cannot be repaired without moving probes under a fuzzer's feet, so they
+// surface as structured diagnostics instead.
 func (p CoveragePass) Run(m *ir.Module) error {
+	type site struct {
+		fn     string
+		bi, ii int
+	}
+	used := make(map[int64]site)
+	var ds analysis.Diagnostics
+	for _, f := range m.Funcs {
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op != ir.OpCov {
+					continue
+				}
+				if prev, dup := used[in.Imm]; dup {
+					ds = append(ds, analysis.Diagnostic{
+						ID: analysis.IDCovCollision, Sev: analysis.SevError,
+						Pass: "CoveragePass", Func: f.Name, Block: bi, Instr: ii, Line: in.Pos,
+						Msg: fmt.Sprintf("existing probe ID %d collides with %s b%d#%d",
+							in.Imm, prev.fn, prev.bi, prev.ii),
+					})
+					continue
+				}
+				used[in.Imm] = site{f.Name, bi, ii}
+			}
+		}
+	}
+	if err := ds.Err(); err != nil {
+		return err
+	}
 	for _, f := range m.Funcs {
 		for bi, b := range f.Blocks {
 			if len(b.Instrs) > 0 && b.Instrs[0].Op == ir.OpCov {
 				continue // idempotent
 			}
-			id := covID(p.seed, f.Name, bi)
-			probe := ir.Instr{Op: ir.OpCov, Dst: -1, A: -1, B: -1, Imm: int64(id)}
+			if len(used) >= covSpace {
+				return fmt.Errorf("pass CoveragePass: %w: module has more than %d blocks; the coverage map cannot give each a distinct cell",
+					analysis.ErrDiagnostics, covSpace)
+			}
+			id := int64(covID(p.seed, f.Name, bi))
+			for {
+				if _, taken := used[id]; !taken {
+					break
+				}
+				id = (id + 1) % covSpace
+			}
+			used[id] = site{f.Name, bi, 0}
+			probe := ir.Instr{Op: ir.OpCov, Dst: -1, A: -1, B: -1, Imm: id}
 			if len(b.Instrs) > 0 {
 				probe.Pos = b.Instrs[0].Pos
 			}

@@ -1,0 +1,56 @@
+package closurex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintSourceCleanProgram(t *testing.T) {
+	ds, err := LintSource(demoSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("pipeline output flagged: %v", ds)
+	}
+	if HasLintErrors(ds) {
+		t.Fatal("HasLintErrors true on an empty finding list")
+	}
+}
+
+func TestLintSourceRejectsBadSource(t *testing.T) {
+	if _, err := LintSource("int main(void) { return"); err == nil {
+		t.Fatal("unparseable source accepted")
+	}
+}
+
+func TestFuzzerLintAcrossMechanisms(t *testing.T) {
+	for _, mech := range []string{"closurex", "fresh"} {
+		f, err := NewFuzzer(demoSource, [][]byte{[]byte("ab")}, Options{Mechanism: mech})
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		ds := f.Lint()
+		f.Close()
+		if len(ds) != 0 || HasLintErrors(ds) {
+			t.Fatalf("%s build flagged: %v", mech, ds)
+		}
+	}
+}
+
+func TestDiagnosticStringRendering(t *testing.T) {
+	d := Diagnostic{ID: "CLX004", Severity: "error", Pass: "GlobalPass",
+		Func: "target_main", Block: 1, Instr: -1, Line: 3, Msg: "writable global leaked"}
+	s := d.String()
+	for _, want := range []string{"CLX004", "error", "GlobalPass", "target_main", "b1", "line 3", "writable global leaked"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered %q missing %q", s, want)
+		}
+	}
+	if !HasLintErrors([]Diagnostic{d}) {
+		t.Fatal("error-severity diagnostic not counted by HasLintErrors")
+	}
+	if HasLintErrors([]Diagnostic{{Severity: "warn"}}) {
+		t.Fatal("warn-severity diagnostic counted as lint error")
+	}
+}
