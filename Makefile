@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race faultcheck lint check bench clean
+.PHONY: all build test vet race faultcheck lint check bench benchjson clean
 
 all: build
 
@@ -14,8 +14,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Race-detector gate, scoped to the concurrency-bearing packages (the
+# parallel campaign fleet, harness, VM, memory): the rest of the suite is
+# single-threaded interpreter work that -race only makes slow. The
+# parallel tests shrink their exec budgets under the race build tag.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 15m ./internal/fuzz/ ./internal/harness/ ./internal/vm/ ./internal/mem/
 
 # The fault-injection / resilience suite on its own, verbose: every
 # degradation edge (restore failure -> quarantine + rebuild; repeated
@@ -33,10 +37,16 @@ lint:
 	$(GO) run ./cmd/closurex-lint -q -target all
 	$(GO) test -tags verifyeach ./internal/analysis/ ./internal/passes/ ./internal/core/
 
-check: vet test race faultcheck lint
+check: vet test race faultcheck lint benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable parallel-scaling numbers: a short sweep over jobs =
+# 1, 2, 4, GOMAXPROCS writing BENCH_parallel.json, so throughput scaling
+# is tracked as an artifact rather than eyeballed from benchmark logs.
+benchjson:
+	$(GO) run ./cmd/closurex-bench -parallel-scaling -parallel-execs 20000 -parallel-json BENCH_parallel.json
 
 clean:
 	$(GO) clean ./...

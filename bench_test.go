@@ -10,6 +10,8 @@
 package closurex
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"closurex/internal/core"
@@ -141,6 +143,103 @@ int main(void) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Execute(input)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelScaling measures aggregate fuzzing throughput of the
+// parallel campaign executor at increasing shard counts (jobs = 1, 2, 4,
+// GOMAXPROCS). Each shard owns a full process image + harness and merges
+// coverage into the shared global bitmap; execs/s is the aggregate rate
+// across the fleet. On a single-CPU host the curve is flat (sharding adds
+// no overhead); on multi-core hosts it scales with cores.
+func BenchmarkParallelScaling(b *testing.B) {
+	jobsList := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		jobsList = append(jobsList, p)
+	}
+	for _, jobs := range jobsList {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			tg := targets.Get("gpmf-parser")
+			inst, err := core.NewInstance(tg, "closurex", core.InstanceOptions{
+				TrialSeed: 1, Jobs: jobs,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(inst.Close)
+			d := inst.Driver()
+			d.RunExecs(256) // bootstrap seeds + warm every shard outside timing
+			base := d.Execs()
+			b.ResetTimer()
+			d.RunExecs(base + int64(b.N))
+			b.StopTimer()
+			execsPerSec := float64(d.Execs()-base) / b.Elapsed().Seconds()
+			b.ReportMetric(execsPerSec, "execs/s")
+		})
+	}
+}
+
+// BenchmarkRestoreDirtyTracking isolates the dirty-tracking incremental
+// restore against the original full byte-copy on a 512-page (2 MiB)
+// closure_global_section of which each execution dirties a single page.
+// The restored state is byte-identical either way (the watchdog Verify
+// checks it below); only the copy-back bandwidth differs. restore-B/op is
+// the per-iteration number of section bytes actually copied.
+func BenchmarkRestoreDirtyTracking(b *testing.B) {
+	// 262144 8-byte ints = 2 MiB = 512 pages of writable globals.
+	const src = `
+int big[262144];
+int touched;
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int c = fgetc(f);
+	fclose(f);
+	if (c < 0) c = 0;
+	big[(c * 331) & 262143] = c + 1;
+	touched++;
+	return 0;
+}
+`
+	for name, incremental := range map[string]bool{
+		"incremental": true,
+		"full-copy":   false,
+	} {
+		b.Run(name, func(b *testing.B) {
+			mod, err := core.Build("dirty.c", src, core.ClosureX)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := vm.New(mod, vm.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := harness.FullRestore()
+			opts.IncrementalRestore = incremental
+			h, err := harness.New(v, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if h.Incremental() != incremental {
+				b.Fatalf("incremental restore armed=%v, want %v", h.Incremental(), incremental)
+			}
+			input := []byte{42}
+			for i := 0; i < 8; i++ {
+				h.RunOne(input)
+			}
+			before := h.Stats().GlobalBytes
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.RunOne(input)
+			}
+			b.StopTimer()
+			copied := h.Stats().GlobalBytes - before
+			b.ReportMetric(float64(copied)/float64(b.N), "restore-B/op")
+			if err := h.Verify(); err != nil {
+				b.Fatalf("restored state drifted: %v", err)
 			}
 		})
 	}

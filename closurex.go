@@ -86,9 +86,16 @@ type Options struct {
 	// checkpointable boundary) once the channel is closed.
 	Stop <-chan struct{}
 	// ResumeFrom restores campaign state from Fuzzer.Checkpoint bytes.
-	// The source/benchmark, mechanism and Seed must match the
+	// The source/benchmark, mechanism, Seed and Jobs must match the
 	// checkpointed run. Implies DeterministicRand.
 	ResumeFrom []byte
+	// Jobs shards the campaign across N parallel workers, each running its
+	// own process image with an independent RNG stream split from Seed,
+	// merging coverage into a shared global bitmap and exchanging corpus
+	// discoveries through a corpus manager. 0 or 1 fuzzes sequentially;
+	// Jobs == 1 through the parallel executor is bit-identical to the
+	// sequential campaign. When the sentinel is armed it rides on shard 0.
+	Jobs int
 }
 
 // CrashReport describes one triaged, deduplicated crash.
@@ -203,6 +210,7 @@ func instanceOptions(opts Options) core.InstanceOptions {
 		DeterministicRand: opts.DeterministicRand,
 		Stop:              opts.Stop,
 		ResumeFrom:        opts.ResumeFrom,
+		Jobs:              opts.Jobs,
 	}
 	if opts.Resilient {
 		rc := execmgr.DefaultResilienceConfig()
@@ -240,10 +248,14 @@ func NewBenchmarkFuzzerOptions(benchmark, mechanism string, opts Options) (*Fuzz
 }
 
 // RunFor fuzzes until d has elapsed.
-func (f *Fuzzer) RunFor(d time.Duration) { f.inst.Campaign.RunFor(d) }
+func (f *Fuzzer) RunFor(d time.Duration) { f.inst.Driver().RunFor(d) }
 
-// RunExecs fuzzes until at least n test cases have executed.
-func (f *Fuzzer) RunExecs(n int64) { f.inst.Campaign.RunExecs(n) }
+// RunExecs fuzzes until at least n test cases have executed (aggregated
+// across shards when Jobs > 1).
+func (f *Fuzzer) RunExecs(n int64) { f.inst.Driver().RunExecs(n) }
+
+// Jobs returns the number of parallel campaign shards (1 when sequential).
+func (f *Fuzzer) Jobs() int { return f.inst.Jobs() }
 
 // TryOne executes a single input and reports whether it crashed, with the
 // triage key if so. Useful for reproducing a crash outside the campaign.
@@ -258,15 +270,19 @@ func (f *Fuzzer) TryOne(input []byte) (crashed bool, key string) {
 	return false, ""
 }
 
-// Stats returns a snapshot of campaign progress.
+// Stats returns a snapshot of campaign progress. With Jobs > 1 the
+// counters aggregate across shards and Spawns sums every shard's process
+// spawns.
 func (f *Fuzzer) Stats() Stats {
-	c := f.inst.Campaign
+	c := f.inst.Driver()
 	st := Stats{
 		Execs:      c.Execs(),
 		Edges:      c.Edges(),
 		TotalEdges: f.inst.TotalEdges(),
 		QueueLen:   c.QueueLen(),
-		Spawns:     f.inst.Mech.Spawns(),
+	}
+	for _, m := range f.inst.Mechs {
+		st.Spawns += m.Spawns()
 	}
 	if el := c.Elapsed(); el > 0 {
 		st.ExecsPerSec = float64(c.Execs()) / el.Seconds()
@@ -279,9 +295,11 @@ func (f *Fuzzer) Stats() Stats {
 	}
 	st.Divergences = len(c.Divergences())
 	st.Quarantined = len(c.Quarantined())
-	if r, ok := f.inst.Mech.(*execmgr.Resilient); ok {
-		st.Quarantined += len(r.Quarantined())
-		st.Degraded = r.Degraded()
+	for _, m := range f.inst.Mechs {
+		if r, ok := m.(*execmgr.Resilient); ok {
+			st.Quarantined += len(r.Quarantined())
+			st.Degraded = st.Degraded || r.Degraded()
+		}
 	}
 	return st
 }
@@ -299,10 +317,11 @@ func report(cr *fuzz.Crash) CrashReport {
 }
 
 // Checkpoint serializes the campaign's resumable state (queue, bitmap,
-// crash and hang tables, RNG, scheduler and sentinel cursors). Feed the
-// bytes back through Options.ResumeFrom to continue the campaign — with
+// crash and hang tables, RNG, scheduler and sentinel cursors; with Jobs >
+// 1, one such blob per shard). Feed the bytes back through
+// Options.ResumeFrom (with the same Jobs) to continue the campaign — with
 // DeterministicRand, bit-identically to an uninterrupted run.
-func (f *Fuzzer) Checkpoint() ([]byte, error) { return f.inst.Campaign.Checkpoint() }
+func (f *Fuzzer) Checkpoint() ([]byte, error) { return f.inst.Driver().Checkpoint() }
 
 // MinimizeCrash shrinks a crashing input to a minimal witness that still
 // triggers the same triage bucket, then zeroes every byte that is not
@@ -338,10 +357,11 @@ func (f *Fuzzer) MinimizeCorpus() [][]byte {
 	return fuzz.MinimizeCorpus(f.Corpus(), trace)
 }
 
-// Corpus returns the accumulated queue inputs.
+// Corpus returns the accumulated queue inputs (deduplicated across shards
+// when Jobs > 1).
 func (f *Fuzzer) Corpus() [][]byte {
 	var out [][]byte
-	for _, e := range f.inst.Campaign.Queue() {
+	for _, e := range f.inst.Driver().Queue() {
 		out = append(out, append([]byte(nil), e.Input...))
 	}
 	return out

@@ -32,8 +32,17 @@ func main() {
 		seed     = flag.Uint64("seed", 0x5eed, "base RNG seed")
 		pages    = flag.Int("image-pages", 512, "image size for the spectrum figure")
 	)
+	var (
+		scaling      = flag.Bool("parallel-scaling", false, "run the parallel-scaling sweep (jobs = 1, 2, 4, GOMAXPROCS)")
+		scalingTgt   = flag.String("parallel-target", "gpmf-parser", "target for the scaling sweep")
+		scalingExecs = flag.Int64("parallel-execs", 50000, "aggregate executions per scaling point")
+		parallelJSON = flag.String("parallel-json", "", "also write the scaling report to this JSON file (e.g. BENCH_parallel.json)")
+	)
 	flag.Parse()
-	if *table == "" && *figure == "" && !*ablation {
+	if *parallelJSON != "" {
+		*scaling = true
+	}
+	if *table == "" && *figure == "" && !*ablation && !*scaling {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -118,6 +127,20 @@ func main() {
 		}
 	default:
 		fatalf("unknown figure %q", *figure)
+	}
+
+	if *scaling {
+		rep, err := experiments.RunParallelScaling(*scalingTgt, nil, *scalingExecs, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiments.FormatScaling(rep))
+		if *parallelJSON != "" {
+			if err := experiments.WriteScalingJSON(*parallelJSON, rep); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("scaling report written to %s\n", *parallelJSON)
+		}
 	}
 
 	if *ablation {

@@ -35,6 +35,7 @@ func main() {
 		duration   = flag.Duration("duration", 10*time.Second, "fuzzing time")
 		seed       = flag.Uint64("seed", 1, "campaign RNG seed")
 		status     = flag.Duration("status", 2*time.Second, "status interval")
+		jobs       = flag.Int("jobs", 1, "parallel campaign shards (each with its own process image)")
 	)
 	var (
 		outDir = flag.String("out", "", "directory to persist crashes/ and queue/ into")
@@ -71,6 +72,7 @@ func main() {
 		Resilient:     *resilient,
 		SentinelEvery: *sentEvery,
 		Stop:          stop,
+		Jobs:          *jobs,
 	}
 	if *ckptPath != "" {
 		// Bit-identical resume needs the target's entropy pinned.
@@ -140,7 +142,11 @@ func main() {
 		return
 	}
 
-	fmt.Printf("fuzzing with mechanism=%s for %v\n", f.Mechanism(), *duration)
+	if f.Jobs() > 1 {
+		fmt.Printf("fuzzing with mechanism=%s jobs=%d for %v\n", f.Mechanism(), f.Jobs(), *duration)
+	} else {
+		fmt.Printf("fuzzing with mechanism=%s for %v\n", f.Mechanism(), *duration)
+	}
 	deadline := time.Now().Add(*duration)
 	lastCkpt := time.Now()
 	for time.Now().Before(deadline) && !stopped(stop) {

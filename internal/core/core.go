@@ -145,13 +145,37 @@ func CheckModule(m *ir.Module, v Variant) analysis.Diagnostics {
 }
 
 // Instance is one runnable fuzzing configuration: a target built for a
-// mechanism, plus a campaign driving it.
+// mechanism, plus a campaign driving it. With Jobs <= 1 the campaign is
+// the sequential fuzz.Campaign; with Jobs > 1 it is a
+// fuzz.ParallelCampaign over Jobs mechanisms, and Mech/CovMap alias shard
+// 0's. Driver returns whichever is active.
 type Instance struct {
 	Target   *targets.Target
 	Module   *ir.Module
 	Mech     execmgr.Mechanism
 	CovMap   []byte
 	Campaign *fuzz.Campaign
+	// Mechs holds every shard's mechanism (len 1 for sequential runs).
+	Mechs []execmgr.Mechanism
+	// Parallel is non-nil when the instance runs sharded (Jobs > 1).
+	Parallel *fuzz.ParallelCampaign
+}
+
+// Driver returns the active campaign — sequential or parallel — behind the
+// shared fuzz.Driver interface.
+func (in *Instance) Driver() fuzz.Driver {
+	if in.Parallel != nil {
+		return in.Parallel
+	}
+	return in.Campaign
+}
+
+// Jobs returns the number of parallel shards (1 for sequential instances).
+func (in *Instance) Jobs() int {
+	if in.Parallel != nil {
+		return in.Parallel.Jobs()
+	}
+	return 1
 }
 
 // InstanceOptions tunes NewInstance.
@@ -190,6 +214,13 @@ type InstanceOptions struct {
 	// (fuzz.Campaign.Checkpoint) instead of starting fresh. The target,
 	// mechanism and TrialSeed must match the checkpointed run.
 	ResumeFrom []byte
+	// Jobs shards the campaign across N parallel workers, each with its
+	// own process image and harness, merging coverage into a shared global
+	// bitmap. 0 or 1 runs the plain sequential campaign; Jobs == 1 via the
+	// parallel executor is bit-identical to it. Checkpoints are
+	// topology-specific: a sequential checkpoint resumes only with Jobs <=
+	// 1 and a J-shard checkpoint only with the same Jobs.
+	Jobs int
 }
 
 // NewInstance builds target t for the named mechanism and wires a
@@ -206,7 +237,6 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	if err != nil {
 		return nil, fmt.Errorf("core: build %s: %w", t.Name, err)
 	}
-	cov := make([]byte, fuzz.MapSize)
 	pages := t.ImagePages
 	switch {
 	case opts.ImagePagesOverride > 0:
@@ -214,49 +244,37 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	case opts.ImagePagesOverride < 0:
 		pages = 0
 	}
-	mcfg := execmgr.Config{
-		Module:            mod,
-		CovMap:            cov,
-		Budget:            opts.Budget,
-		ImagePages:        pages,
-		TraceEdges:        opts.TraceEdges,
-		HarnessOpts:       opts.HarnessOpts,
-		Files:             opts.Files,
-		Injector:          opts.Injector,
-		DeterministicRand: opts.DeterministicRand,
-		RandSeed:          opts.TrialSeed,
+	// newMech builds one execution mechanism over the shared instrumented
+	// module. Every shard of a parallel instance gets its own: VM memory
+	// uses non-atomic copy-on-write bookkeeping, so process images must
+	// never be shared across shard goroutines. randSeed varies per shard
+	// (ShardSeed) so heap ASLR and target rand() streams are independent.
+	newMech := func(cov []byte, randSeed uint64) (execmgr.Mechanism, error) {
+		mcfg := execmgr.Config{
+			Module:            mod,
+			CovMap:            cov,
+			Budget:            opts.Budget,
+			ImagePages:        pages,
+			TraceEdges:        opts.TraceEdges,
+			HarnessOpts:       opts.HarnessOpts,
+			Files:             opts.Files,
+			Injector:          opts.Injector,
+			DeterministicRand: opts.DeterministicRand,
+			RandSeed:          randSeed,
+		}
+		if opts.Resilience != nil && mechanism == "closurex" {
+			return execmgr.NewResilient(mcfg, *opts.Resilience)
+		}
+		return execmgr.New(mechanism, mcfg)
 	}
-	var mech execmgr.Mechanism
-	if opts.Resilience != nil && mechanism == "closurex" {
-		mech, err = execmgr.NewResilient(mcfg, *opts.Resilience)
-	} else {
-		mech, err = execmgr.New(mechanism, mcfg)
-	}
-	if err != nil {
-		return nil, err
-	}
-	var dict [][]byte
-	for _, tok := range t.Dict {
-		dict = append(dict, []byte(tok))
-	}
-	ccfg := fuzz.Config{
-		Executor:    mech,
-		CovMap:      cov,
-		Seeds:       t.Seeds(),
-		Seed:        opts.TrialSeed,
-		Fingerprint: t.Name + "@" + mechanism,
-		MaxInputLen: t.MaxInputLen,
-		Dict:        dict,
-		Stop:        opts.Stop,
-	}
-	if opts.SentinelEvery > 0 {
-		// The reference replays each probe in a brand-new process image of
-		// the SAME instrumented module, so both coverage maps share probe
-		// geometry. Image pages are skipped: the reference models fresh
-		// semantics, not fresh cost. Its PRNG seed matches the campaign
-		// mechanism's so rand()/heap-ASLR streams cannot masquerade as
-		// divergence (the §6.1.4 nondeterminism masking, done by
-		// construction).
+	// newSentinel arms the divergence sentinel against mech. The reference
+	// replays each probe in a brand-new process image of the SAME
+	// instrumented module, so both coverage maps share probe geometry.
+	// Image pages are skipped: the reference models fresh semantics, not
+	// fresh cost. Its PRNG seed matches the probed mechanism's so
+	// rand()/heap-ASLR streams cannot masquerade as divergence (the §6.1.4
+	// nondeterminism masking, done by construction).
+	newSentinel := func(mech execmgr.Mechanism, randSeed uint64) (*fuzz.SentinelConfig, error) {
 		refCov := make([]byte, fuzz.MapSize)
 		ref, rerr := execmgr.NewFresh(execmgr.Config{
 			Module:            mod,
@@ -264,10 +282,9 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 			Budget:            opts.Budget,
 			Files:             opts.Files,
 			DeterministicRand: opts.DeterministicRand,
-			RandSeed:          opts.TrialSeed,
+			RandSeed:          randSeed,
 		})
 		if rerr != nil {
-			mech.Close()
 			return nil, fmt.Errorf("core: sentinel reference: %w", rerr)
 		}
 		sc := &fuzz.SentinelConfig{
@@ -277,6 +294,39 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 		}
 		if ctrl, ok := mech.(fuzz.Controller); ok {
 			sc.Controller = ctrl
+		}
+		return sc, nil
+	}
+	var dict [][]byte
+	for _, tok := range t.Dict {
+		dict = append(dict, []byte(tok))
+	}
+	fingerprint := t.Name + "@" + mechanism
+
+	if opts.Jobs > 1 {
+		return newParallelInstance(t, mod, opts, newMech, newSentinel, dict, fingerprint)
+	}
+
+	cov := make([]byte, fuzz.MapSize)
+	mech, err := newMech(cov, opts.TrialSeed)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := fuzz.Config{
+		Executor:    mech,
+		CovMap:      cov,
+		Seeds:       t.Seeds(),
+		Seed:        opts.TrialSeed,
+		Fingerprint: fingerprint,
+		MaxInputLen: t.MaxInputLen,
+		Dict:        dict,
+		Stop:        opts.Stop,
+	}
+	if opts.SentinelEvery > 0 {
+		sc, serr := newSentinel(mech, opts.TrialSeed)
+		if serr != nil {
+			mech.Close()
+			return nil, serr
 		}
 		ccfg.Sentinel = sc
 	}
@@ -290,11 +340,79 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	} else {
 		camp = fuzz.NewCampaign(ccfg)
 	}
-	return &Instance{Target: t, Module: mod, Mech: mech, CovMap: cov, Campaign: camp}, nil
+	return &Instance{
+		Target: t, Module: mod, Mech: mech, CovMap: cov, Campaign: camp,
+		Mechs: []execmgr.Mechanism{mech},
+	}, nil
 }
 
-// Close releases the mechanism's resources.
-func (in *Instance) Close() { in.Mech.Close() }
+// newParallelInstance assembles a Jobs-shard instance: one mechanism and
+// coverage buffer per shard, the divergence sentinel (when armed) riding
+// on shard 0 only so the rest of the fleet fuzzes at full speed.
+func newParallelInstance(
+	t *targets.Target, mod *ir.Module, opts InstanceOptions,
+	newMech func(cov []byte, randSeed uint64) (execmgr.Mechanism, error),
+	newSentinel func(mech execmgr.Mechanism, randSeed uint64) (*fuzz.SentinelConfig, error),
+	dict [][]byte, fingerprint string,
+) (*Instance, error) {
+	var mechs []execmgr.Mechanism
+	closeAll := func() {
+		for _, m := range mechs {
+			m.Close()
+		}
+	}
+	var shards []fuzz.ShardConfig
+	for j := 0; j < opts.Jobs; j++ {
+		cov := make([]byte, fuzz.MapSize)
+		mech, err := newMech(cov, fuzz.ShardSeed(opts.TrialSeed, j))
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("core: shard %d: %w", j, err)
+		}
+		mechs = append(mechs, mech)
+		shards = append(shards, fuzz.ShardConfig{Executor: mech, CovMap: cov})
+	}
+	pcfg := fuzz.ParallelConfig{
+		Shards:      shards,
+		Seed:        opts.TrialSeed,
+		Fingerprint: fingerprint,
+		Seeds:       t.Seeds(),
+		MaxInputLen: t.MaxInputLen,
+		Dict:        dict,
+		Stop:        opts.Stop,
+	}
+	if opts.SentinelEvery > 0 {
+		sc, err := newSentinel(mechs[0], fuzz.ShardSeed(opts.TrialSeed, 0))
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		pcfg.Sentinel = sc
+	}
+	var par *fuzz.ParallelCampaign
+	var err error
+	if opts.ResumeFrom != nil {
+		par, err = fuzz.ResumeParallel(pcfg, opts.ResumeFrom)
+	} else {
+		par, err = fuzz.NewParallelCampaign(pcfg)
+	}
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("core: parallel campaign %s: %w", t.Name, err)
+	}
+	return &Instance{
+		Target: t, Module: mod,
+		Mech: mechs[0], CovMap: shards[0].CovMap,
+		Mechs: mechs, Parallel: par,
+	}, nil
+}
+
+// Close releases every shard mechanism's resources.
+func (in *Instance) Close() {
+	for _, m := range in.Mechs {
+		m.Close()
+	}
+}
 
 // TotalProbes returns the number of coverage probes in the instrumented
 // module.

@@ -1,0 +1,139 @@
+package experiments
+
+// Parallel-scaling experiment: one target fuzzed by the parallel campaign
+// executor at increasing shard counts, reporting aggregate throughput per
+// J. The JSON emitter backs `make benchjson` (BENCH_parallel.json) so CI
+// can track scaling regressions numerically rather than eyeballing
+// benchmark logs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"closurex/internal/core"
+	"closurex/internal/targets"
+)
+
+// ScalingRow is one shard-count point of the parallel-scaling experiment.
+type ScalingRow struct {
+	Jobs        int     `json:"jobs"`
+	Execs       int64   `json:"execs"`
+	Seconds     float64 `json:"seconds"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	Edges       int     `json:"edges"`
+	Speedup     float64 `json:"speedup"` // throughput relative to jobs=1
+}
+
+// ScalingReport is the JSON envelope BENCH_parallel.json carries.
+type ScalingReport struct {
+	Target     string       `json:"target"`
+	Mechanism  string       `json:"mechanism"`
+	ExecsPerJ  int64        `json:"execs_per_point"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Rows       []ScalingRow `json:"rows"`
+}
+
+// DefaultScalingJobs returns the shard counts the scaling experiment
+// sweeps: 1, 2, 4 and GOMAXPROCS (deduplicated, ascending).
+func DefaultScalingJobs() []int {
+	procs := runtime.GOMAXPROCS(0)
+	jobs := []int{1, 2, 4}
+	for _, j := range jobs {
+		if j == procs {
+			return jobs
+		}
+	}
+	if procs > 4 {
+		return append(jobs, procs)
+	}
+	var out []int
+	for _, j := range jobs {
+		if j <= procs {
+			out = append(out, j)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != procs {
+		out = append(out, procs)
+	}
+	return out
+}
+
+// RunParallelScaling fuzzes target under the closurex mechanism at each
+// shard count in jobsList, running execsPerPoint aggregate executions per
+// point, and reports throughput. Every point uses the same trial seed, so
+// the J=1 row is exactly the sequential campaign the speedups normalize
+// against.
+func RunParallelScaling(target string, jobsList []int, execsPerPoint int64, seed uint64) (*ScalingReport, error) {
+	t := targets.Get(target)
+	if t == nil {
+		return nil, fmt.Errorf("experiments: unknown target %q", target)
+	}
+	if execsPerPoint <= 0 {
+		execsPerPoint = 50000
+	}
+	if len(jobsList) == 0 {
+		jobsList = DefaultScalingJobs()
+	}
+	rep := &ScalingReport{
+		Target:     target,
+		Mechanism:  MechClosureX,
+		ExecsPerJ:  execsPerPoint,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, jobs := range jobsList {
+		inst, err := core.NewInstance(t, MechClosureX, core.InstanceOptions{
+			TrialSeed: seed,
+			Jobs:      jobs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: jobs=%d: %w", jobs, err)
+		}
+		start := time.Now()
+		inst.Driver().RunExecs(execsPerPoint)
+		elapsed := time.Since(start)
+		row := ScalingRow{
+			Jobs:    jobs,
+			Execs:   inst.Driver().Execs(),
+			Seconds: elapsed.Seconds(),
+			Edges:   inst.Driver().Edges(),
+		}
+		if elapsed > 0 {
+			row.ExecsPerSec = float64(row.Execs) / elapsed.Seconds()
+		}
+		if len(rep.Rows) > 0 && rep.Rows[0].ExecsPerSec > 0 {
+			row.Speedup = row.ExecsPerSec / rep.Rows[0].ExecsPerSec
+		} else {
+			row.Speedup = 1
+		}
+		rep.Rows = append(rep.Rows, row)
+		inst.Close()
+	}
+	return rep, nil
+}
+
+// FormatScaling renders the scaling report as an aligned text table.
+func FormatScaling(rep *ScalingReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel scaling: %s under %s (%d execs per point, GOMAXPROCS=%d)\n",
+		rep.Target, rep.Mechanism, rep.ExecsPerJ, rep.GOMAXPROCS)
+	fmt.Fprintf(&b, "  %-6s %12s %10s %12s %8s %8s\n", "jobs", "execs", "seconds", "execs/s", "speedup", "edges")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "  %-6d %12d %10.3f %12.0f %7.2fx %8d\n",
+			r.Jobs, r.Execs, r.Seconds, r.ExecsPerSec, r.Speedup, r.Edges)
+	}
+	return b.String()
+}
+
+// WriteScalingJSON writes the report to path as indented JSON (the
+// BENCH_parallel.json artifact).
+func WriteScalingJSON(path string, rep *ScalingReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

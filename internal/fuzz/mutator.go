@@ -4,11 +4,23 @@ package fuzz
 // optional dictionary tokens (AFL's -x): format keywords that get inserted
 // or stamped over the input, letting the fuzzer synthesize magic values
 // (FourCCs, header magics) it would practically never brute-force.
+//
+// The mutator owns its output buffers: the slice returned by Havoc/Splice
+// is valid only until the next Havoc/Splice call. The campaign hot loop
+// executes each mutant and copies it only when it earns a queue slot, so
+// steady-state mutation performs zero allocations per test case.
 type Mutator struct {
 	rng *RNG
 	// MaxLen bounds generated inputs.
 	MaxLen int
 	dict   [][]byte
+
+	// buf backs Havoc's working copy; scratch stages blocks for the
+	// insert/duplicate operators; spliceBuf assembles splice prefixes.
+	// All three grow to a MaxLen-bounded high-water mark and are reused.
+	buf       []byte
+	scratch   []byte
+	spliceBuf []byte
 }
 
 // SetDict installs dictionary tokens. Empty tokens are dropped.
@@ -35,9 +47,11 @@ func NewMutator(rng *RNG, maxLen int) *Mutator {
 	return &Mutator{rng: rng, MaxLen: maxLen}
 }
 
-// Havoc applies 1..n stacked random mutations to a copy of input.
+// Havoc applies 1..n stacked random mutations to a copy of input. The
+// returned slice aliases the mutator's internal buffer and is valid until
+// the next Havoc/Splice call; copy it to retain it.
 func (m *Mutator) Havoc(input []byte) []byte {
-	out := append([]byte(nil), input...)
+	out := append(m.buf[:0], input...)
 	stack := 1 << (1 + m.rng.Intn(5)) // 2..32 stacked ops
 	for i := 0; i < stack; i++ {
 		out = m.mutateOnce(out)
@@ -45,19 +59,20 @@ func (m *Mutator) Havoc(input []byte) []byte {
 	if len(out) > m.MaxLen {
 		out = out[:m.MaxLen]
 	}
+	m.buf = out // keep any capacity growth for the next call
 	return out
 }
 
 // Splice combines a random prefix of a with a suffix of b, then havocs.
+// The result aliases internal buffers like Havoc's.
 func (m *Mutator) Splice(a, b []byte) []byte {
 	if len(a) < 2 || len(b) < 2 {
 		return m.Havoc(a)
 	}
 	cutA := 1 + m.rng.Intn(len(a)-1)
 	cutB := m.rng.Intn(len(b) - 1)
-	out := make([]byte, 0, cutA+len(b)-cutB)
-	out = append(out, a[:cutA]...)
-	out = append(out, b[cutB:]...)
+	m.spliceBuf = append(append(m.spliceBuf[:0], a[:cutA]...), b[cutB:]...)
+	out := m.spliceBuf
 	if len(out) > m.MaxLen {
 		out = out[:m.MaxLen]
 	}
@@ -68,11 +83,10 @@ func (m *Mutator) mutateOnce(out []byte) []byte {
 	if len(out) == 0 {
 		// Only growth operators make sense on an empty input.
 		n := 1 + m.rng.Intn(8)
-		grown := make([]byte, n)
-		for i := range grown {
-			grown[i] = m.rng.Byte()
+		for i := 0; i < n; i++ {
+			out = append(out, m.rng.Byte())
 		}
-		return grown
+		return out
 	}
 	nOps := 12
 	if len(m.dict) > 0 {
@@ -118,19 +132,19 @@ func (m *Mutator) mutateOnce(out []byte) []byte {
 		if len(out) >= 1 && len(out) < m.MaxLen {
 			from := m.rng.Intn(len(out))
 			n := 1 + m.rng.Intn(min(len(out)-from, 32))
-			blk := append([]byte(nil), out[from:from+n]...)
+			m.scratch = append(m.scratch[:0], out[from:from+n]...)
 			at := m.rng.Intn(len(out) + 1)
-			out = append(out[:at], append(blk, out[at:]...)...)
+			out = insertBlock(out, at, m.scratch)
 		}
 	case 9: // insert random bytes
 		if len(out) < m.MaxLen {
 			n := 1 + m.rng.Intn(8)
-			blk := make([]byte, n)
-			for i := range blk {
-				blk[i] = m.rng.Byte()
+			m.scratch = m.scratch[:0]
+			for i := 0; i < n; i++ {
+				m.scratch = append(m.scratch, m.rng.Byte())
 			}
 			at := m.rng.Intn(len(out) + 1)
-			out = append(out[:at], append(blk, out[at:]...)...)
+			out = insertBlock(out, at, m.scratch)
 		}
 	case 10: // overwrite with a copied block
 		if len(out) >= 2 {
@@ -151,7 +165,7 @@ func (m *Mutator) mutateOnce(out []byte) []byte {
 		if len(out) < m.MaxLen {
 			tok := m.dict[m.rng.Intn(len(m.dict))]
 			at := m.rng.Intn(len(out) + 1)
-			out = append(out[:at], append(append([]byte(nil), tok...), out[at:]...)...)
+			out = insertBlock(out, at, tok)
 		}
 	case 13: // stamp a dictionary token over existing bytes
 		tok := m.dict[m.rng.Intn(len(m.dict))]
@@ -160,6 +174,17 @@ func (m *Mutator) mutateOnce(out []byte) []byte {
 			copy(out[at:], tok)
 		}
 	}
+	return out
+}
+
+// insertBlock splices blk into out at position at, shifting the tail right
+// in place. blk must not alias out (callers stage blocks in m.scratch or
+// pass dictionary tokens, which the mutator owns copies of).
+func insertBlock(out []byte, at int, blk []byte) []byte {
+	n := len(blk)
+	out = append(out, blk...) // grow by n; tail contents rewritten below
+	copy(out[at+n:], out[at:len(out)-n])
+	copy(out[at:at+n], blk)
 	return out
 }
 

@@ -1,0 +1,318 @@
+package fuzz
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newLadder builds an independent coverage-ladder executor with its own
+// coverage buffer, the per-shard plumbing ParallelCampaign requires.
+func newLadder(magic string) (*coverageLadder, []byte) {
+	cov := make([]byte, MapSize)
+	return &coverageLadder{cov: cov, magic: []byte(magic)}, cov
+}
+
+func TestShardSeedSplit(t *testing.T) {
+	if ShardSeed(12345, 0) != 12345 {
+		t.Fatal("shard 0 must fuzz with the raw trial seed")
+	}
+	seen := map[uint64]int{}
+	for j := 0; j < 64; j++ {
+		s := ShardSeed(12345, j)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d share seed %#x", prev, j, s)
+		}
+		seen[s] = j
+	}
+}
+
+func TestGlobalBitmapMerge(t *testing.T) {
+	g := NewGlobalBitmap()
+	local := make([]byte, MapSize)
+	local[3] = 1
+	local[4000] = 8
+	if got := g.Merge(local); got != 2 {
+		t.Fatalf("first merge contributed %d edges, want 2", got)
+	}
+	if got := g.Merge(local); got != 0 {
+		t.Fatalf("idempotent re-merge contributed %d edges, want 0", got)
+	}
+	local[3] = 1 | 2 // new bucket on a known edge: not a new edge
+	local[9] = 128
+	if got := g.Merge(local); got != 1 {
+		t.Fatalf("merge with one new edge contributed %d, want 1", got)
+	}
+	if g.Edges() != 3 {
+		t.Fatalf("global edges = %d, want 3", g.Edges())
+	}
+	snap := g.Snapshot()
+	if snap[3] != 3 || snap[4000] != 8 || snap[9] != 128 {
+		t.Fatalf("snapshot did not reflect merged buckets: %v %v %v", snap[3], snap[4000], snap[9])
+	}
+}
+
+func TestGlobalBitmapConcurrentMerge(t *testing.T) {
+	g := NewGlobalBitmap()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]byte, MapSize)
+			// Each worker owns a disjoint stripe plus one shared cell that
+			// every worker hammers.
+			for i := 0; i < 100; i++ {
+				local[w*1000+i] = byte(1 << (w % 8))
+			}
+			local[60000] = 1
+			for i := 0; i < 50; i++ {
+				g.Merge(local)
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := workers*100 + 1
+	if g.Edges() != want {
+		t.Fatalf("concurrent merges lost coverage: edges = %d, want %d", g.Edges(), want)
+	}
+}
+
+// TestParallelOneShardBitIdentical is the determinism anchor: a one-shard
+// parallel campaign must reproduce the sequential campaign exactly —
+// same executions, same coverage, same corpus bytes, same crash table.
+func TestParallelOneShardBitIdentical(t *testing.T) {
+	n := int64(60000)
+	if raceEnabled {
+		n = 8000
+	}
+	seeds := [][]byte{[]byte("xxxxxxxx")}
+
+	seqEx, seqCov := newLadder("MAGIC")
+	seq := NewCampaign(Config{Executor: seqEx, CovMap: seqCov, Seeds: seeds, Seed: 99})
+	seq.RunExecs(n)
+
+	parEx, parCov := newLadder("MAGIC")
+	par, err := NewParallelCampaign(ParallelConfig{
+		Shards: []ShardConfig{{Executor: parEx, CovMap: parCov}},
+		Seed:   99, Seeds: seeds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.RunExecs(n)
+
+	if seq.Execs() != par.Execs() {
+		t.Fatalf("execs diverged: seq %d, par %d", seq.Execs(), par.Execs())
+	}
+	if seq.Edges() != par.Edges() {
+		t.Fatalf("edges diverged: seq %d, par %d", seq.Edges(), par.Edges())
+	}
+	sq, pq := seq.Queue(), par.Queue()
+	if len(sq) != len(pq) {
+		t.Fatalf("queue length diverged: seq %d, par %d", len(sq), len(pq))
+	}
+	for i := range sq {
+		if !bytes.Equal(sq[i].Input, pq[i].Input) {
+			t.Fatalf("queue entry %d diverged: %q vs %q", i, sq[i].Input, pq[i].Input)
+		}
+		if sq[i].Gain != pq[i].Gain {
+			t.Fatalf("queue entry %d gain diverged: %d vs %d", i, sq[i].Gain, pq[i].Gain)
+		}
+	}
+	sc, pc := seq.Crashes(), par.Crashes()
+	if len(sc) != len(pc) {
+		t.Fatalf("crash tables diverged: seq %d, par %d", len(sc), len(pc))
+	}
+	for i := range sc {
+		if sc[i].Key != pc[i].Key || sc[i].Count != pc[i].Count || sc[i].FirstExec != pc[i].FirstExec {
+			t.Fatalf("crash %d diverged: %+v vs %+v", i, sc[i], pc[i])
+		}
+	}
+}
+
+// TestParallelShardsAggregate drives a real multi-shard fleet and checks
+// the aggregate views: per-shard counters sum, coverage merges, the
+// cross-shard corpus dedups imports, and every shard climbs the ladder.
+func TestParallelShardsAggregate(t *testing.T) {
+	const jobs = 4
+	var shards []ShardConfig
+	for j := 0; j < jobs; j++ {
+		ex, cov := newLadder("MAGIC")
+		shards = append(shards, ShardConfig{Executor: ex, CovMap: cov})
+	}
+	par, err := NewParallelCampaign(ParallelConfig{
+		Shards: shards,
+		Seed:   7,
+		Seeds:  [][]byte{[]byte("xxxxxxxx")},
+		// Small sync interval so imports actually propagate in a short test.
+		SyncEvery: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budget := int64(120000)
+	if raceEnabled {
+		budget = 24000
+	}
+
+	// Sample the lock-free aggregate counters concurrently with the run —
+	// under -race this validates the whole publish/merge path. The sampler
+	// sleeps between probes so it does not starve the shards on one CPU.
+	stopSampling := make(chan struct{})
+	var sampled sync.WaitGroup
+	sampled.Add(1)
+	go func() {
+		defer sampled.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+				_ = par.Execs()
+				_ = par.Edges()
+				_ = par.CrashCount()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	par.RunExecs(budget)
+	// Climbing the ladder to the crash depends on cross-shard adoption
+	// timing, which the scheduler perturbs; keep fuzzing in bounded rounds
+	// until the fleet gets there rather than asserting a fixed budget
+	// suffices.
+	deadline := time.Now().Add(60 * time.Second)
+	for par.CrashCount() == 0 && time.Now().Before(deadline) {
+		par.RunExecs(par.Execs() + budget/4)
+	}
+	close(stopSampling)
+	sampled.Wait()
+
+	if got := par.Execs(); got < budget {
+		t.Fatalf("aggregate execs = %d, want >= %d", got, budget)
+	}
+	var sum int64
+	for j := 0; j < jobs; j++ {
+		e := par.Shard(j).Execs()
+		if e == 0 {
+			t.Fatalf("shard %d never ran", j)
+		}
+		sum += e
+	}
+	if sum != par.Execs() {
+		t.Fatalf("per-shard execs sum to %d, aggregate says %d", sum, par.Execs())
+	}
+	for j := 0; j < jobs; j++ {
+		if got, want := par.Shard(j).Edges(), par.Edges(); got > want {
+			t.Fatalf("shard %d has %d edges but global map only %d", j, got, want)
+		}
+	}
+	// Content-unique corpus: no input may appear twice in the merged queue.
+	seen := map[string]int{}
+	for i, e := range par.Queue() {
+		if prev, dup := seen[string(e.Input)]; dup {
+			t.Fatalf("corpus entries %d and %d share content %q", prev, i, e.Input)
+		}
+		seen[string(e.Input)] = i
+	}
+	if par.CrashCount() == 0 {
+		t.Fatalf("fleet never climbed the ladder (execs=%d, edges=%d, corpus=%d)",
+			par.Execs(), par.Edges(), par.QueueLen())
+	}
+}
+
+// TestParallelCheckpointResume round-trips a two-shard fleet through the
+// gob envelope and continues fuzzing from the restored state.
+func TestParallelCheckpointResume(t *testing.T) {
+	mk := func() ParallelConfig {
+		var shards []ShardConfig
+		for j := 0; j < 2; j++ {
+			ex, cov := newLadder("MAGIC")
+			shards = append(shards, ShardConfig{Executor: ex, CovMap: cov})
+		}
+		return ParallelConfig{
+			Shards: shards, Seed: 42, Fingerprint: "ladder@test",
+			Seeds: [][]byte{[]byte("xxxxxxxx")}, SyncEvery: 64,
+		}
+	}
+	n := int64(20000)
+	if raceEnabled {
+		n = 5000
+	}
+	par, err := NewParallelCampaign(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.RunExecs(n)
+	execs, edges, corpus := par.Execs(), par.Edges(), par.QueueLen()
+	blob, err := par.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ResumeParallel(mk(), blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Execs() != execs || res.Edges() != edges {
+		t.Fatalf("resume lost progress: execs %d->%d, edges %d->%d",
+			execs, res.Execs(), edges, res.Edges())
+	}
+	if res.QueueLen() != corpus {
+		t.Fatalf("resume lost corpus: %d -> %d", corpus, res.QueueLen())
+	}
+	res.RunExecs(execs + n/2)
+	if res.Execs() < execs+n/2 {
+		t.Fatalf("resumed fleet did not continue: %d execs", res.Execs())
+	}
+
+	// Topology validation: a blob resumed under the wrong shard count is an
+	// incompatible checkpoint, not silent corruption.
+	bad := mk()
+	ex, cov := newLadder("MAGIC")
+	bad.Shards = append(bad.Shards, ShardConfig{Executor: ex, CovMap: cov})
+	if _, err := ResumeParallel(bad, blob); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("wrong shard count accepted: %v", err)
+	}
+	// And a truncated blob fails loudly too.
+	if _, err := ResumeParallel(mk(), blob[:10]); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("truncated blob accepted: %v", err)
+	}
+}
+
+// TestParallelSentinelShardZero checks the sentinel rides on shard 0 only
+// and its findings surface through the fleet-level accessors.
+func TestParallelSentinelShardZero(t *testing.T) {
+	var shards []ShardConfig
+	var refs []*coverageLadder
+	for j := 0; j < 2; j++ {
+		ex, cov := newLadder("MAGIC")
+		shards = append(shards, ShardConfig{Executor: ex, CovMap: cov})
+		refs = append(refs, ex)
+	}
+	refEx, refCov := newLadder("MAGIC")
+	par, err := NewParallelCampaign(ParallelConfig{
+		Shards: shards, Seed: 5, Seeds: [][]byte{[]byte("xxxxxxxx")},
+		Sentinel: &SentinelConfig{Reference: refEx, RefCovMap: refCov, Every: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Shard(0).cfg.Sentinel == nil {
+		t.Fatal("shard 0 must carry the sentinel")
+	}
+	if par.Shard(1).cfg.Sentinel != nil {
+		t.Fatal("non-designated shards must not run the sentinel")
+	}
+	par.RunExecs(5000)
+	// The reference agrees with the shard mechanism, so a healthy fleet
+	// reports no divergences.
+	if len(par.Divergences()) != 0 {
+		t.Fatalf("healthy fleet diverged: %+v", par.Divergences())
+	}
+	_ = refs
+}

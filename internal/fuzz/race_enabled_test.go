@@ -1,0 +1,8 @@
+//go:build race
+
+package fuzz
+
+// raceEnabled lets the heavyweight parallel-campaign tests shrink their
+// exec budgets under the race detector (~20-80x slower per exec); the
+// properties they check hold at any budget.
+const raceEnabled = true

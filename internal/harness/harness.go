@@ -16,6 +16,7 @@ import (
 
 	"closurex/internal/faultinject"
 	"closurex/internal/ir"
+	"closurex/internal/mem"
 	"closurex/internal/passes"
 	"closurex/internal/vfs"
 	"closurex/internal/vm"
@@ -40,24 +41,37 @@ type Options struct {
 	// RunDeferredInit invokes passes.InitFunc once before the loop and
 	// marks the resulting heap/FD state as persistent (DeferInitPass).
 	RunDeferredInit bool
+	// IncrementalRestore arms page-granular dirty tracking on
+	// closure_global_section: the restore step copies back only the pages
+	// the execution actually wrote instead of the whole snapshot. Restored
+	// state is byte-identical either way (the watchdog and the divergence
+	// sentinel cross-check it continuously); the flag only changes the
+	// restore-path bandwidth. Disabled means the original full byte-copy.
+	IncrementalRestore bool
 	// Injector arms deterministic fault injection in the restore paths
 	// (resilience tests); nil injects nothing.
 	Injector *faultinject.Injector
 }
 
-// FullRestore enables every restoration step.
+// FullRestore enables every restoration step, with the dirty-tracking
+// incremental restore fast path armed.
 func FullRestore() Options {
-	return Options{RestoreGlobals: true, ResetHeap: true, CloseFiles: true, RunDeferredInit: true}
+	return Options{RestoreGlobals: true, ResetHeap: true, CloseFiles: true,
+		RunDeferredInit: true, IncrementalRestore: true}
 }
 
 // Stats counts restoration work, for the overhead-breakdown figure.
 type Stats struct {
 	Iterations   int64
-	GlobalBytes  int64 // bytes copied back per iteration x iterations
+	GlobalBytes  int64 // bytes actually copied back across all restores
 	ChunksFreed  int64
 	FDsClosed    int64
 	FDsRewound   int64
 	ExitsUnwound int64 // iterations that ended via the exit hook
+	// IncrRestores counts restores that went through the dirty-tracking
+	// fast path; GlobalBytes then reflects only dirty bytes, which is the
+	// bandwidth saving the fast path exists for.
+	IncrRestores int64
 }
 
 // Harness wraps a VM whose module went through the ClosureX pipeline.
@@ -66,6 +80,17 @@ type Harness struct {
 	opts       Options
 	globalSnap []byte
 	stats      Stats
+	// incremental reports that the dirty-page watch is armed on the closure
+	// section (IncrementalRestore requested and the section exists).
+	incremental bool
+	// verifyBuf is the reusable post-run section snapshot Verify compares
+	// against globalSnap — preallocated once so the watchdog does not
+	// allocate a fresh section copy on every periodic check.
+	verifyBuf []byte
+	// chunkScratch/fdScratch back the per-restore leak censuses so the hot
+	// loop does not allocate a fresh slice every iteration.
+	chunkScratch []mem.Chunk
+	fdScratch    []int
 	// restoreErr is the first error the most recent restore hit; the
 	// resilience layer drains it via TakeRestoreError after each iteration.
 	restoreErr error
@@ -92,9 +117,20 @@ func New(v *vm.VM, opts Options) (*Harness, error) {
 	v.FS.MarkInit()
 	if snap, ok := v.SnapshotSection(ir.SectionClosure); ok {
 		h.globalSnap = snap
+		h.verifyBuf = make([]byte, len(snap))
+		if opts.IncrementalRestore && opts.RestoreGlobals {
+			// Arm the write barrier exactly at snapshot time: every write
+			// from here on is a candidate for copy-back, so the dirty set is
+			// complete by construction.
+			h.incremental = v.WatchSection(ir.SectionClosure)
+		}
 	}
 	return h, nil
 }
+
+// Incremental reports whether the dirty-tracking restore fast path is
+// active.
+func (h *Harness) Incremental() bool { return h.incremental }
 
 // VM exposes the underlying machine (correctness study probes).
 func (h *Harness) VM() *vm.VM { return h.v }
@@ -147,7 +183,14 @@ func (h *Harness) Restore() error {
 	inj := h.opts.Injector
 	if h.opts.RestoreGlobals && h.globalSnap != nil {
 		if inj.Should(faultinject.RestoreGlobals) {
+			// The dirty set is deliberately NOT reset on an injected
+			// failure: a retry (Restore is idempotent) still knows which
+			// pages to copy back.
 			fail(faultinject.Err(faultinject.RestoreGlobals))
+		} else if h.incremental {
+			copied, _ := h.v.RestoreSectionDirty(ir.SectionClosure, h.globalSnap)
+			h.stats.GlobalBytes += int64(copied)
+			h.stats.IncrRestores++
 		} else {
 			h.v.RestoreSection(ir.SectionClosure, h.globalSnap)
 			h.stats.GlobalBytes += int64(len(h.globalSnap))
@@ -157,7 +200,8 @@ func (h *Harness) Restore() error {
 		if inj.Should(faultinject.RestoreHeap) {
 			fail(faultinject.Err(faultinject.RestoreHeap))
 		} else {
-			for _, c := range h.v.Heap.Leaked() {
+			h.chunkScratch = h.v.Heap.AppendLeaked(h.chunkScratch[:0])
+			for _, c := range h.chunkScratch {
 				// Chunks the target leaked; free() cannot fail on live chunks.
 				if err := h.v.Heap.Free(c.Addr); err == nil {
 					h.stats.ChunksFreed++
@@ -171,14 +215,16 @@ func (h *Harness) Restore() error {
 		if inj.Should(faultinject.RestoreFiles) {
 			fail(faultinject.Err(faultinject.RestoreFiles))
 		} else {
-			for _, fd := range h.v.FS.LeakedFDs() {
+			h.fdScratch = h.v.FS.AppendLeakedFDs(h.fdScratch[:0])
+			for _, fd := range h.fdScratch {
 				if err := h.v.FS.Close(fd); err == nil {
 					h.stats.FDsClosed++
 				} else {
 					fail(fmt.Errorf("harness: close leaked fd: %w", err))
 				}
 			}
-			for _, fd := range h.v.FS.InitFDs() {
+			h.fdScratch = h.v.FS.AppendInitFDs(h.fdScratch[:0])
+			for _, fd := range h.fdScratch {
 				// Initialization-time handles are rewound, not reopened — the
 				// paper's optimization for init handles.
 				if _, err := h.v.FS.Seek(fd, 0, vfs.SeekSet); err == nil {
@@ -207,25 +253,27 @@ func (h *Harness) Restore() error {
 func (h *Harness) Verify() error {
 	if h.opts.ResetHeap {
 		// Live-chunk census: every test-case allocation must be gone.
-		if n := len(h.v.Heap.Leaked()); n != 0 {
+		if n := h.v.Heap.LeakedCount(); n != 0 {
 			return fmt.Errorf("%w: %d test-case heap chunks survive restore", ErrWatchdog, n)
 		}
 	}
 	if h.opts.RestoreGlobals && h.globalSnap != nil {
-		cur, ok := h.v.SnapshotSection(ir.SectionClosure)
+		cur, ok := h.v.SnapshotSectionInto(ir.SectionClosure, h.verifyBuf)
 		if !ok {
 			return fmt.Errorf("%w: %s vanished", ErrWatchdog, ir.SectionClosure)
 		}
+		h.verifyBuf = cur
 		if !bytes.Equal(cur, h.globalSnap) {
 			return fmt.Errorf("%w: %s differs from snapshot (%d bytes)",
 				ErrWatchdog, ir.SectionClosure, diffBytes(cur, h.globalSnap))
 		}
 	}
 	if h.opts.CloseFiles {
-		if n := len(h.v.FS.LeakedFDs()); n != 0 {
+		if n := h.v.FS.LeakedCount(); n != 0 {
 			return fmt.Errorf("%w: %d leaked descriptors survive restore", ErrWatchdog, n)
 		}
-		for _, fd := range h.v.FS.InitFDs() {
+		h.fdScratch = h.v.FS.AppendInitFDs(h.fdScratch[:0])
+		for _, fd := range h.fdScratch {
 			if pos, err := h.v.FS.Tell(fd); err != nil || pos != 0 {
 				return fmt.Errorf("%w: init fd %d not rewound (pos %d, err %v)", ErrWatchdog, fd, pos, err)
 			}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"closurex/internal/faultinject"
+	"closurex/internal/ir"
+)
+
+// Tests for the dirty-tracking incremental restore fast path: it must
+// produce exactly the same post-restore image as the full section copy,
+// while moving only the dirtied pages' bytes.
+
+func TestIncrementalRestoreMatchesFullCopy(t *testing.T) {
+	full := FullRestore()
+	full.IncrementalRestore = false
+	hFull := newHarness(t, statefulSrc, full)
+	hIncr := newHarness(t, statefulSrc, FullRestore())
+	if hFull.Incremental() {
+		t.Fatal("full-copy harness reports incremental")
+	}
+	if !hIncr.Incremental() {
+		t.Fatal("incremental fast path not armed despite IncrementalRestore")
+	}
+
+	inputs := [][]byte{[]byte("a"), []byte("X"), []byte("zz"), {0}, []byte("qqq")}
+	for i := 0; i < 50; i++ {
+		in := inputs[i%len(inputs)]
+		rf := hFull.RunOne(in)
+		ri := hIncr.RunOne(in)
+		if (rf.Fault == nil) != (ri.Fault == nil) || rf.Ret != ri.Ret || rf.ExitCode != ri.ExitCode {
+			t.Fatalf("run %d diverged: full=(%v,%v,%v) incr=(%v,%v,%v)",
+				i, rf.Ret, rf.ExitCode, rf.Fault, ri.Ret, ri.ExitCode, ri.Fault)
+		}
+		sf, _ := hFull.VM().SnapshotSection(ir.SectionClosure)
+		si, _ := hIncr.VM().SnapshotSection(ir.SectionClosure)
+		if !bytes.Equal(sf, si) {
+			t.Fatalf("run %d: post-restore sections differ", i)
+		}
+	}
+	if err := hIncr.Verify(); err != nil {
+		t.Fatalf("watchdog rejected the incrementally restored image: %v", err)
+	}
+}
+
+func TestIncrementalRestoreCopiesFewerBytes(t *testing.T) {
+	full := FullRestore()
+	full.IncrementalRestore = false
+	hFull := newHarness(t, statefulSrc, full)
+	hIncr := newHarness(t, statefulSrc, FullRestore())
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		hFull.RunOne([]byte("a"))
+		hIncr.RunOne([]byte("a"))
+	}
+	sf, si := hFull.Stats(), hIncr.Stats()
+	if si.IncrRestores != n {
+		t.Fatalf("IncrRestores = %d, want %d", si.IncrRestores, n)
+	}
+	if sf.IncrRestores != 0 {
+		t.Fatalf("full-copy harness counted %d incremental restores", sf.IncrRestores)
+	}
+	// statefulSrc touches a handful of globals per run; dirty-page copy-back
+	// must not exceed the full section copy (and is strictly smaller as soon
+	// as the section spans more than the dirtied pages).
+	if si.GlobalBytes > sf.GlobalBytes {
+		t.Fatalf("incremental copied %d bytes, full copy %d", si.GlobalBytes, sf.GlobalBytes)
+	}
+}
+
+func TestIncrementalRestoreFaultLeavesDirtySetForRetry(t *testing.T) {
+	// An injected copy-back failure must not consume the dirty set: the
+	// retry (Restore is idempotent) still knows which pages to repair.
+	inj := faultinject.New(1)
+	h := newFaultyHarness(t, inj) // FullRestore defaults: incremental on
+	if !h.Incremental() {
+		t.Fatal("incremental path not armed under FullRestore defaults")
+	}
+	fresh, _ := h.VM().SnapshotSection(ir.SectionClosure)
+
+	inj.FailAfter(faultinject.RestoreGlobals, 0, 1)
+	if res := h.RunOne([]byte("b")); res.Fault != nil {
+		t.Fatalf("iteration itself must not fault: %v", res.Fault)
+	}
+	if err := h.TakeRestoreError(); err == nil {
+		t.Fatal("injected restore failure was not reported")
+	}
+	after, _ := h.VM().SnapshotSection(ir.SectionClosure)
+	if bytes.Equal(fresh, after) {
+		t.Fatal("section unexpectedly clean after a failed restore; fault not exercised")
+	}
+
+	// The retry must repair the image through the same incremental path.
+	if err := h.Restore(); err != nil {
+		t.Fatalf("repair restore failed: %v", err)
+	}
+	repaired, _ := h.VM().SnapshotSection(ir.SectionClosure)
+	if !bytes.Equal(fresh, repaired) {
+		t.Fatal("retry after injected failure did not restore the section")
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("watchdog rejected the repaired image: %v", err)
+	}
+}

@@ -288,14 +288,30 @@ func (h *Heap) Check(addr uint64, n int) error {
 // Leaked returns the live chunks that were allocated during test-case
 // execution (Init == false) — exactly what the ClosureX harness frees
 // between test cases.
-func (h *Heap) Leaked() []Chunk {
-	var out []Chunk
+func (h *Heap) Leaked() []Chunk { return h.AppendLeaked(nil) }
+
+// AppendLeaked appends the non-init live chunks to dst and returns it —
+// the allocation-free variant the harness restore loop uses every
+// iteration.
+func (h *Heap) AppendLeaked(dst []Chunk) []Chunk {
 	for _, c := range h.chunks {
 		if !c.Init {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 	}
-	return out
+	return dst
+}
+
+// LeakedCount reports how many live chunks are not init-persistent,
+// without materializing them.
+func (h *Heap) LeakedCount() int {
+	n := 0
+	for _, c := range h.chunks {
+		if !c.Init {
+			n++
+		}
+	}
+	return n
 }
 
 // MarkInit flags every currently live chunk as initialization state that

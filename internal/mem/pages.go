@@ -46,6 +46,18 @@ type Memory struct {
 	// module (AFL++ Snapshot LKM) maintains.
 	trackDirty bool
 	dirty      []uint64
+
+	// Watch state: a write barrier over a fixed page range. Unlike
+	// trackDirty (which only sees privatization/mapping events and exists
+	// for CoW restore), the watch sees EVERY write to the watched range,
+	// including writes to pages that are already private — the bookkeeping
+	// ClosureX's dirty-tracking incremental restore needs. watchBits is a
+	// dense bitmap over [watchLo, watchHi) page numbers; watchList is the
+	// deduplicated list of dirtied page numbers since the last ResetWatch.
+	watchLo   uint64
+	watchHi   uint64
+	watchBits []uint64
+	watchList []uint64
 }
 
 // Common memory errors. The VM wraps these into sanitizer faults with
@@ -123,6 +135,9 @@ func (m *Memory) writablePage(pn uint64) (*page, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.watchBits != nil {
+		m.markWatched(pn)
+	}
 	if pg.refs > 1 {
 		dup := &page{refs: 1}
 		dup.data = pg.data
@@ -134,6 +149,52 @@ func (m *Memory) writablePage(pn uint64) (*page, error) {
 		return dup, nil
 	}
 	return pg, nil
+}
+
+// Watch arms the write barrier over [addr, addr+size): every subsequent
+// write that touches a page in the range records that page as dirty, no
+// matter whether the page was already private. Watching replaces any
+// previous watch range. size == 0 disarms the barrier.
+func (m *Memory) Watch(addr, size uint64) {
+	if size == 0 {
+		m.watchBits = nil
+		m.watchList = m.watchList[:0]
+		m.watchLo, m.watchHi = 0, 0
+		return
+	}
+	m.watchLo = addr >> PageShift
+	m.watchHi = (addr + size + PageSize - 1) >> PageShift
+	m.watchBits = make([]uint64, (m.watchHi-m.watchLo+63)/64)
+	m.watchList = m.watchList[:0]
+}
+
+// markWatched sets the dirty bit for pn when it falls inside the watched
+// range; first-touch per window also appends it to the dirty list. The two
+// compares are the entire hot-path cost when pn is outside the range.
+func (m *Memory) markWatched(pn uint64) {
+	if pn < m.watchLo || pn >= m.watchHi {
+		return
+	}
+	off := pn - m.watchLo
+	w, b := off/64, uint64(1)<<(off%64)
+	if m.watchBits[w]&b == 0 {
+		m.watchBits[w] |= b
+		m.watchList = append(m.watchList, pn)
+	}
+}
+
+// WatchedDirty returns the page numbers written since the last ResetWatch,
+// in first-touch order. The slice is owned by the Memory and is only valid
+// until the next ResetWatch.
+func (m *Memory) WatchedDirty() []uint64 { return m.watchList }
+
+// ResetWatch clears the dirty bits and list, starting a new watch window.
+func (m *Memory) ResetWatch() {
+	for _, pn := range m.watchList {
+		off := pn - m.watchLo
+		m.watchBits[off/64] &^= uint64(1) << (off % 64)
+	}
+	m.watchList = m.watchList[:0]
 }
 
 // TrackDirty enables (or disables) dirty-page recording and clears the
@@ -350,6 +411,9 @@ func (m *Memory) Zero(addr uint64, n int) error {
 		pn := addr >> PageShift
 		if pg, ok := m.pages[pn]; ok {
 			if off == 0 && cn == PageSize && pg.refs == 1 {
+				if m.watchBits != nil {
+					m.markWatched(pn)
+				}
 				pg.data = [PageSize]byte{}
 			} else {
 				wp, err := m.writablePage(pn)

@@ -311,3 +311,166 @@ func BenchmarkForkRelease(b *testing.B) {
 		c.Release()
 	}
 }
+
+// pagesOf is a test helper returning WatchedDirty as a plain slice copy.
+func pagesOf(m *Memory) []uint64 {
+	return append([]uint64(nil), m.WatchedDirty()...)
+}
+
+func TestWatchRecordsWritesInRange(t *testing.T) {
+	m := NewMemory()
+	base := uint64(4 * PageSize)
+	m.Watch(base, 4*PageSize) // pages 4..7
+
+	if err := m.StoreByte(base, 1); err != nil { // page 4
+		t.Fatal(err)
+	}
+	if err := m.StoreByte(base+2*PageSize+17, 2); err != nil { // page 6
+		t.Fatal(err)
+	}
+	if err := m.StoreByte(base-1, 3); err != nil { // page 3, outside
+		t.Fatal(err)
+	}
+	if err := m.StoreByte(base+4*PageSize, 4); err != nil { // page 8, outside
+		t.Fatal(err)
+	}
+
+	got := pagesOf(m)
+	want := []uint64{4, 6}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("WatchedDirty = %v, want %v (first-touch order)", got, want)
+	}
+}
+
+func TestWatchDeduplicatesRepeatedWrites(t *testing.T) {
+	m := NewMemory()
+	base := uint64(2 * PageSize)
+	m.Watch(base, 2*PageSize)
+	for i := 0; i < 100; i++ {
+		if err := m.StoreByte(base+uint64(i), byte(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pagesOf(m); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("WatchedDirty = %v, want [2]", got)
+	}
+}
+
+func TestWatchSeesWritesToPrivatePages(t *testing.T) {
+	// Unlike trackDirty (which only fires on privatization/mapping), the
+	// watch must record writes to pages that are already private — that is
+	// the whole point of the barrier for incremental restore.
+	m := NewMemory()
+	base := uint64(8 * PageSize)
+	if err := m.StoreByte(base, 1); err != nil { // page now mapped + private
+		t.Fatal(err)
+	}
+	m.Watch(base, PageSize)
+	m.ResetWatch()
+	if err := m.StoreByte(base+1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := pagesOf(m); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("write to already-private page not recorded: WatchedDirty = %v", got)
+	}
+}
+
+func TestWatchResetStartsNewWindow(t *testing.T) {
+	m := NewMemory()
+	base := uint64(PageSize)
+	m.Watch(base, 3*PageSize) // pages 1..3
+
+	if err := m.StoreByte(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreByte(base+PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := pagesOf(m); len(got) != 2 {
+		t.Fatalf("before reset: WatchedDirty = %v, want 2 pages", got)
+	}
+
+	m.ResetWatch()
+	if got := pagesOf(m); len(got) != 0 {
+		t.Fatalf("after reset: WatchedDirty = %v, want empty", got)
+	}
+
+	// The bits must be cleared too, or re-dirtied pages would be missed.
+	if err := m.StoreByte(base+PageSize, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := pagesOf(m); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after reset + write: WatchedDirty = %v, want [2]", got)
+	}
+}
+
+func TestWatchDisarm(t *testing.T) {
+	m := NewMemory()
+	base := uint64(PageSize)
+	m.Watch(base, PageSize)
+	if err := m.StoreByte(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := pagesOf(m); len(got) != 1 {
+		t.Fatalf("armed: WatchedDirty = %v, want 1 page", got)
+	}
+
+	m.Watch(0, 0) // disarm
+	if got := pagesOf(m); len(got) != 0 {
+		t.Fatalf("disarmed: WatchedDirty = %v, want empty", got)
+	}
+	if err := m.StoreByte(base, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := pagesOf(m); len(got) != 0 {
+		t.Fatalf("disarmed write recorded: WatchedDirty = %v", got)
+	}
+}
+
+func TestWatchZeroFastPath(t *testing.T) {
+	// Zero on a whole resident private page takes a fast path that skips
+	// writablePage; it must still feed the watch barrier.
+	m := NewMemory()
+	base := uint64(5 * PageSize)
+	if err := m.StoreByte(base, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	m.Watch(base, PageSize)
+	m.ResetWatch()
+	if err := m.Zero(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := pagesOf(m); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Zero fast path not recorded: WatchedDirty = %v, want [5]", got)
+	}
+	b, err := m.Read(base, 1)
+	if err != nil || b[0] != 0 {
+		t.Fatalf("page not zeroed: %v %v", b, err)
+	}
+}
+
+func TestWatchSurvivesCoWPrivatization(t *testing.T) {
+	// A write that privatizes a shared page (post-fork CoW) must be
+	// recorded exactly once, against the child doing the write.
+	parent := NewMemory()
+	base := uint64(3 * PageSize)
+	if err := parent.StoreByte(base, 7); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Fork()
+	child.Watch(base, PageSize)
+	if err := child.StoreByte(base, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := pagesOf(child); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("CoW write not recorded: WatchedDirty = %v, want [3]", got)
+	}
+	if got := pagesOf(parent); len(got) != 0 {
+		t.Fatalf("parent saw child's write: WatchedDirty = %v", got)
+	}
+	b, _ := parent.Read(base, 1)
+	if b[0] != 7 {
+		t.Fatalf("parent page corrupted: %d", b[0])
+	}
+	child.Release()
+}

@@ -7,6 +7,7 @@ import (
 
 	"closurex/internal/ir"
 	"closurex/internal/mem"
+	"closurex/internal/vfs"
 )
 
 // builtinFn is the signature of a runtime-provided routine.
@@ -426,10 +427,23 @@ func biFopen(v *VM, in *ir.Instr, args []int64) (int64, error) {
 		return 0, flt
 	}
 	md := "r"
-	if len(mode) > 0 {
-		md = string(mode[0])
+	switch {
+	case len(mode) == 0:
+	case mode[0] == 'w':
+		md = "w"
+	case mode[0] == 'a':
+		md = "a"
 	}
-	fd, err := v.FS.Open(string(path), md)
+	// Interning the overwhelmingly common path avoids a per-fopen string
+	// allocation on the hot loop (targets reopen /input every test case);
+	// the []byte==string comparison itself does not allocate.
+	var p string
+	if string(path) == vfs.InputPath {
+		p = vfs.InputPath
+	} else {
+		p = string(path)
+	}
+	fd, err := v.FS.Open(p, md)
 	if err != nil {
 		// fopen returns NULL on failure (including EMFILE); targets that
 		// abort on NULL turn descriptor exhaustion into the false crashes
@@ -465,7 +479,10 @@ func biFread(v *VM, in *ir.Instr, args []int64) (int64, error) {
 	if v.budget <= 0 {
 		return 0, v.fault(FaultTimeout, in, 0, "budget exhausted in fread")
 	}
-	buf := make([]byte, total)
+	if int64(cap(v.ioBuf)) < total {
+		v.ioBuf = make([]byte, total)
+	}
+	buf := v.ioBuf[:total]
 	n, err := v.FS.Read(fd, buf)
 	if err != nil {
 		return 0, nil // EOF/err: fread returns 0 items

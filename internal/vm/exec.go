@@ -282,13 +282,15 @@ func b2i(b bool) int64 {
 // into the callee's registers immediately) and builtins (which consume
 // them synchronously) are done with the buffer before any reentry.
 func (v *VM) call(in *ir.Instr, regs []int64) (int64, error) {
-	var argBuf [12]int64
-	var args []int64
-	if len(in.Args) <= len(argBuf) {
-		args = argBuf[:len(in.Args)]
-	} else {
-		args = make([]int64, len(in.Args))
+	for len(v.argPool) <= v.depth {
+		v.argPool = append(v.argPool, nil)
 	}
+	args := v.argPool[v.depth]
+	if cap(args) < len(in.Args) {
+		args = make([]int64, len(in.Args))
+		v.argPool[v.depth] = args
+	}
+	args = args[:len(in.Args)]
 	for i, a := range in.Args {
 		args[i] = regs[a]
 	}

@@ -106,6 +106,14 @@ type VM struct {
 	// regPool reuses register frames per call depth, avoiding a heap
 	// allocation on every target function call.
 	regPool [][]int64
+	// argPool reuses argument-staging buffers per call depth, for calls
+	// with more arguments than the stack buffer holds; same lifecycle
+	// argument as regPool (consumed before any same-depth reuse).
+	argPool [][]int64
+	// ioBuf is scratch for builtin I/O transfers (fread staging); sized to
+	// the high-water transfer and reused so steady-state reads are
+	// allocation-free.
+	ioBuf []byte
 }
 
 // New builds a process image for mod: lays out globals, writes their
@@ -294,6 +302,67 @@ func (v *VM) SnapshotSection(name string) ([]byte, bool) {
 	buf := make([]byte, s.Size)
 	_ = v.Mem.ReadInto(s.Addr, buf)
 	return buf, true
+}
+
+// SnapshotSectionInto reads the named section into buf (reusing buf's
+// backing array when it is large enough) and returns the filled slice.
+// This is the allocation-free variant the harness watchdog uses on every
+// periodic verification.
+func (v *VM) SnapshotSectionInto(name string, buf []byte) ([]byte, bool) {
+	s, ok := v.Layout.Section(name)
+	if !ok {
+		return nil, false
+	}
+	n := int(s.Size)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	_ = v.Mem.ReadInto(s.Addr, buf)
+	return buf, true
+}
+
+// WatchSection arms the memory write barrier over the named section so
+// writes to it are tracked at page granularity. Returns false when the
+// section does not exist (nothing to track).
+func (v *VM) WatchSection(name string) bool {
+	s, ok := v.Layout.Section(name)
+	if !ok || s.Size == 0 {
+		return false
+	}
+	v.Mem.Watch(s.Addr, s.Size)
+	return true
+}
+
+// RestoreSectionDirty writes back only the bytes of the named section that
+// fall on pages dirtied since the last watch reset — the ClosureX
+// incremental restore fast path. It requires WatchSection to have been
+// armed over the section; the returned byte count is the data actually
+// copied (the paper's restore-bandwidth metric). The watch window is reset
+// afterwards so the next execution starts with a clean dirty set.
+func (v *VM) RestoreSectionDirty(name string, data []byte) (int, bool) {
+	s, ok := v.Layout.Section(name)
+	if !ok || uint64(len(data)) != s.Size {
+		return 0, false
+	}
+	copied := 0
+	for _, pn := range v.Mem.WatchedDirty() {
+		lo := pn << mem.PageShift
+		hi := lo + mem.PageSize
+		if lo < s.Addr {
+			lo = s.Addr
+		}
+		if end := s.Addr + s.Size; hi > end {
+			hi = end
+		}
+		if lo >= hi {
+			continue
+		}
+		_ = v.Mem.Write(lo, data[lo-s.Addr:hi-s.Addr])
+		copied += int(hi - lo)
+	}
+	v.Mem.ResetWatch()
+	return copied, true
 }
 
 // RestoreSection writes bytes back over the named section (the harness's
