@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race faultcheck lint check bench benchjson clean
+.PHONY: all build test vet race faultcheck lint sanitize check bench benchjson clean
 
 all: build
 
@@ -37,16 +37,27 @@ lint:
 	$(GO) run ./cmd/closurex-lint -q -target all
 	$(GO) test -tags verifyeach ./internal/analysis/ ./internal/passes/ ./internal/core/
 
-check: vet test race faultcheck lint benchjson
+# Sanitizer gate: the seeded-defect detection and differential suites, the
+# shadow-plane and elision-analysis unit tests, and the strict lint run
+# with sanitizer instrumentation armed (CLX111-113 + per-function elision
+# report over every registered target).
+sanitize:
+	$(GO) test -run 'Sanitiz|Shadow|Quarantine|Elision|Elide' . ./internal/mem/ ./internal/harness/ ./internal/passes/ ./internal/core/ ./internal/analysis/sanitize/
+	$(GO) run ./cmd/closurex-lint -q -strict -target all -sanitize-report
+
+check: vet test race faultcheck lint sanitize benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable parallel-scaling numbers: a short sweep over jobs =
-# 1, 2, 4, GOMAXPROCS writing BENCH_parallel.json, so throughput scaling
-# is tracked as an artifact rather than eyeballed from benchmark logs.
+# Machine-readable benchmark artifacts: a short parallel-scaling sweep
+# (jobs = 1, 2, 4, GOMAXPROCS -> BENCH_parallel.json) and the sanitizer
+# overhead sweep (modes off / on / on+elide -> BENCH_sanitizer.json), so
+# throughput and shadow-check cost are tracked as artifacts rather than
+# eyeballed from benchmark logs.
 benchjson:
 	$(GO) run ./cmd/closurex-bench -parallel-scaling -parallel-execs 20000 -parallel-json BENCH_parallel.json
+	$(GO) run ./cmd/closurex-bench -sanitizer-overhead -sanitizer-execs 20000 -sanitizer-json BENCH_sanitizer.json
 
 clean:
 	$(GO) clean ./...

@@ -38,10 +38,12 @@ import (
 // "persistent-naive" (fast but incorrect), "closurex".
 func Mechanisms() []string { return execmgr.Names() }
 
-// Benchmarks returns the registered Table 4 benchmark names.
+// Benchmarks returns the registered Table 4 benchmark names (auxiliary
+// test-fixture targets like sandefect are resolvable by name but not
+// part of the evaluation suite).
 func Benchmarks() []string {
 	var out []string
-	for _, t := range targets.All() {
+	for _, t := range targets.Benchmarks() {
 		out = append(out, t.Name)
 	}
 	return out
@@ -82,6 +84,19 @@ type Options struct {
 	// DeterministicRand pins the target's rand()/heap-ASLR entropy to
 	// Seed. Required for bit-identical checkpoint/resume.
 	DeterministicRand bool
+	// Sanitize arms the ASan-style heap sanitizer: the build carries
+	// shadow-memory checks before every heap access (statically elided
+	// where the bounds analysis proves them unnecessary, unless
+	// SanitizeNoElide), allocations get redzones, frees go through a
+	// poisoning quarantine, and crashes carry allocation/free sites that
+	// refine triage buckets. Coverage bitmap geometry is identical with
+	// and without the sanitizer.
+	Sanitize bool
+	// SanitizeNoElide disables the static check-elision analysis while
+	// keeping the sanitizer armed — the benchmark configuration that
+	// measures what the analysis is worth. Implies nothing unless
+	// Sanitize is set.
+	SanitizeNoElide bool
 	// Stop, when non-nil, makes RunFor/RunExecs return cleanly (at a
 	// checkpointable boundary) once the channel is closed.
 	Stop <-chan struct{}
@@ -211,6 +226,12 @@ func instanceOptions(opts Options) core.InstanceOptions {
 		Stop:              opts.Stop,
 		ResumeFrom:        opts.ResumeFrom,
 		Jobs:              opts.Jobs,
+	}
+	if opts.Sanitize {
+		io.Sanitize = core.SanitizeElide
+		if opts.SanitizeNoElide {
+			io.Sanitize = core.SanitizeNoElide
+		}
 	}
 	if opts.Resilient {
 		rc := execmgr.DefaultResilienceConfig()

@@ -9,6 +9,7 @@
 //	closurex-bench -table all -targets gpmf-parser,libbpf
 //	closurex-bench -figure spectrum
 //	closurex-bench -ablation
+//	closurex-bench -sanitizer-overhead -sanitizer-json BENCH_sanitizer.json
 package main
 
 import (
@@ -38,11 +39,20 @@ func main() {
 		scalingExecs = flag.Int64("parallel-execs", 50000, "aggregate executions per scaling point")
 		parallelJSON = flag.String("parallel-json", "", "also write the scaling report to this JSON file (e.g. BENCH_parallel.json)")
 	)
+	var (
+		sanOverhead = flag.Bool("sanitizer-overhead", false, "run the sanitizer-overhead sweep (modes off, on, on+elide)")
+		sanTgt      = flag.String("sanitizer-target", "gpmf-parser", "target for the sanitizer sweep")
+		sanExecs    = flag.Int64("sanitizer-execs", 20000, "executions per sanitize mode")
+		sanJSON     = flag.String("sanitizer-json", "", "also write the sanitizer report to this JSON file (e.g. BENCH_sanitizer.json)")
+	)
 	flag.Parse()
 	if *parallelJSON != "" {
 		*scaling = true
 	}
-	if *table == "" && *figure == "" && !*ablation && !*scaling {
+	if *sanJSON != "" {
+		*sanOverhead = true
+	}
+	if *table == "" && *figure == "" && !*ablation && !*scaling && !*sanOverhead {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -140,6 +150,20 @@ func main() {
 				fatalf("%v", err)
 			}
 			fmt.Printf("scaling report written to %s\n", *parallelJSON)
+		}
+	}
+
+	if *sanOverhead {
+		rep, err := experiments.RunSanitizerOverhead(*sanTgt, *sanExecs, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiments.FormatSanitizer(rep))
+		if *sanJSON != "" {
+			if err := experiments.WriteSanitizerJSON(*sanJSON, rep); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("sanitizer report written to %s\n", *sanJSON)
 		}
 	}
 

@@ -45,6 +45,8 @@ func main() {
 	)
 	var (
 		lint      = flag.Bool("lint", false, "run the static restore-completeness lints and refuse to fuzz a module that fails them")
+		sanitize  = flag.Bool("sanitize", false, "arm the heap sanitizer (shadow memory, redzones, free quarantine; statically elides provably safe checks)")
+		noElide   = flag.Bool("sanitize-no-elide", false, "with -sanitize: keep every check, disabling the static elision analysis (benchmark configuration)")
 		resilient = flag.Bool("resilient", false, "arm the restore watchdog + rebuild/fallback ladder")
 		sentEvery = flag.Int64("sentinel-every", 0, "divergence sentinel period in execs (0 = off)")
 		ckptPath  = flag.String("checkpoint", "", "write campaign checkpoints to this file (periodically and on exit/signal)")
@@ -67,12 +69,14 @@ func main() {
 	}()
 
 	opts := closurex.Options{
-		Mechanism:     *mechanism,
-		Seed:          *seed,
-		Resilient:     *resilient,
-		SentinelEvery: *sentEvery,
-		Stop:          stop,
-		Jobs:          *jobs,
+		Mechanism:       *mechanism,
+		Seed:            *seed,
+		Sanitize:        *sanitize,
+		SanitizeNoElide: *noElide,
+		Resilient:       *resilient,
+		SentinelEvery:   *sentEvery,
+		Stop:            stop,
+		Jobs:            *jobs,
 	}
 	if *ckptPath != "" {
 		// Bit-identical resume needs the target's entropy pinned.

@@ -7,16 +7,26 @@
 // writable global in closure_global_section, main renamed, collision-free
 // coverage probes.
 //
+// With -sanitize-report the module is built with the sanitizer pass and
+// static check-elision analysis armed, and a per-function table of checked
+// vs. elided memory accesses is printed after the lint verdict (the
+// CLX111-113 sanitizer verifier rules run as part of the gate).
+//
 // Usage:
 //
 //	closurex-lint -target all
 //	closurex-lint -file prog.c
 //	closurex-lint -target gpmf-parser -variant baseline
+//	closurex-lint -target all -sanitize-report
+//	closurex-lint -target all -strict
 //	closurex-lint -catalog
 //
-// Exit status: 0 when every checked module is clean, 1 when any module
-// failed to build or fired an error-severity diagnostic, 2 on usage
-// errors.
+// Exit status:
+//
+//	0  every checked module is clean (warnings tolerated unless -strict)
+//	1  a module failed to build, fired an error-severity diagnostic, or —
+//	   under -strict — fired any warning-severity diagnostic
+//	2  usage errors (unknown target, unreadable file, bad variant)
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"sort"
 
 	"closurex/internal/analysis"
+	"closurex/internal/analysis/sanitize"
 	"closurex/internal/core"
 	"closurex/internal/targets"
 )
@@ -37,6 +48,8 @@ func main() {
 		variant    = flag.String("variant", "closurex", "pipeline to lint: pristine | baseline | closurex | closurex+deferinit")
 		catalog    = flag.Bool("catalog", false, "print the lint catalog and exit")
 		quiet      = flag.Bool("q", false, "suppress per-module OK lines")
+		strict     = flag.Bool("strict", false, "exit non-zero on warning-severity diagnostics too")
+		sanReport  = flag.Bool("sanitize-report", false, "instrument with the sanitizer and print per-function check/elision counts")
 	)
 	flag.Parse()
 
@@ -74,15 +87,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	failures := 0
+	san := core.SanitizeOff
+	if *sanReport {
+		san = core.SanitizeElide
+	}
+
+	failures, warnings := 0, 0
 	for _, j := range jobs {
-		mod, berr := core.Build(j.file, j.src, v)
+		mod, berr := core.BuildSanitized(j.file, j.src, v, san)
 		if berr != nil {
 			fmt.Fprintf(os.Stderr, "closurex-lint: %s: build: %v\n", j.name, berr)
 			failures++
 			continue
 		}
 		ds := core.CheckModule(mod, v)
+		warnings += countWarnings(ds)
 		if ds.HasErrors() {
 			failures++
 			fmt.Printf("FAIL  %s (%d error(s))\n", j.name, ds.Errors())
@@ -97,13 +116,31 @@ func main() {
 		if !*quiet {
 			fmt.Printf("OK    %s (verifier + %d lints clean)\n", j.name, len(analysis.LintCatalog()))
 		}
+		if *sanReport {
+			rep := sanitize.ReportModule(mod)
+			fmt.Printf("sanitizer check elision for %s:\n%s", j.name, rep.Format())
+		}
 	}
 	if failures > 0 {
+		os.Exit(1)
+	}
+	if *strict && warnings > 0 {
+		fmt.Fprintf(os.Stderr, "closurex-lint: -strict: %d warning(s)\n", warnings)
 		os.Exit(1)
 	}
 	if !*quiet {
 		fmt.Printf("\n%d module(s) statically restartable: every restore-completeness invariant holds\n", len(jobs))
 	}
+}
+
+func countWarnings(ds analysis.Diagnostics) int {
+	n := 0
+	for i := range ds {
+		if ds[i].Sev == analysis.SevWarn {
+			n++
+		}
+	}
+	return n
 }
 
 func parseVariant(s string) (core.Variant, error) {

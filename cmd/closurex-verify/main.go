@@ -31,7 +31,7 @@ func main() {
 
 	var names []string
 	if *target == "all" {
-		for _, t := range targets.All() {
+		for _, t := range targets.Benchmarks() {
 			names = append(names, t.Name)
 		}
 	} else {

@@ -205,6 +205,8 @@ func InstrUses(in *ir.Instr, dst []int) []int {
 		}
 	case ir.OpCondBr:
 		dst = append(dst, in.A)
+	case ir.OpSanCheck:
+		dst = append(dst, in.A)
 	}
 	return dst
 }

@@ -1,0 +1,218 @@
+package sanitize
+
+import (
+	"testing"
+
+	"closurex/internal/ir"
+)
+
+// buildFunc finishes a builder into a single-function module with one
+// 64-byte global so globalOff proofs have a region to land in.
+func buildFunc(t *testing.T, b *ir.Builder) (*ir.Module, *ir.Func) {
+	t.Helper()
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	m := &ir.Module{
+		Funcs:   []*ir.Func{f},
+		Globals: []*ir.Global{{Name: "g", Size: 64, Section: ir.SectionClosure}},
+	}
+	return m, f
+}
+
+// accessSites returns the (block,instr) of every load/store in f, in order.
+func accessSites(f *ir.Func) []Access {
+	var out []Access
+	for bi, blk := range f.Blocks {
+		for ii := range blk.Instrs {
+			if op := blk.Instrs[ii].Op; op == ir.OpLoad || op == ir.OpStore {
+				out = append(out, Access{Block: bi, Instr: ii})
+			}
+		}
+	}
+	return out
+}
+
+func TestElideFrameAccessInBounds(t *testing.T) {
+	b := ir.NewBuilder("f", 0)
+	off := b.Alloca(16)
+	fp := b.FrameAddr(off)
+	v := b.Const(42)
+	b.Store(fp, v, 8, 8) // frame[off+8..off+16) — in bounds
+	b.Ret(v)
+	m, f := buildFunc(t, b)
+	el := Analyze(m, f)
+	sites := accessSites(f)
+	if len(sites) != 1 || !el[sites[0]] {
+		t.Fatalf("in-bounds frame store not elided: %v", el)
+	}
+}
+
+func TestNoElideFrameAccessOutOfBounds(t *testing.T) {
+	b := ir.NewBuilder("f", 0)
+	off := b.Alloca(16)
+	fp := b.FrameAddr(off)
+	v := b.Const(1)
+	b.Store(fp, v, 16, 8) // one byte past the frame area: [16,24) vs size 16
+	b.Ret(v)
+	m, f := buildFunc(t, b)
+	if el := Analyze(m, f); len(el) != 0 {
+		t.Fatalf("out-of-bounds frame store elided: %v", el)
+	}
+}
+
+func TestElideGlobalAccess(t *testing.T) {
+	b := ir.NewBuilder("f", 0)
+	gp := b.GlobalAddr(0)
+	x := b.Load(gp, 56, 8) // last valid word of the 64-byte global
+	b.Ret(x)
+	m, f := buildFunc(t, b)
+	el := Analyze(m, f)
+	if len(el) != 1 {
+		t.Fatalf("in-bounds global load not elided: %v", el)
+	}
+	// Out of bounds by one word.
+	b2 := ir.NewBuilder("f", 0)
+	gp2 := b2.GlobalAddr(0)
+	x2 := b2.Load(gp2, 64, 8)
+	b2.Ret(x2)
+	m2, f2 := buildFunc(t, b2)
+	if el := Analyze(m2, f2); len(el) != 0 {
+		t.Fatalf("out-of-bounds global load elided: %v", el)
+	}
+}
+
+func TestElideAndMaskedHeapIndex(t *testing.T) {
+	// p = malloc(8); p[i & 7] for caller-controlled i: offset in [0,7],
+	// width 1 -> provably inside the 8-byte chunk.
+	b := ir.NewBuilder("f", 1) // param r0 = i
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	mask := b.Const(7)
+	idx := b.Bin(ir.And, 0, mask)
+	addr := b.Bin(ir.Add, p, idx)
+	x := b.Load(addr, 0, 1)
+	b.Ret(x)
+	m, f := buildFunc(t, b)
+	el := Analyze(m, f)
+	if len(el) != 1 {
+		t.Fatalf("and-masked heap load not elided: %v", el)
+	}
+}
+
+func TestNoElideHeapIndexTooWide(t *testing.T) {
+	// Same shape but a 2-byte load at offset up to 7 can reach byte 8.
+	b := ir.NewBuilder("f", 1)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	mask := b.Const(7)
+	idx := b.Bin(ir.And, 0, mask)
+	addr := b.Bin(ir.Add, p, idx)
+	x := b.Load(addr, 0, 2)
+	b.Ret(x)
+	m, f := buildFunc(t, b)
+	if el := Analyze(m, f); len(el) != 0 {
+		t.Fatalf("potentially overrunning heap load elided: %v", el)
+	}
+}
+
+func TestNoElideEscapedAllocation(t *testing.T) {
+	// The pointer is passed to a callee that could free it: the bounds
+	// proof is void even though the offset is fine.
+	b := ir.NewBuilder("f", 0)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	b.Call("consume", p)
+	x := b.Load(p, 0, 1)
+	b.Ret(x)
+	m, f := buildFunc(t, b)
+	if el := Analyze(m, f); len(el) != 0 {
+		t.Fatalf("escaped allocation's load elided: %v", el)
+	}
+}
+
+func TestNoElideStoredPointerEscapes(t *testing.T) {
+	// Storing the pointer itself to memory escapes it.
+	b := ir.NewBuilder("f", 0)
+	off := b.Alloca(8)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	fp := b.FrameAddr(off)
+	b.Store(fp, p, 0, 8) // frame store of p: elidable itself, but escapes p
+	x := b.Load(p, 0, 1)
+	b.Ret(x)
+	m, f := buildFunc(t, b)
+	el := Analyze(m, f)
+	sites := accessSites(f)
+	if len(sites) != 2 {
+		t.Fatalf("want 2 accesses, got %d", len(sites))
+	}
+	if !el[sites[0]] {
+		t.Errorf("frame store of the pointer should itself be elidable")
+	}
+	if el[sites[1]] {
+		t.Errorf("load through escaped pointer must stay checked")
+	}
+}
+
+func TestNoElideParamPointer(t *testing.T) {
+	b := ir.NewBuilder("f", 1)
+	x := b.Load(0, 0, 1) // param pointer: caller-controlled, top
+	b.Ret(x)
+	m, f := buildFunc(t, b)
+	if el := Analyze(m, f); len(el) != 0 {
+		t.Fatalf("param-pointer load elided: %v", el)
+	}
+}
+
+func TestNoElideLoopCarriedIndex(t *testing.T) {
+	// i starts at 0 and is incremented in a loop with no bound the domain
+	// can see; the merge has two reaching defs -> top -> checked.
+	b := ir.NewBuilder("f", 0)
+	off := b.Alloca(8)
+	entryI := b.Const(0)
+	i := b.NewReg()
+	b.Mov(i, entryI)
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.Br(head)
+	b.SetBlock(head)
+	limit := b.Const(100)
+	cond := b.Bin(ir.Lt, i, limit)
+	b.CondBr(cond, body, exit)
+	b.SetBlock(body)
+	fp := b.FrameAddr(off)
+	addr := b.Bin(ir.Add, fp, i)
+	v := b.Const(1)
+	b.Store(addr, v, 0, 1) // offset in [0,100): not provably < 8
+	one := b.Const(1)
+	ni := b.Bin(ir.Add, i, one)
+	b.Mov(i, ni)
+	b.Br(head)
+	b.SetBlock(exit)
+	r := b.Const(0)
+	b.Ret(r)
+	m, f := buildFunc(t, b)
+	if el := Analyze(m, f); len(el) != 0 {
+		t.Fatalf("loop-carried index store elided: %v", el)
+	}
+}
+
+func TestReportRateArithmetic(t *testing.T) {
+	r := &Report{Funcs: []FuncReport{
+		{Name: "a", Checks: 3, Elided: 1},
+		{Name: "b", Checks: 1, Elided: 5},
+	}}
+	c, e := r.Totals()
+	if c != 4 || e != 6 {
+		t.Fatalf("totals = (%d,%d)", c, e)
+	}
+	if got := r.Rate(); got != 0.6 {
+		t.Fatalf("rate = %v", got)
+	}
+	if (&Report{}).Rate() != 0 {
+		t.Fatal("empty report rate should be 0")
+	}
+}

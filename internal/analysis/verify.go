@@ -19,6 +19,9 @@ const (
 	IDBadSize       = "CLX108" // memory access size not 1/2/4/8
 	IDUnassignedUse = "CLX109" // register may be read before assignment
 	IDBadSection    = "CLX110" // global carries an unknown/empty section attribute
+	IDBadSanCheck   = "CLX111" // malformed sancheck (direction not read/write)
+	IDOrphanCheck   = "CLX112" // sancheck not immediately followed by its matching load/store
+	IDUncheckedAcc  = "CLX113" // sanitized module has a load/store neither checked nor elision-marked
 )
 
 const verifierPass = "verifier"
@@ -86,6 +89,7 @@ func verifyFunc(m *ir.Module, f *ir.Func, builtins map[string]bool) Diagnostics 
 			verifyOperands(m, f, bi, ii, in, builtins, emit)
 		}
 	}
+	verifySanitizerShape(m, f, emit)
 	if ds.HasErrors() {
 		// The structural shape is broken; dataflow over it would chase
 		// dangling edges or out-of-range registers.
@@ -163,8 +167,63 @@ func verifyOperands(m *ir.Module, f *ir.Func, bi, ii int, in *ir.Instr,
 		target(in.Targets[0])
 		target(in.Targets[1])
 	case ir.OpCov, ir.OpUnreachable:
+	case ir.OpSanCheck:
+		size()
+		reg(in.A, "addr")
+		if in.B != 0 && in.B != 1 {
+			emit(IDBadSanCheck, bi, ii, in.Pos, "sancheck direction %d (want 0=read or 1=write)", in.B)
+		}
 	default:
 		emit(IDBadTerminator, bi, ii, in.Pos, "unknown opcode %d", uint8(in.Op))
+	}
+}
+
+// verifySanitizerShape enforces the SanitizerPass contract: every
+// OpSanCheck guards exactly the access that follows it (CLX112), and — in
+// a module marked Sanitized — every load/store is either guarded or
+// carries the SanElide proof mark (CLX113). This is what keeps the pass
+// honest under VerifyEach: dropping a check without recording the elision
+// is a verifier error, not a silent soundness hole.
+func verifySanitizerShape(m *ir.Module, f *ir.Func,
+	emit func(string, int, int, int32, string, ...interface{})) {
+
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			switch in.Op {
+			case ir.OpSanCheck:
+				var next *ir.Instr
+				if ii+1 < len(b.Instrs) {
+					next = &b.Instrs[ii+1]
+				}
+				ok := next != nil &&
+					((in.B == 0 && next.Op == ir.OpLoad) || (in.B == 1 && next.Op == ir.OpStore)) &&
+					next.A == in.A && next.Imm == in.Imm && next.Size == in.Size
+				if !ok {
+					emit(IDOrphanCheck, bi, ii, in.Pos,
+						"sancheck is not immediately followed by its matching %s",
+						map[int]string{0: "load", 1: "store"}[in.B])
+				}
+			case ir.OpLoad, ir.OpStore:
+				if !m.Sanitized || in.SanElide {
+					continue
+				}
+				guarded := false
+				if ii > 0 {
+					prev := &b.Instrs[ii-1]
+					want := 0
+					if in.Op == ir.OpStore {
+						want = 1
+					}
+					guarded = prev.Op == ir.OpSanCheck && prev.B == want &&
+						prev.A == in.A && prev.Imm == in.Imm && prev.Size == in.Size
+				}
+				if !guarded {
+					emit(IDUncheckedAcc, bi, ii, in.Pos,
+						"%s in sanitized module is neither shadow-checked nor elision-marked", in.Op)
+				}
+			}
+		}
 	}
 }
 

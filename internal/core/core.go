@@ -78,21 +78,70 @@ func Compile(file, src string) (*ir.Module, error) {
 	return lower.Compile(file, src, vm.Builtins())
 }
 
+// SanitizeMode selects how much sanitizer instrumentation a build carries.
+type SanitizeMode int
+
+// Sanitizer build modes. SanitizeNoElide exists for the overhead benchmark:
+// it measures what the static check-elision analysis is worth.
+const (
+	SanitizeOff SanitizeMode = iota
+	SanitizeNoElide
+	SanitizeElide
+)
+
+func (s SanitizeMode) String() string {
+	switch s {
+	case SanitizeOff:
+		return "off"
+	case SanitizeNoElide:
+		return "on"
+	case SanitizeElide:
+		return "on+elide"
+	}
+	return fmt.Sprintf("sanitize(%d)", int(s))
+}
+
+// Enabled reports whether the mode arms the shadow plane at all.
+func (s SanitizeMode) Enabled() bool { return s != SanitizeOff }
+
 // Instrument applies the variant's pipeline to a clone of m, leaving m
 // untouched, and returns the instrumented module.
 func Instrument(m *ir.Module, v Variant) (*ir.Module, error) {
+	return InstrumentSanitized(m, v, SanitizeOff)
+}
+
+// InstrumentSanitized is Instrument with sanitizer instrumentation woven
+// in: SanitizerPass runs after the state-restoration pipeline (so every
+// access it instruments is final) and before CoveragePass, which only
+// prepends probes at block heads and therefore preserves the
+// check-immediately-precedes-access adjacency CLX112/CLX113 verify.
+// Because SanitizerPass creates no blocks, coverage probe IDs — and hence
+// bitmap geometry — are identical across sanitizer modes.
+func InstrumentSanitized(m *ir.Module, v Variant, san SanitizeMode) (*ir.Module, error) {
 	out := m.Clone()
 	pm := passes.NewManager(vm.Builtins()).VerifyEach(verifyEachDefault)
+	addSan := func() {
+		if san.Enabled() {
+			pm.Add(passes.SanitizerPass{Elide: san == SanitizeElide})
+		}
+	}
 	switch v {
 	case Pristine:
-		return out, nil
+		if !san.Enabled() {
+			return out, nil
+		}
+		addSan()
 	case Baseline:
-		pm.Add(passes.CoverageOnlyPipeline(CoverageSeed)...)
+		pm.Add(passes.RenameMainPass{})
+		addSan()
+		pm.Add(passes.NewCoveragePass(CoverageSeed))
 	case ClosureX:
 		pm.Add(passes.ClosureXPipeline(false)...)
+		addSan()
 		pm.Add(passes.NewCoveragePass(CoverageSeed))
 	case ClosureXDeferInit:
 		pm.Add(passes.ClosureXPipeline(true)...)
+		addSan()
 		pm.Add(passes.NewCoveragePass(CoverageSeed))
 	default:
 		return nil, fmt.Errorf("core: unknown variant %d", int(v))
@@ -110,6 +159,15 @@ func Build(file, src string, v Variant) (*ir.Module, error) {
 		return nil, err
 	}
 	return Instrument(m, v)
+}
+
+// BuildSanitized compiles and instruments with the given sanitizer mode.
+func BuildSanitized(file, src string, v Variant, san SanitizeMode) (*ir.Module, error) {
+	m, err := Compile(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return InstrumentSanitized(m, v, san)
 }
 
 // VerifyModule runs the deep analysis verifier (structural invariants plus
@@ -206,6 +264,11 @@ type InstanceOptions struct {
 	// which the sentinel and checkpoint/resume both want: probe replays
 	// and resumed runs then reproduce executions exactly.
 	DeterministicRand bool
+	// Sanitize arms the ASan-style shadow plane: the build gets
+	// SanitizerPass checks (elided where the static analysis proves them
+	// unnecessary under SanitizeElide) and every VM — including the
+	// sentinel's fresh reference image — attaches shadow memory.
+	Sanitize SanitizeMode
 	// Injector arms fault injection across the VM and harness.
 	Injector *faultinject.Injector
 	// Stop propagates a supervisor's shutdown request into the campaign.
@@ -233,7 +296,7 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	if variant == ClosureX && opts.DeferInit {
 		variant = ClosureXDeferInit
 	}
-	mod, err := Build(t.Short+".c", t.Source, variant)
+	mod, err := BuildSanitized(t.Short+".c", t.Source, variant, opts.Sanitize)
 	if err != nil {
 		return nil, fmt.Errorf("core: build %s: %w", t.Name, err)
 	}
@@ -261,6 +324,7 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 			Injector:          opts.Injector,
 			DeterministicRand: opts.DeterministicRand,
 			RandSeed:          randSeed,
+			Sanitize:          opts.Sanitize.Enabled(),
 		}
 		if opts.Resilience != nil && mechanism == "closurex" {
 			return execmgr.NewResilient(mcfg, *opts.Resilience)
@@ -283,6 +347,7 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 			Files:             opts.Files,
 			DeterministicRand: opts.DeterministicRand,
 			RandSeed:          randSeed,
+			Sanitize:          opts.Sanitize.Enabled(),
 		})
 		if rerr != nil {
 			return nil, fmt.Errorf("core: sentinel reference: %w", rerr)

@@ -43,6 +43,10 @@ type Config struct {
 	// DeterministicRand/RandSeed pin the rand() builtin.
 	DeterministicRand bool
 	RandSeed          uint64
+	// Sanitize attaches the ASan-style shadow plane to every VM this
+	// mechanism builds. The module should carry SanitizerPass checks too
+	// (shadow alone only enriches allocator-detected faults).
+	Sanitize bool
 	// HarnessOpts selects which state ClosureX restores (ablations).
 	// Zero value means harness.FullRestore().
 	HarnessOpts *harness.Options
@@ -65,6 +69,7 @@ func (c *Config) vmOptions() vm.Options {
 		TraceEdges:        c.TraceEdges,
 		DeterministicRand: c.DeterministicRand,
 		RandSeed:          c.RandSeed,
+		Sanitize:          c.Sanitize,
 		Injector:          c.Injector,
 	}
 }

@@ -40,7 +40,7 @@ func (c *Config) normalize() error {
 		c.Trials = 5
 	}
 	if len(c.Targets) == 0 {
-		for _, t := range targets.All() {
+		for _, t := range targets.Benchmarks() {
 			c.Targets = append(c.Targets, t.Name)
 		}
 	}

@@ -32,7 +32,7 @@ func Table4() string {
 	sb.WriteString("Table 4: evaluation benchmarks\n")
 	fmt.Fprintf(&sb, "%-12s %-14s %-10s %-10s %s\n",
 		"Benchmark", "Input Format", "Exec Size", "ImagePages", "Planted bugs")
-	for _, t := range targets.All() {
+	for _, t := range targets.Benchmarks() {
 		fmt.Fprintf(&sb, "%-12s %-14s %-10s %-10d %d\n",
 			t.Name, t.Format, t.ExecSize, t.ImagePages, len(t.Bugs))
 	}

@@ -72,6 +72,11 @@ type Stats struct {
 	// fast path; GlobalBytes then reflects only dirty bytes, which is the
 	// bandwidth saving the fast path exists for.
 	IncrRestores int64
+	// ShadowPagesRestored counts shadow-plane pages rolled back to the
+	// init-time snapshot across all restores (-sanitize only). The shadow
+	// restore piggybacks on the same dirty-tracking idea as the closure
+	// section's incremental restore.
+	ShadowPagesRestored int64
 }
 
 // Harness wraps a VM whose module went through the ClosureX pipeline.
@@ -91,6 +96,12 @@ type Harness struct {
 	// loop does not allocate a fresh slice every iteration.
 	chunkScratch []mem.Chunk
 	fdScratch    []int
+	// shadowSnap/quarSnap capture the sanitizer's shadow plane and free
+	// quarantine as they stood after deferred init (-sanitize only). Each
+	// restore rolls both back so shadow state — like every other plane of
+	// persistent state — is test-case-execution-specific.
+	shadowSnap *mem.ShadowSnapshot
+	quarSnap   []mem.Chunk
 	// restoreErr is the first error the most recent restore hit; the
 	// resilience layer drains it via TakeRestoreError after each iteration.
 	restoreErr error
@@ -115,6 +126,14 @@ func New(v *vm.VM, opts Options) (*Harness, error) {
 	}
 	v.Heap.MarkInit()
 	v.FS.MarkInit()
+	if sh := v.Heap.Shadow(); sh != nil && opts.ResetHeap {
+		// Ground truth for the sanitizer planes: init-time poison (redzones
+		// of persistent chunks) must survive every restore, and anything a
+		// test case poisons or unpoisons must be rolled back. Snapshot()
+		// also arms the shadow's page-granular dirty tracking.
+		h.quarSnap = v.Heap.QuarantineSnapshot()
+		h.shadowSnap = sh.Snapshot()
+	}
 	if snap, ok := v.SnapshotSection(ir.SectionClosure); ok {
 		h.globalSnap = snap
 		h.verifyBuf = make([]byte, len(snap))
@@ -209,6 +228,17 @@ func (h *Harness) Restore() error {
 					fail(fmt.Errorf("harness: reset heap: %w", err))
 				}
 			}
+			if h.shadowSnap != nil {
+				// Order matters: freeing leaked chunks above poisons their
+				// spans, and those poison writes land on the dirty list —
+				// so the shadow restore that follows erases them along with
+				// everything else the test case did. The quarantine rolls
+				// back to its init contents so a UAF address found on
+				// iteration N is still poisoned (and still attributable) on
+				// iteration N+1000.
+				h.v.Heap.RestoreQuarantine(h.quarSnap)
+				h.stats.ShadowPagesRestored += int64(h.v.Heap.Shadow().RestoreDirty(h.shadowSnap))
+			}
 		}
 	}
 	if h.opts.CloseFiles {
@@ -255,6 +285,15 @@ func (h *Harness) Verify() error {
 		// Live-chunk census: every test-case allocation must be gone.
 		if n := h.v.Heap.LeakedCount(); n != 0 {
 			return fmt.Errorf("%w: %d test-case heap chunks survive restore", ErrWatchdog, n)
+		}
+		if h.shadowSnap != nil {
+			if !h.v.Heap.Shadow().Equal(h.shadowSnap) {
+				return fmt.Errorf("%w: sanitizer shadow plane differs from init snapshot", ErrWatchdog)
+			}
+			if n := h.v.Heap.QuarantineLen(); n != len(h.quarSnap) {
+				return fmt.Errorf("%w: free quarantine holds %d chunks, snapshot had %d",
+					ErrWatchdog, n, len(h.quarSnap))
+			}
 		}
 	}
 	if h.opts.RestoreGlobals && h.globalSnap != nil {

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"testing"
+
+	"closurex/internal/passes"
+	"closurex/internal/vm"
+)
+
+// sanSrc allocates, frees and (on demand) commits heap crimes, so the
+// shadow plane and quarantine churn every iteration.
+const sanSrc = `
+int runs;
+
+int main(void) {
+	runs++;
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int c = fgetc(f);
+	char *a = (char*)malloc(24);
+	a[0] = (char)c;
+	char *b = (char*)malloc(100);
+	b[99] = (char)c;
+	free(a);
+	if (c == 'U') {
+		int v = a[0];   // use-after-free
+		fclose(f);
+		return v;
+	}
+	if (c == 'L') { fclose(f); return 1; }   // leaks b
+	free(b);
+	fclose(f);
+	return runs;
+}
+`
+
+// newSanHarness builds a sanitized module + VM with the shadow attached.
+func newSanHarness(t *testing.T, opts Options) *Harness {
+	t.Helper()
+	m := buildInstrumented(t, sanSrc)
+	if err := (passes.SanitizerPass{Elide: true}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(m, vm.Options{Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(v, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestShadowRestoredBetweenIterations drives clean, leaking and crashing
+// iterations through one image: after every restore the shadow plane and
+// quarantine must match their init snapshots (Verify's invariant), and the
+// UAF must be classified identically every time it is replayed.
+func TestShadowRestoredBetweenIterations(t *testing.T) {
+	h := newSanHarness(t, FullRestore())
+	if h.VM().Heap.Shadow() == nil {
+		t.Fatal("shadow not attached")
+	}
+	inputs := []string{"a", "L", "U", "b", "U", "L", "c"}
+	var uafKind string
+	for round := 0; round < 4; round++ {
+		for _, in := range inputs {
+			res := h.RunOne([]byte(in))
+			if err := h.TakeRestoreError(); err != nil {
+				t.Fatalf("round %d input %q: restore: %v", round, in, err)
+			}
+			if err := h.Verify(); err != nil {
+				t.Fatalf("round %d input %q: watchdog: %v", round, in, err)
+			}
+			switch in {
+			case "U":
+				if res.Fault == nil {
+					t.Fatalf("round %d: UAF not detected", round)
+				}
+				if uafKind == "" {
+					uafKind = res.Fault.Key()
+				} else if got := res.Fault.Key(); got != uafKind {
+					t.Fatalf("round %d: UAF key drifted %q -> %q", round, uafKind, got)
+				}
+			default:
+				if res.Fault != nil {
+					t.Fatalf("round %d input %q: unexpected fault %v", round, in, res.Fault)
+				}
+			}
+		}
+	}
+	if h.Stats().ShadowPagesRestored == 0 {
+		t.Fatal("no shadow pages were ever restored")
+	}
+}
+
+// TestShadowDriftCaughtByWatchdog pokes the shadow plane behind the
+// harness's back: Verify must flag the drift.
+func TestShadowDriftCaughtByWatchdog(t *testing.T) {
+	h := newSanHarness(t, FullRestore())
+	if res := h.RunOne([]byte("a")); res.Fault != nil {
+		t.Fatalf("clean run faulted: %v", res.Fault)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("clean image flagged: %v", err)
+	}
+	heap := h.VM().Heap
+	heap.Shadow().Poison(heap.Base()+4096, 64, 0xfd)
+	if err := h.Verify(); err == nil {
+		t.Fatal("shadow drift not caught by watchdog")
+	}
+	// The next restore rolls the damage back (it is on the dirty list).
+	if err := h.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("restore did not repair shadow drift: %v", err)
+	}
+}
+
+// TestQuarantineDriftCaughtByWatchdog shrinks the quarantine behind the
+// harness's back and expects Verify to notice the count mismatch.
+func TestQuarantineDriftCaughtByWatchdog(t *testing.T) {
+	h := newSanHarness(t, FullRestore())
+	if res := h.RunOne([]byte("a")); res.Fault != nil {
+		t.Fatalf("clean run faulted: %v", res.Fault)
+	}
+	heap := h.VM().Heap
+	// Grow the quarantine without touching shadow state: free a fresh
+	// allocation... which poisons shadow too, so instead truncate it.
+	heap.RestoreQuarantine(nil)
+	if heap.QuarantineLen() == 0 && h.GlobalSnapshotSize() >= 0 {
+		// Only meaningful when init left something in quarantine; the
+		// sanSrc init path does not free, so synthesize drift the other way:
+		a, err := heap.Alloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := heap.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Verify(); err == nil {
+		t.Fatal("quarantine drift not caught by watchdog")
+	}
+}

@@ -91,6 +91,7 @@ const (
 	OpCondBr                // if R[A] != 0 jump Targets[0] else Targets[1]
 	OpCov                   // coverage probe; Imm = location ID (CoveragePass)
 	OpUnreachable           // executing this is a fault
+	OpSanCheck              // shadow-check mem[R[A]+Imm], Size bytes; B: 0=read 1=write (SanitizerPass)
 )
 
 var opNames = [...]string{
@@ -98,6 +99,7 @@ var opNames = [...]string{
 	OpLoad: "load", OpStore: "store", OpGlobalAddr: "gaddr",
 	OpFrameAddr: "faddr", OpCall: "call", OpRet: "ret", OpBr: "br",
 	OpCondBr: "condbr", OpCov: "cov", OpUnreachable: "unreachable",
+	OpSanCheck: "sancheck",
 }
 
 func (o Op) String() string {
@@ -121,6 +123,11 @@ type Instr struct {
 	Args    []int  // for OpCall: argument registers
 	Targets [2]int // for OpBr/OpCondBr: block indices
 	Pos     int32  // source line (for fault reports and crash triage)
+	// SanElide marks an OpLoad/OpStore whose shadow check the static
+	// elision analysis proved unnecessary; SanitizerPass sets it instead
+	// of inserting an OpSanCheck, and CLX113 audits that every access in
+	// a sanitized module is either checked or so marked.
+	SanElide bool
 }
 
 // IsTerminator reports whether the instruction ends a basic block.
@@ -185,6 +192,11 @@ type Module struct {
 	Name    string
 	Globals []*Global
 	Funcs   []*Func
+
+	// Sanitized records that SanitizerPass has run: every load/store is
+	// either preceded by an OpSanCheck or carries SanElide (verified by
+	// CLX113), and the VM may expect shadow state to be armed.
+	Sanitized bool
 
 	funcIdx map[string]int
 }
@@ -279,6 +291,7 @@ func (m *Module) rewriteCalls(from, to string) int {
 // ground truth in the correctness study).
 func (m *Module) Clone() *Module {
 	nm := NewModule(m.Name)
+	nm.Sanitized = m.Sanitized
 	for _, g := range m.Globals {
 		ng := *g
 		ng.Init = append([]byte(nil), g.Init...)

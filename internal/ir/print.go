@@ -53,9 +53,9 @@ func FormatInstr(in *Instr) string {
 	case OpUn:
 		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.Un, in.A)
 	case OpLoad:
-		return fmt.Sprintf("r%d = load%d [r%d%+d]", in.Dst, in.Size, in.A, in.Imm)
+		return fmt.Sprintf("r%d = load%d [r%d%+d]%s", in.Dst, in.Size, in.A, in.Imm, elideSuffix(in))
 	case OpStore:
-		return fmt.Sprintf("store%d [r%d%+d], r%d", in.Size, in.A, in.Imm, in.B)
+		return fmt.Sprintf("store%d [r%d%+d], r%d%s", in.Size, in.A, in.Imm, in.B, elideSuffix(in))
 	case OpGlobalAddr:
 		return fmt.Sprintf("r%d = gaddr @%d", in.Dst, in.Imm)
 	case OpFrameAddr:
@@ -79,6 +79,21 @@ func FormatInstr(in *Instr) string {
 		return fmt.Sprintf("cov %#x", in.Imm)
 	case OpUnreachable:
 		return "unreachable"
+	case OpSanCheck:
+		rw := "r"
+		if in.B == 1 {
+			rw = "w"
+		}
+		return fmt.Sprintf("sancheck%d %s [r%d%+d]", in.Size, rw, in.A, in.Imm)
 	}
 	return fmt.Sprintf("?op%d", in.Op)
+}
+
+// elideSuffix annotates accesses whose shadow check was statically elided,
+// so -dump-ir makes the elision decisions auditable.
+func elideSuffix(in *Instr) string {
+	if in.SanElide {
+		return " !elide"
+	}
+	return ""
 }

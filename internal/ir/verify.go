@@ -137,6 +137,14 @@ func verifyInstr(m *Module, f *Func, in *Instr, builtins map[string]bool, checkR
 		return checkTarget(in.Targets[1])
 	case OpCov, OpUnreachable:
 		return nil
+	case OpSanCheck:
+		if err := checkSize(); err != nil {
+			return err
+		}
+		if in.B != 0 && in.B != 1 {
+			return fmt.Errorf("sancheck direction %d not 0 (read) or 1 (write)", in.B)
+		}
+		return checkReg(in.A, "addr")
 	}
 	return fmt.Errorf("unknown opcode %d", in.Op)
 }

@@ -35,6 +35,17 @@ type Heap struct {
 	// target's (and the harness's) OOM paths deterministically. Nil in
 	// production.
 	inj *faultinject.Injector
+
+	// shadow, when attached (-sanitize), mirrors every allocation and free
+	// into the ASan-style shadow plane so the VM can classify accesses
+	// without consulting the chunk map.
+	shadow *Shadow
+
+	// siteFn/siteLine hold the allocation/free site the VM noted just
+	// before calling into the allocator; consumed into Chunk fields for
+	// sanitizer reports.
+	siteFn   string
+	siteLine int32
 }
 
 // Chunk describes one live heap allocation.
@@ -45,6 +56,13 @@ type Chunk struct {
 	// deferred initialization); the harness must not reclaim them between
 	// test cases.
 	Init bool
+	// Allocation and free sites (function name + source line), recorded
+	// when the VM notes them via NoteSite. Free sites are only meaningful
+	// on quarantined chunks.
+	AllocFn   string
+	AllocLine int32
+	FreeFn    string
+	FreeLine  int32
 }
 
 // Heap errors surfaced to the VM sanitizer.
@@ -77,6 +95,70 @@ func NewHeap(m *Memory, base, end uint64) *Heap {
 
 // SetInjector arms fault injection for this heap (nil disarms).
 func (h *Heap) SetInjector(inj *faultinject.Injector) { h.inj = inj }
+
+// AttachShadow arms the ASan-style shadow plane over the heap span. Call
+// after Shift so the plane's base matches the randomized allocation base.
+func (h *Heap) AttachShadow() {
+	h.shadow = NewShadow(h.base, h.end)
+}
+
+// Shadow returns the attached shadow plane, or nil when not sanitizing.
+func (h *Heap) Shadow() *Shadow { return h.shadow }
+
+// NoteSite records the function and source line about to perform an
+// allocator call, so the next Alloc/Free stamps it into the chunk for
+// sanitizer reports.
+func (h *Heap) NoteSite(fn string, line int32) {
+	h.siteFn, h.siteLine = fn, line
+}
+
+// ChunkAt returns the live chunk containing addr.
+func (h *Heap) ChunkAt(addr uint64) (Chunk, bool) {
+	if i := h.findChunk(addr); i >= 0 {
+		return h.chunks[i], true
+	}
+	return Chunk{}, false
+}
+
+// QuarantinedAt returns the quarantined (freed) chunk containing addr.
+func (h *Heap) QuarantinedAt(addr uint64) (Chunk, bool) {
+	return h.findQuarantined(addr)
+}
+
+// ChunkNear returns the live chunk containing addr or whose trailing
+// redzone covers it — used to attribute an overflow report to the
+// allocation being overflowed.
+func (h *Heap) ChunkNear(addr uint64) (Chunk, bool) {
+	i := sort.Search(len(h.chunks), func(i int) bool { return h.chunks[i].Addr > addr })
+	i--
+	if i < 0 {
+		return Chunk{}, false
+	}
+	c := h.chunks[i]
+	rounded := (c.Size + chunkAlign - 1) &^ uint64(chunkAlign-1)
+	if addr < c.Addr+rounded+chunkAlign {
+		return c, true
+	}
+	return Chunk{}, false
+}
+
+// QuarantineSnapshot copies the current quarantine ring — the harness
+// captures it after deferred initialization so each iteration starts from
+// the same free history (classification and first-fit behavior stay
+// deterministic per iteration).
+func (h *Heap) QuarantineSnapshot() []Chunk {
+	return append([]Chunk(nil), h.quarantine...)
+}
+
+// RestoreQuarantine replaces the quarantine ring with the snapshot taken
+// at harness-init time.
+func (h *Heap) RestoreQuarantine(snap []Chunk) {
+	h.quarantine = append(h.quarantine[:0], snap...)
+}
+
+// QuarantineLen reports how many freed chunks the quarantine currently
+// remembers (watchdog invariant checks).
+func (h *Heap) QuarantineLen() int { return len(h.quarantine) }
 
 // Base returns the lowest address the heap may hand out.
 func (h *Heap) Base() uint64 { return h.base }
@@ -158,12 +240,21 @@ func (h *Heap) Alloc(size uint64) (uint64, error) {
 	} else {
 		h.brk = addr + rounded + chunkAlign
 	}
-	c := Chunk{Addr: addr, Size: size}
+	c := Chunk{Addr: addr, Size: size, AllocFn: h.siteFn, AllocLine: h.siteLine}
+	h.siteFn, h.siteLine = "", 0
 	i := sort.Search(len(h.chunks), func(i int) bool { return h.chunks[i].Addr > addr })
 	h.chunks = append(h.chunks, Chunk{})
 	copy(h.chunks[i+1:], h.chunks[i:])
 	h.chunks[i] = c
 	h.bytesAllocated += size
+	if h.shadow != nil {
+		h.shadow.Unpoison(addr, size)
+		// Everything between the valid bytes and the next chunk is this
+		// allocation's right redzone: the round-up tail plus the
+		// chunkAlign gap the allocator always leaves.
+		up := (size + ShadowGranule - 1) &^ uint64(ShadowGranule-1)
+		h.shadow.Poison(addr+up, rounded+chunkAlign-up, ShadowRedzone)
+	}
 	return addr, nil
 }
 
@@ -219,11 +310,16 @@ func (h *Heap) Free(addr uint64) error {
 		return fmt.Errorf("%w: %#x", ErrBadFree, addr)
 	}
 	c := h.chunks[i]
+	c.FreeFn, c.FreeLine = h.siteFn, h.siteLine
+	h.siteFn, h.siteLine = "", 0
 	h.chunks = append(h.chunks[:i], h.chunks[i+1:]...)
 	h.bytesAllocated -= c.Size
 	h.quarantine = append(h.quarantine, c)
 	if len(h.quarantine) > h.quarantineCap {
 		h.quarantine = h.quarantine[1:]
+	}
+	if h.shadow != nil {
+		h.shadow.Poison(c.Addr, c.Size, ShadowFreed)
 	}
 	return nil
 }
@@ -245,9 +341,16 @@ func (h *Heap) Realloc(addr, size uint64) (uint64, error) {
 	if size == 0 {
 		size = 1
 	}
+	siteFn, siteLine := h.siteFn, h.siteLine
 	if size <= old.Size {
 		h.bytesAllocated -= old.Size - size
 		h.chunks[i].Size = size
+		h.siteFn, h.siteLine = "", 0
+		if h.shadow != nil {
+			// Shrink in place: the abandoned tail becomes redzone.
+			h.shadow.Poison(addr, old.Size, ShadowRedzone)
+			h.shadow.Unpoison(addr, size)
+		}
 		return addr, nil
 	}
 	nAddr, err := h.Alloc(size)
@@ -261,6 +364,7 @@ func (h *Heap) Realloc(addr, size uint64) (uint64, error) {
 	if err := h.mem.Write(nAddr, data); err != nil {
 		return 0, err
 	}
+	h.NoteSite(siteFn, siteLine)
 	if err := h.Free(old.Addr); err != nil {
 		return 0, err
 	}
@@ -330,6 +434,9 @@ func (h *Heap) Reset() {
 	h.brk = h.base
 	h.bytesAllocated = 0
 	h.epoch++
+	if h.shadow != nil {
+		h.shadow = NewShadow(h.shadow.base, h.shadow.end)
+	}
 }
 
 // Clone duplicates the allocator bookkeeping for use over a forked Memory.
@@ -347,5 +454,8 @@ func (h *Heap) Clone(m *Memory) *Heap {
 	}
 	nh.chunks = append([]Chunk(nil), h.chunks...)
 	nh.quarantine = append([]Chunk(nil), h.quarantine...)
+	if h.shadow != nil {
+		nh.shadow = h.shadow.Clone()
+	}
 	return nh
 }

@@ -1,0 +1,73 @@
+package mem
+
+import "testing"
+
+// TestZeroFullPageFastPathMarksWatched is the write-barrier-bypass audit
+// regression from the sanitizer PR: Memory.Zero's whole-page fast path
+// clears the page in place (no writablePage call), so it must record the
+// page in the armed watch window itself — otherwise an incremental restore
+// would skip a page the execution wiped and leave restored state wrong.
+func TestZeroFullPageFastPathMarksWatched(t *testing.T) {
+	m := NewMemory()
+	base := uint64(PageSize * 10)
+	fill := make([]byte, PageSize)
+	for i := range fill {
+		fill[i] = 0xab
+	}
+	if err := m.Write(base, fill); err != nil {
+		t.Fatal(err)
+	}
+	m.Watch(base, PageSize)
+	// Whole page, page-aligned, refs == 1: exactly the fast path.
+	if err := m.Zero(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	dirty := m.WatchedDirty()
+	found := false
+	for _, pn := range dirty {
+		if pn == base>>PageShift {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("full-page Zero bypassed the write barrier: dirty=%v", dirty)
+	}
+	if b, err := m.LoadByte(base + 5); err != nil || b != 0 {
+		t.Fatalf("page not cleared: %#x err=%v", b, err)
+	}
+}
+
+// TestZeroUnmappedPageSkipIsSound: Zero may leave a never-mapped page
+// unmapped (it already reads as zero), and that page must NOT appear
+// dirty — there is nothing to restore.
+func TestZeroUnmappedPageSkipIsSound(t *testing.T) {
+	m := NewMemory()
+	base := uint64(PageSize * 20)
+	m.Watch(base, PageSize)
+	if err := m.Zero(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.WatchedDirty()); n != 0 {
+		t.Fatalf("unmapped-page Zero dirtied %d pages", n)
+	}
+	if b, err := m.LoadByte(base); err != nil || b != 0 {
+		t.Fatalf("unmapped page reads %#x err=%v, want 0", b, err)
+	}
+}
+
+// TestZeroPartialPageMarksWatched covers the slow path for completeness:
+// a sub-page Zero goes through writablePage, which also hits the barrier.
+func TestZeroPartialPageMarksWatched(t *testing.T) {
+	m := NewMemory()
+	base := uint64(PageSize * 30)
+	if err := m.Write(base, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	m.Watch(base, PageSize)
+	if err := m.Zero(base, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.WatchedDirty()); n != 1 {
+		t.Fatalf("partial Zero dirtied %d pages, want 1", n)
+	}
+}

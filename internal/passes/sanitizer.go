@@ -1,0 +1,75 @@
+package passes
+
+import (
+	"closurex/internal/analysis/sanitize"
+	"closurex/internal/ir"
+)
+
+// SanitizerPass inserts an OpSanCheck shadow check immediately before
+// every load and store, so the VM validates each access against the
+// ASan-style shadow plane before performing it. With Elide, the static
+// bounds/escape analysis (internal/analysis/sanitize) first proves
+// accesses in-bounds and marks them SanElide instead of checking them —
+// the audit trail CLX113 and closurex-lint -sanitize-report read back.
+//
+// The pass creates no blocks, so CoveragePass probe IDs — and therefore
+// coverage bitmaps — are identical with and without sanitization.
+type SanitizerPass struct {
+	// Elide arms the static check-elision analysis.
+	Elide bool
+}
+
+// Name implements Pass.
+func (SanitizerPass) Name() string { return "SanitizerPass" }
+
+// Description implements Pass.
+func (SanitizerPass) Description() string {
+	return "Insert shadow-memory checks before loads/stores, eliding statically safe ones"
+}
+
+// Run implements Pass.
+func (p SanitizerPass) Run(m *ir.Module) error {
+	if m.Sanitized {
+		return nil // idempotent
+	}
+	for _, f := range m.Funcs {
+		var elidable map[sanitize.Access]bool
+		if p.Elide {
+			elidable = sanitize.Analyze(m, f)
+		}
+		for bi, b := range f.Blocks {
+			grown := 0
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+					grown++
+				}
+			}
+			if grown == 0 {
+				continue
+			}
+			out := make([]ir.Instr, 0, len(b.Instrs)+grown)
+			for ii := range b.Instrs {
+				in := b.Instrs[ii]
+				if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+					if elidable[sanitize.Access{Block: bi, Instr: ii}] {
+						in.SanElide = true
+					} else {
+						dir := 0
+						if in.Op == ir.OpStore {
+							dir = 1
+						}
+						out = append(out, ir.Instr{
+							Op: ir.OpSanCheck, Dst: -1, A: in.A, B: dir,
+							Imm: in.Imm, Size: in.Size, Pos: in.Pos,
+						})
+					}
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+	}
+	m.Sanitized = true
+	return nil
+}

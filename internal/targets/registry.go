@@ -53,6 +53,11 @@ type Target struct {
 	Bugs []Bug
 	// MaxInputLen bounds mutated inputs for this target.
 	MaxInputLen int
+	// Aux marks auxiliary (non-Table-4) targets — test fixtures like the
+	// sanitizer's seeded-defect program. They resolve through Get and All
+	// like any target but are excluded from Benchmarks and hence from the
+	// paper-evaluation defaults.
+	Aux bool
 	// Dict lists format keywords (magics, FourCCs, section names) handed
 	// to the fuzzer's dictionary mutators, as AFL users would via -x.
 	Dict []string
@@ -110,6 +115,18 @@ func All() []*Target {
 	out := make([]*Target, 0, len(order))
 	for _, n := range order {
 		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Benchmarks returns the Table 4 evaluation suite in registration order:
+// every registered target that is not auxiliary.
+func Benchmarks() []*Target {
+	out := make([]*Target, 0, len(order))
+	for _, n := range order {
+		if t := registry[n]; !t.Aux {
+			out = append(out, t)
+		}
 	}
 	return out
 }

@@ -1,0 +1,177 @@
+package targets
+
+import "closurex/internal/vm"
+
+// sandefectSource carries five seeded heap defects, each behind an input
+// tag, for the sanitizer acceptance tests: every defect class the shadow
+// plane detects (overflow read/write, use-after-free, double-free,
+// invalid-free) with a known allocation site, plus a clean parsing path so
+// fuzzing the target without the trigger prefix behaves like any other
+// benchmark. The arithmetic on locals and globals is deliberately ordinary
+// MinC — frame and global scalar traffic the static elision analysis
+// proves safe, which is what the elision-rate acceptance test measures.
+const sandefectSource = `
+// sandefect: tag-dispatched seeded heap defects.
+
+int checksum;
+int ops;
+int last_tag;
+
+int note_dispatch(int tag) {
+	ops = ops + 1;
+	last_tag = tag;
+	checksum = checksum ^ tag;
+	return ops;
+}
+
+int sum_bytes(char *p, int n) {
+	int s = 0;
+	int i = 0;
+	while (i < n) {
+		s = s + p[i];
+		i = i + 1;
+	}
+	return s;
+}
+
+int overflow_read(char *in, int n) {
+	char *buf = (char*)malloc(8);
+	if (!buf) exit(1);
+	int i = 0;
+	while (i < n) {
+		buf[i & 7] = in[i];
+		i = i + 1;
+	}
+	int s = buf[8];
+	free(buf);
+	return s;
+}
+
+int overflow_write(char *in, int n) {
+	char *buf = (char*)malloc(4);
+	if (!buf) exit(1);
+	int i = 0;
+	while (i <= 4) {
+		buf[i] = in[i & 3];
+		i = i + 1;
+	}
+	int s = sum_bytes(buf, 4);
+	free(buf);
+	return s;
+}
+
+int use_after_free(char *in) {
+	char *p = (char*)malloc(16);
+	if (!p) exit(1);
+	p[0] = in[0];
+	free(p);
+	return p[0];
+}
+
+int double_free(char *in) {
+	char *p = (char*)malloc(12);
+	if (!p) exit(1);
+	p[0] = in[0];
+	free(p);
+	free(p);
+	return 0;
+}
+
+int invalid_free(char *in) {
+	char *p = (char*)malloc(32);
+	if (!p) exit(1);
+	p[0] = in[0];
+	free(p + 8);
+	free(p);
+	return 0;
+}
+
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) abort();
+	int size = fsize(f);
+	if (size < 4 || size > 4096) { fclose(f); exit(1); }
+	char *buf = (char*)malloc(size);
+	if (!buf) { fclose(f); exit(1); }
+	fread(buf, 1, size, f);
+	fclose(f);
+	checksum = sum_bytes(buf, size);
+	ops = 0;
+	int r = 0;
+	if (buf[0] == 'S' && buf[1] == 'D') {
+		note_dispatch(buf[2]);
+		switch (buf[2]) {
+		case '1':
+			r = overflow_read(buf + 3, size - 3);
+			break;
+		case '2':
+			r = overflow_write(buf + 3, size - 3);
+			break;
+		case '3':
+			r = use_after_free(buf + 3);
+			break;
+		case '4':
+			r = double_free(buf + 3);
+			break;
+		case '5':
+			r = invalid_free(buf + 3);
+			break;
+		default:
+			r = checksum & 255;
+		}
+	}
+	free(buf);
+	return r & 255;
+}
+`
+
+func sandefectSeeds() [][]byte {
+	// Clean seeds only: the campaign starts from well-formed inputs and
+	// must mutate its way to the five trigger tags.
+	return [][]byte{
+		[]byte("SD0 clean path"),
+		[]byte("XXno dispatch here"),
+	}
+}
+
+func init() {
+	register(&Target{
+		Name:        "sandefect",
+		Short:       "sandefect",
+		Format:      "tagged",
+		ExecSize:    "12 K",
+		ImagePages:  64,
+		Source:      sandefectSource,
+		Seeds:       sandefectSeeds,
+		MaxInputLen: 256,
+		Dict:        []string{"SD1", "SD2", "SD3", "SD4", "SD5"},
+		Aux:         true,
+		Bugs: []Bug{
+			{
+				ID: "san-oob-read", Kind: vm.FaultHeapOOB, Func: "overflow_read",
+				Description: "Heap overflow read: one byte past an 8-byte chunk",
+				Trigger:     []byte("SD1A"),
+			},
+			{
+				ID: "san-oob-write", Kind: vm.FaultHeapOOB, Func: "overflow_write",
+				Description: "Heap overflow write: loop bound includes the 4-byte chunk's end",
+				Trigger:     []byte("SD2AAAA"),
+			},
+			{
+				ID: "san-uaf", Kind: vm.FaultUseAfterFree, Func: "use_after_free",
+				Description: "Use after free: read through a freed 16-byte chunk",
+				Trigger:     []byte("SD3A"),
+			},
+			{
+				ID: "san-double-free", Kind: vm.FaultDoubleFree, Func: "double_free",
+				Description: "Double free of a 12-byte chunk",
+				Trigger:     []byte("SD4A"),
+			},
+			{
+				ID: "san-bad-free", Kind: vm.FaultBadFree, Func: "invalid_free",
+				Description: "Invalid free: pointer into the middle of a 32-byte chunk",
+				Trigger:     []byte("SD5A"),
+			},
+		},
+	})
+}

@@ -33,16 +33,16 @@ func freshRun(t *testing.T, m *ir.Module, input []byte) vm.Result {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	all := All()
-	if len(all) != 10 {
-		t.Fatalf("targets = %d, want 10 (Table 4)", len(all))
+	bench := Benchmarks()
+	if len(bench) != 10 {
+		t.Fatalf("benchmarks = %d, want 10 (Table 4)", len(bench))
 	}
 	want := map[string]bool{
 		"bsdtar": true, "libpcap": true, "gpmf-parser": true, "libbpf": true,
 		"freetype": true, "giftext": true, "zlib": true, "libdwarf": true,
 		"c-blosc2": true, "md4c": true,
 	}
-	for _, tg := range all {
+	for _, tg := range bench {
 		if !want[tg.Name] {
 			t.Errorf("unexpected target %q", tg.Name)
 		}
@@ -60,14 +60,24 @@ func TestRegistryComplete(t *testing.T) {
 	if Get("nope") != nil {
 		t.Error("Get of unknown target returned non-nil")
 	}
+	// Auxiliary targets resolve by name but stay out of the Table 4 set.
+	sd := Get("sandefect")
+	if sd == nil || !sd.Aux {
+		t.Fatalf("sandefect not registered as auxiliary: %+v", sd)
+	}
+	if len(All()) != len(bench)+1 {
+		t.Errorf("All() = %d targets, want %d benchmarks + sandefect", len(All()), len(bench))
+	}
 }
 
+// The paper's 15 planted 0-day-class bugs live in the Table 4 suite; the
+// auxiliary sandefect target carries its own five seeded defects on top.
 func TestBugCountsMatchTable7(t *testing.T) {
 	wantBugs := map[string]int{
 		"c-blosc2": 4, "gpmf-parser": 6, "libbpf": 3, "md4c": 2,
 	}
 	total := 0
-	for _, tg := range All() {
+	for _, tg := range Benchmarks() {
 		want := wantBugs[tg.Name]
 		if len(tg.Bugs) != want {
 			t.Errorf("%s: %d bugs, want %d", tg.Name, len(tg.Bugs), want)
@@ -76,6 +86,9 @@ func TestBugCountsMatchTable7(t *testing.T) {
 	}
 	if total != 15 {
 		t.Errorf("total planted bugs = %d, want 15 (the paper's 0-day count)", total)
+	}
+	if sd := Get("sandefect"); len(sd.Bugs) != 5 {
+		t.Errorf("sandefect seeded defects = %d, want 5", len(sd.Bugs))
 	}
 }
 

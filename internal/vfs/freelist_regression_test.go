@@ -1,0 +1,74 @@
+package vfs
+
+import "testing"
+
+// TestFreelistReuseReinitializesEntry is the write-barrier-bypass audit
+// regression from the sanitizer PR: a recycled OpenFile slot must carry no
+// state from its previous life — position, init flag and closed flag all
+// reset — or a descriptor opened during a test case could masquerade as an
+// init-time handle (rewound instead of closed) and leak across iterations.
+func TestFreelistReuseReinitializesEntry(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/a", []byte("hello world"))
+	fs.WriteFile("/b", []byte("fresh"))
+
+	fd, err := fs.Open("/a", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pollute every recyclable field: advance the position and mark init.
+	if _, err := fs.Seek(fd, 7, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	fs.MarkInit()
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next open recycles the freed entry.
+	fd2, err := fs.Open("/b", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd2 == fd {
+		t.Fatalf("descriptor numbers must not be recycled: %d", fd2)
+	}
+	if pos, err := fs.Tell(fd2); err != nil || pos != 0 {
+		t.Fatalf("recycled entry kept stale position: pos=%d err=%v", pos, err)
+	}
+	buf := make([]byte, 5)
+	if n, err := fs.Read(fd2, buf); err != nil || string(buf[:n]) != "fresh" {
+		t.Fatalf("recycled entry reads %q err=%v", buf[:n], err)
+	}
+	// The recycled descriptor was opened after MarkInit, so it must count
+	// as a leaked (test-case) descriptor, not an init handle.
+	if n := fs.LeakedCount(); n != 1 {
+		t.Fatalf("recycled entry kept stale Init flag: leaked=%d, want 1", n)
+	}
+	if fds := fs.AppendInitFDs(nil); len(fds) != 0 {
+		t.Fatalf("recycled entry listed as init FD: %v", fds)
+	}
+}
+
+// TestFreelistStaleAliasStaysClosed: the old descriptor number must remain
+// dead after its entry is recycled for a new open.
+func TestFreelistStaleAliasStaysClosed(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/a", []byte("data"))
+	fd, err := fs.Open("/a", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/a", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read(fd, make([]byte, 1)); err == nil {
+		t.Fatal("read through stale closed descriptor succeeded")
+	}
+	if err := fs.Close(fd); err == nil {
+		t.Fatal("double close through stale descriptor succeeded")
+	}
+}

@@ -111,19 +111,45 @@ func biAssert(v *VM, in *ir.Instr, args []int64) (int64, error) {
 	return 0, nil
 }
 
-// heapFault maps allocator errors onto fault kinds.
+// heapFault maps allocator errors onto fault kinds. Under -sanitize the
+// fault is enriched with the offending chunk's allocation/free history,
+// so double-free and invalid-free triage into per-allocation-site buckets
+// like shadow-check faults do.
 func heapFault(v *VM, in *ir.Instr, addr uint64, err error) *Fault {
+	var flt *Fault
 	switch {
 	case errors.Is(err, mem.ErrDoubleFree):
-		return v.fault(FaultDoubleFree, in, addr, err.Error())
+		flt = v.fault(FaultDoubleFree, in, addr, err.Error())
 	case errors.Is(err, mem.ErrBadFree):
-		return v.fault(FaultBadFree, in, addr, err.Error())
+		flt = v.fault(FaultBadFree, in, addr, err.Error())
 	case errors.Is(err, mem.ErrUseAfterFree):
-		return v.fault(FaultUseAfterFree, in, addr, err.Error())
+		flt = v.fault(FaultUseAfterFree, in, addr, err.Error())
 	case errors.Is(err, mem.ErrHeapOOB):
-		return v.fault(FaultHeapOOB, in, addr, err.Error())
+		flt = v.fault(FaultHeapOOB, in, addr, err.Error())
+	default:
+		return v.fault(FaultOOM, in, addr, err.Error())
 	}
-	return v.fault(FaultOOM, in, addr, err.Error())
+	if v.Heap.Shadow() != nil {
+		rep := &SanReport{Addr: addr}
+		if c, freed := v.Heap.QuarantinedAt(addr); freed {
+			fillAllocSite(rep, c)
+			rep.FreeFn, rep.FreeLine = c.FreeFn, c.FreeLine
+		} else if c, live := v.Heap.ChunkAt(addr); live {
+			fillAllocSite(rep, c)
+		}
+		flt.San = rep
+	}
+	return flt
+}
+
+// noteAllocSite records the call site about to enter the allocator, so
+// the chunk carries its allocation/free site for sanitizer reports.
+func noteAllocSite(v *VM, in *ir.Instr) {
+	fn := "?"
+	if v.curFn != nil {
+		fn = v.curFn.Name
+	}
+	v.Heap.NoteSite(fn, in.Pos)
 }
 
 func biMalloc(v *VM, in *ir.Instr, args []int64) (int64, error) {
@@ -133,6 +159,7 @@ func biMalloc(v *VM, in *ir.Instr, args []int64) (int64, error) {
 	if args[0] < 0 {
 		return 0, nil // size_t overflow request: malloc returns NULL
 	}
+	noteAllocSite(v, in)
 	a, err := v.Heap.Alloc(uint64(args[0]))
 	if err != nil {
 		return 0, nil // NULL; unchecked callers then null-deref
@@ -148,6 +175,7 @@ func biCalloc(v *VM, in *ir.Instr, args []int64) (int64, error) {
 	if n < 0 || sz < 0 || (sz != 0 && n > (1<<40)/max64(sz, 1)) {
 		return 0, nil
 	}
+	noteAllocSite(v, in)
 	a, err := v.Heap.AllocZeroed(uint64(n * sz))
 	if err != nil {
 		return 0, nil
@@ -162,6 +190,7 @@ func biRealloc(v *VM, in *ir.Instr, args []int64) (int64, error) {
 	if args[1] < 0 {
 		return 0, nil
 	}
+	noteAllocSite(v, in)
 	a, err := v.Heap.Realloc(uint64(args[0]), uint64(args[1]))
 	if err != nil {
 		if errors.Is(err, mem.ErrHeapOOM) {
@@ -176,6 +205,7 @@ func biFree(v *VM, in *ir.Instr, args []int64) (int64, error) {
 	if err := argn(v, in, args, 1); err != nil {
 		return 0, err
 	}
+	noteAllocSite(v, in)
 	if err := v.Heap.Free(uint64(args[0])); err != nil {
 		return 0, heapFault(v, in, uint64(args[0]), err)
 	}

@@ -198,6 +198,16 @@ func (v *VM) execFunc(f *ir.Func, args []int64) (int64, error) {
 				}
 			case ir.OpUnreachable:
 				return 0, v.fault(FaultUnreachable, in, 0, "")
+			case ir.OpSanCheck:
+				// Budget-transparent: compensate the unconditional decrement
+				// above so arming the sanitizer can never flip a borderline
+				// execution into a hang verdict (differential and
+				// determinism guarantees depend on this).
+				v.budget++
+				addr := uint64(regs[in.A] + in.Imm)
+				if flt := v.sanCheck(addr, in); flt != nil {
+					return 0, flt
+				}
 			}
 			if in.IsTerminator() {
 				break

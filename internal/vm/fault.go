@@ -62,6 +62,31 @@ type Fault struct {
 	Line int32  // source line of the faulting instruction
 	Addr uint64 // faulting address, when applicable
 	Msg  string // extra detail
+	// San carries the structured shadow-memory report when the fault was
+	// raised by an OpSanCheck (or an enriched allocator fault): the access
+	// shape plus the offending chunk's allocation/free history.
+	San *SanReport
+}
+
+// SanReport is the ASan-style payload of a shadow-check fault.
+type SanReport struct {
+	Write     bool   // the faulting access was a store
+	Size      int    // access width in bytes
+	Addr      uint64 // faulting address
+	ChunkAddr uint64 // start of the related chunk (0 when no chunk matched)
+	ChunkSize uint64
+	AllocFn   string // where the chunk was allocated
+	AllocLine int32
+	FreeFn    string // where it was freed (use-after-free / double-free)
+	FreeLine  int32
+}
+
+// rw renders the access direction.
+func (r *SanReport) rw() string {
+	if r.Write {
+		return "write"
+	}
+	return "read"
 }
 
 // Error makes *Fault usable as an error through the interpreter unwind.
@@ -73,12 +98,31 @@ func (f *Fault) Error() string {
 	if f.Msg != "" {
 		s += " (" + f.Msg + ")"
 	}
+	if r := f.San; r != nil {
+		s += fmt.Sprintf(" [%s of %d bytes", r.rw(), r.Size)
+		if r.ChunkAddr != 0 {
+			s += fmt.Sprintf(" at chunk+%d of a %d-byte chunk", r.Addr-r.ChunkAddr, r.ChunkSize)
+		}
+		if r.AllocFn != "" {
+			s += fmt.Sprintf(", allocated at %s:%d", r.AllocFn, r.AllocLine)
+		}
+		if r.FreeFn != "" {
+			s += fmt.Sprintf(", freed at %s:%d", r.FreeFn, r.FreeLine)
+		}
+		s += "]"
+	}
 	return s
 }
 
 // Key returns the triage bucket for this fault; two crashes with the same
-// key are considered the same bug.
+// key are considered the same bug. Sanitizer reports carrying an
+// allocation site fold it into the bucket, so overflows of chunks
+// allocated at different sites triage as distinct bugs even when the
+// faulting access shares an instruction.
 func (f *Fault) Key() string {
+	if f.San != nil && f.San.AllocFn != "" {
+		return fmt.Sprintf("%s@%s:%d/alloc@%s:%d", f.Kind, f.Fn, f.Line, f.San.AllocFn, f.San.AllocLine)
+	}
 	return fmt.Sprintf("%s@%s:%d", f.Kind, f.Fn, f.Line)
 }
 

@@ -1,0 +1,48 @@
+package vm
+
+import (
+	"fmt"
+
+	"closurex/internal/ir"
+	"closurex/internal/mem"
+)
+
+// sanCheck executes one OpSanCheck: it consults the shadow plane for the
+// heap access the immediately following load/store will perform, and
+// raises a structured sanitizer fault when the shadow says the bytes are
+// not addressable. Non-heap addresses (globals, frame, rodata) pass
+// through: the interpreter's checkAccess validates those as always.
+func (v *VM) sanCheck(addr uint64, in *ir.Instr) *Fault {
+	sh := v.Heap.Shadow()
+	if sh == nil || !sh.Covers(addr) {
+		return nil
+	}
+	code, ok := sh.Check(addr, in.Size)
+	if ok {
+		return nil
+	}
+	kind := FaultHeapOOB
+	if code == mem.ShadowFreed {
+		kind = FaultUseAfterFree
+	}
+	rep := &SanReport{Write: in.B == 1, Size: in.Size, Addr: addr}
+	if c, live := v.Heap.ChunkAt(addr); live {
+		// Access starts in-bounds but overruns the chunk tail.
+		fillAllocSite(rep, c)
+	} else if c, freed := v.Heap.QuarantinedAt(addr); freed {
+		fillAllocSite(rep, c)
+		rep.FreeFn, rep.FreeLine = c.FreeFn, c.FreeLine
+	} else if c, near := v.Heap.ChunkNear(addr); near {
+		// Redzone hit just past a live chunk: attribute the overflow to
+		// the allocation being overflowed.
+		fillAllocSite(rep, c)
+	}
+	flt := v.fault(kind, in, addr, fmt.Sprintf("shadow byte %#x blocks %s of %d bytes", code, rep.rw(), in.Size))
+	flt.San = rep
+	return flt
+}
+
+func fillAllocSite(rep *SanReport, c mem.Chunk) {
+	rep.ChunkAddr, rep.ChunkSize = c.Addr, c.Size
+	rep.AllocFn, rep.AllocLine = c.AllocFn, c.AllocLine
+}

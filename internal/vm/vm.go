@@ -57,6 +57,11 @@ type Options struct {
 	// Injector arms deterministic fault injection in the heap and the
 	// filesystem (resilience tests); nil injects nothing.
 	Injector *faultinject.Injector
+	// Sanitize attaches the ASan-style shadow plane to the heap so
+	// OpSanCheck instructions (SanitizerPass) classify bad accesses with
+	// allocation/free sites. Modules instrumented with -sanitize should
+	// run on a VM built with this on; without it the checks are no-ops.
+	Sanitize bool
 }
 
 // Result describes one completed call into the target.
@@ -159,6 +164,12 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 	// drift a long-lived persistent process accumulates, as real ASLR
 	// entropy does. Deterministic seeds give deterministic bases.
 	v.Heap.Shift((v.rand() % (1 << 19)) * 16)
+	if opts.Sanitize {
+		// Attach after Shift so the shadow plane's base matches the
+		// randomized allocation base. Sparse: pages materialize on first
+		// allocation, keeping fresh-process and sentinel VMs cheap.
+		v.Heap.AttachShadow()
+	}
 	v.Heap.SetInjector(opts.Injector)
 	v.FS = vfs.New()
 	v.FS.SetInjector(opts.Injector)
