@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race faultcheck lint sanitize check bench benchjson clean
+.PHONY: all build test vet race faultcheck lint sanitize interproc check bench benchjson clean
 
 all: build
 
@@ -45,19 +45,31 @@ sanitize:
 	$(GO) test -run 'Sanitiz|Shadow|Quarantine|Elision|Elide' . ./internal/mem/ ./internal/harness/ ./internal/passes/ ./internal/core/ ./internal/analysis/sanitize/
 	$(GO) run ./cmd/closurex-lint -q -strict -target all -sanitize-report
 
-check: vet test race faultcheck lint sanitize benchjson
+# Restore-elision gate: the interprocedural analysis unit suites
+# (call graph, mod/ref, lifetime, audit), the off-vs-on differential
+# (bit-identical coverage/corpus/crashes on every target), the runtime
+# audit suite (zero elision drift over hundreds of iterations), and the
+# strict lint run with the per-function elision report.
+interproc:
+	$(GO) test ./internal/analysis/interproc/
+	$(GO) test -run 'Interproc|Elision|Elide' ./internal/core/ ./internal/harness/ ./internal/vm/ ./internal/passes/
+	$(GO) run ./cmd/closurex-lint -q -target all -interproc-report
+
+check: vet test race faultcheck lint sanitize interproc benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark artifacts: a short parallel-scaling sweep
-# (jobs = 1, 2, 4, GOMAXPROCS -> BENCH_parallel.json) and the sanitizer
-# overhead sweep (modes off / on / on+elide -> BENCH_sanitizer.json), so
-# throughput and shadow-check cost are tracked as artifacts rather than
-# eyeballed from benchmark logs.
+# (jobs = 1, 2, 4, GOMAXPROCS -> BENCH_parallel.json), the sanitizer
+# overhead sweep (modes off / on / on+elide -> BENCH_sanitizer.json), and
+# the restore-elision sweep (elision off vs on per target ->
+# BENCH_interproc.json), so throughput, shadow-check cost and restore
+# scope are tracked as artifacts rather than eyeballed from logs.
 benchjson:
 	$(GO) run ./cmd/closurex-bench -parallel-scaling -parallel-execs 20000 -parallel-json BENCH_parallel.json
 	$(GO) run ./cmd/closurex-bench -sanitizer-overhead -sanitizer-execs 20000 -sanitizer-json BENCH_sanitizer.json
+	$(GO) run ./cmd/closurex-bench -restore-elision -interproc-execs 20000 -interproc-json BENCH_interproc.json
 
 clean:
 	$(GO) clean ./...

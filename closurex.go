@@ -97,6 +97,17 @@ type Options struct {
 	// measures what the analysis is worth. Implies nothing unless
 	// Sanitize is set.
 	SanitizeNoElide bool
+	// Interproc arms restore elision: the build runs the interprocedural
+	// mod/ref + lifetime analysis (InterprocPass) and the ClosureX harness
+	// scopes snapshot/restore/watchdog work to the proven may-write byte
+	// ranges of closure_global_section. Coverage bitmaps and corpora are
+	// bit-identical with and without it.
+	Interproc bool
+	// AuditRestore periodically re-checks the full closure section (and
+	// the must-free/must-close censuses) against the init snapshot at
+	// runtime, repairing and surfacing any drift the elided restore would
+	// have missed — the soundness net under Interproc.
+	AuditRestore bool
 	// Stop, when non-nil, makes RunFor/RunExecs return cleanly (at a
 	// checkpointable boundary) once the channel is closed.
 	Stop <-chan struct{}
@@ -226,6 +237,8 @@ func instanceOptions(opts Options) core.InstanceOptions {
 		Stop:              opts.Stop,
 		ResumeFrom:        opts.ResumeFrom,
 		Jobs:              opts.Jobs,
+		Interproc:         opts.Interproc,
+		AuditRestore:      opts.AuditRestore,
 	}
 	if opts.Sanitize {
 		io.Sanitize = core.SanitizeElide

@@ -10,6 +10,7 @@
 //	closurex-bench -figure spectrum
 //	closurex-bench -ablation
 //	closurex-bench -sanitizer-overhead -sanitizer-json BENCH_sanitizer.json
+//	closurex-bench -restore-elision -interproc-json BENCH_interproc.json
 package main
 
 import (
@@ -45,6 +46,11 @@ func main() {
 		sanExecs    = flag.Int64("sanitizer-execs", 20000, "executions per sanitize mode")
 		sanJSON     = flag.String("sanitizer-json", "", "also write the sanitizer report to this JSON file (e.g. BENCH_sanitizer.json)")
 	)
+	var (
+		elision      = flag.Bool("restore-elision", false, "run the interprocedural restore-elision sweep over every target (elision off vs on)")
+		elisionExecs = flag.Int64("interproc-execs", 10000, "executions per elision point")
+		elisionJSON  = flag.String("interproc-json", "", "also write the elision report to this JSON file (e.g. BENCH_interproc.json)")
+	)
 	flag.Parse()
 	if *parallelJSON != "" {
 		*scaling = true
@@ -52,7 +58,10 @@ func main() {
 	if *sanJSON != "" {
 		*sanOverhead = true
 	}
-	if *table == "" && *figure == "" && !*ablation && !*scaling && !*sanOverhead {
+	if *elisionJSON != "" {
+		*elision = true
+	}
+	if *table == "" && *figure == "" && !*ablation && !*scaling && !*sanOverhead && !*elision {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -164,6 +173,20 @@ func main() {
 				fatalf("%v", err)
 			}
 			fmt.Printf("sanitizer report written to %s\n", *sanJSON)
+		}
+	}
+
+	if *elision {
+		rep, err := experiments.RunRestoreElision(*elisionExecs, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiments.FormatElision(rep))
+		if *elisionJSON != "" {
+			if err := experiments.WriteElisionJSON(*elisionJSON, rep); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("elision report written to %s\n", *elisionJSON)
 		}
 	}
 

@@ -48,6 +48,8 @@ func main() {
 		sanitize  = flag.Bool("sanitize", false, "arm the heap sanitizer (shadow memory, redzones, free quarantine; statically elides provably safe checks)")
 		noElide   = flag.Bool("sanitize-no-elide", false, "with -sanitize: keep every check, disabling the static elision analysis (benchmark configuration)")
 		resilient = flag.Bool("resilient", false, "arm the restore watchdog + rebuild/fallback ladder")
+		interproc = flag.Bool("interproc", false, "arm interprocedural restore elision: snapshot/restore/watch only the analysis-proven may-written global ranges")
+		auditRest = flag.Bool("audit-restore", false, "periodically re-check the full closure section at runtime to validate elision soundness")
 		sentEvery = flag.Int64("sentinel-every", 0, "divergence sentinel period in execs (0 = off)")
 		ckptPath  = flag.String("checkpoint", "", "write campaign checkpoints to this file (periodically and on exit/signal)")
 		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (with -checkpoint)")
@@ -74,6 +76,8 @@ func main() {
 		Sanitize:        *sanitize,
 		SanitizeNoElide: *noElide,
 		Resilient:       *resilient,
+		Interproc:       *interproc,
+		AuditRestore:    *auditRest,
 		SentinelEvery:   *sentEvery,
 		Stop:            stop,
 		Jobs:            *jobs,

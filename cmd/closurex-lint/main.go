@@ -12,12 +12,24 @@
 // vs. elided memory accesses is printed after the lint verdict (the
 // CLX111-113 sanitizer verifier rules run as part of the gate).
 //
+// With -interproc-report the module is built with InterprocPass armed and
+// a per-function table of the interprocedural mod/ref + lifetime results
+// is printed: global-write scope, may-exit, and heap/file sites elided vs.
+// tracked (the CLX114-118 elision audit rules run as part of the gate).
+//
+// With -format json, findings are emitted as one machine-readable JSON
+// array over all checked modules — schema analysis.JSONDiagnostic (file,
+// function, code, severity, pass, block, instr, line, message), sorted by
+// (file, function, code, position) so the bytes are stable across runs.
+//
 // Usage:
 //
 //	closurex-lint -target all
 //	closurex-lint -file prog.c
 //	closurex-lint -target gpmf-parser -variant baseline
 //	closurex-lint -target all -sanitize-report
+//	closurex-lint -target all -interproc-report
+//	closurex-lint -target all -format json
 //	closurex-lint -target all -strict
 //	closurex-lint -catalog
 //
@@ -36,6 +48,7 @@ import (
 	"sort"
 
 	"closurex/internal/analysis"
+	"closurex/internal/analysis/interproc"
 	"closurex/internal/analysis/sanitize"
 	"closurex/internal/core"
 	"closurex/internal/targets"
@@ -50,8 +63,14 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress per-module OK lines")
 		strict     = flag.Bool("strict", false, "exit non-zero on warning-severity diagnostics too")
 		sanReport  = flag.Bool("sanitize-report", false, "instrument with the sanitizer and print per-function check/elision counts")
+		ipReport   = flag.Bool("interproc-report", false, "instrument with InterprocPass and print the per-function restore-elision table")
+		format     = flag.String("format", "text", "output format: text | json")
 	)
 	flag.Parse()
+	if *format != "text" && *format != "json" {
+		fatalf(2, "unknown -format %q (want text or json)", *format)
+	}
+	jsonOut := *format == "json"
 
 	if *catalog {
 		printCatalog()
@@ -87,14 +106,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	san := core.SanitizeOff
+	cfg := core.BuildConfig{Variant: v, Interproc: *ipReport}
 	if *sanReport {
-		san = core.SanitizeElide
+		cfg.Sanitize = core.SanitizeElide
 	}
 
 	failures, warnings := 0, 0
+	all := analysis.Diags{}
 	for _, j := range jobs {
-		mod, berr := core.BuildSanitized(j.file, j.src, v, san)
+		mod, berr := core.BuildWith(j.file, j.src, cfg)
 		if berr != nil {
 			fmt.Fprintf(os.Stderr, "closurex-lint: %s: build: %v\n", j.name, berr)
 			failures++
@@ -102,8 +122,14 @@ func main() {
 		}
 		ds := core.CheckModule(mod, v)
 		warnings += countWarnings(ds)
+		all.Add(j.name, ds)
 		if ds.HasErrors() {
 			failures++
+		}
+		if jsonOut {
+			continue // findings print once, flattened, after the loop
+		}
+		if ds.HasErrors() {
 			fmt.Printf("FAIL  %s (%d error(s))\n", j.name, ds.Errors())
 			for _, d := range ds {
 				fmt.Printf("      %s\n", d)
@@ -120,6 +146,17 @@ func main() {
 			rep := sanitize.ReportModule(mod)
 			fmt.Printf("sanitizer check elision for %s:\n%s", j.name, rep.Format())
 		}
+		if *ipReport {
+			rep := interproc.ReportModule(mod)
+			fmt.Printf("interprocedural restore elision for %s:\n%s", j.name, rep.Format())
+		}
+	}
+	if jsonOut {
+		b, jerr := all.Flatten().JSON()
+		if jerr != nil {
+			fatalf(2, "encode: %v", jerr)
+		}
+		os.Stdout.Write(b)
 	}
 	if failures > 0 {
 		os.Exit(1)
@@ -128,7 +165,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "closurex-lint: -strict: %d warning(s)\n", warnings)
 		os.Exit(1)
 	}
-	if !*quiet {
+	if !*quiet && !jsonOut {
 		fmt.Printf("\n%d module(s) statically restartable: every restore-completeness invariant holds\n", len(jobs))
 	}
 }

@@ -12,6 +12,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -44,6 +45,10 @@ func (s Severity) String() string {
 type Diagnostic struct {
 	// ID is the stable catalog identifier ("CLX001").
 	ID string
+	// File names the module (source file or target) the finding belongs
+	// to. Individual checkers leave it empty — they see one module at a
+	// time; Diags.Flatten stamps it during multi-module aggregation.
+	File string
 	// Sev is the severity; campaigns refuse to start on SevError.
 	Sev Severity
 	// Pass names the checker or the pipeline pass held responsible
@@ -152,6 +157,113 @@ func (ds Diagnostics) String() string {
 		lines[i] = ds[i].String()
 	}
 	return strings.Join(lines, "\n")
+}
+
+// Diags aggregates per-module diagnostics from a multi-module run, keyed
+// by module (source file or target) name. Earlier tooling ranged over the
+// map directly when rendering, which made multi-module output order
+// map-iteration-dependent; Flatten is the sanctioned way out and is
+// deterministic.
+type Diags map[string]Diagnostics
+
+// Add appends findings under the given module name (no-op for an empty
+// list, so clean modules do not appear as empty keys).
+func (m Diags) Add(file string, ds Diagnostics) {
+	if len(ds) > 0 {
+		m[file] = append(m[file], ds...)
+	}
+}
+
+// Flatten returns every diagnostic with File stamped, ordered by
+// (file, function, code, position) — byte-stable across runs regardless
+// of map iteration or checker execution order.
+func (m Diags) Flatten() Diagnostics {
+	files := make([]string, 0, len(m))
+	for f := range m {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out Diagnostics
+	for _, f := range files {
+		ds := append(Diagnostics(nil), m[f]...)
+		ds.SortForOutput()
+		for i := range ds {
+			ds[i].File = f
+		}
+		out = append(out, ds...)
+	}
+	return out
+}
+
+// SortForOutput orders diagnostics by (function, code, position) — the
+// presentation order of closurex-lint's text and JSON output. Sort keeps
+// the historical (function, position, code) order tests and the verifier
+// rely on.
+func (ds Diagnostics) SortForOutput() {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := &ds[i], &ds[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Instr < b.Instr
+	})
+}
+
+// JSONDiagnostic is the stable machine-readable schema closurex-lint
+// -format json emits. The field set and names are a compatibility
+// contract; extend it, never rename.
+type JSONDiagnostic struct {
+	File     string `json:"file,omitempty"`
+	Function string `json:"function,omitempty"`
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Pass     string `json:"pass,omitempty"`
+	Block    int    `json:"block"`
+	Instr    int    `json:"instr"`
+	Line     int32  `json:"line,omitempty"`
+	Message  string `json:"message"`
+}
+
+// JSON renders the findings in the stable schema, sorted by (file,
+// function, code, position), as indented JSON with a trailing newline —
+// byte-stable across runs for identical findings.
+func (ds Diagnostics) JSON() ([]byte, error) {
+	cp := append(Diagnostics(nil), ds...)
+	sort.SliceStable(cp, func(i, j int) bool {
+		a, b := &cp[i], &cp[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Instr < b.Instr
+	})
+	out := make([]JSONDiagnostic, len(cp))
+	for i, d := range cp {
+		out[i] = JSONDiagnostic{
+			File: d.File, Function: d.Func, Code: d.ID,
+			Severity: d.Sev.String(), Pass: d.Pass,
+			Block: d.Block, Instr: d.Instr, Line: d.Line, Message: d.Msg,
+		}
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // ErrDiagnostics is wrapped by every error produced from a non-empty

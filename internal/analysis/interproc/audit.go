@@ -1,0 +1,131 @@
+package interproc
+
+import (
+	"fmt"
+
+	"closurex/internal/analysis"
+	"closurex/internal/ir"
+)
+
+// Audit re-derives the interprocedural analysis from scratch and checks
+// every elision claim the module carries against it:
+//
+//   - CLX114 (error): a TrackElide/FileElide mark on a site the fresh
+//     analysis cannot prove releasable (or on a non-site instruction) —
+//     an unsound elision claim that would let state leak across
+//     iterations while the harness believes it cannot.
+//   - CLX117 (error): the recorded ir.InterprocInfo is narrower than the
+//     fresh analysis — a may-written global missing from the metadata, a
+//     bounded claim where the analysis says whole-section, or drifted
+//     site counters.
+//
+// The re-analysis runs on the module as it now stands, so instrumentation
+// inserted after InterprocPass (coverage probes, sanitizer checks — which
+// define no registers and write no target memory) cannot invalidate the
+// comparison. A module without marks and without metadata audits clean.
+// The result's explanation warnings (CLX115/116/118) are included so
+// closurex-lint surfaces them alongside the audit verdict.
+func Audit(m *ir.Module) analysis.Diagnostics {
+	marks := collectMarks(m)
+	if m.Interproc == nil {
+		var ds analysis.Diagnostics
+		for _, mk := range marks {
+			ds = append(ds, analysis.Diagnostic{
+				ID: analysis.IDUnsoundElision, Sev: analysis.SevError, Pass: interprocPass,
+				Func: mk.fn, Block: mk.site.Block, Instr: mk.site.Instr, Line: mk.line,
+				Msg: fmt.Sprintf("%s mark without module Interproc metadata; no analysis backs the claim", mk.kind),
+			})
+		}
+		ds.Sort()
+		return ds
+	}
+
+	res := Analyze(m)
+	ds := append(analysis.Diagnostics(nil), res.Diags...)
+
+	for _, mk := range marks {
+		fr := res.Funcs[mk.fn]
+		proven := false
+		if fr != nil {
+			if mk.kind == "TrackElide" {
+				proven = fr.HeapElide[mk.site]
+			} else {
+				proven = fr.FileElide[mk.site]
+			}
+		}
+		if !proven {
+			ds = append(ds, analysis.Diagnostic{
+				ID: analysis.IDUnsoundElision, Sev: analysis.SevError, Pass: interprocPass,
+				Func: mk.fn, Block: mk.site.Block, Instr: mk.site.Instr, Line: mk.line,
+				Msg: fmt.Sprintf("%s mark on %s is not provable: the site may leak its resource past iteration end", mk.kind, mk.callee),
+			})
+		}
+	}
+
+	info := m.Interproc
+	if res.WholeSection && !info.WholeSection {
+		ds = append(ds, analysis.Diagnostic{
+			ID: analysis.IDElisionDrift, Sev: analysis.SevError, Pass: interprocPass,
+			Block: -1, Instr: -1,
+			Msg: "metadata claims a bounded may-write set but the analysis cannot bound global writes (whole-section)",
+		})
+	}
+	if !info.WholeSection {
+		recorded := map[int]bool{}
+		for _, g := range info.MayWriteGlobals {
+			recorded[g] = true
+		}
+		for _, g := range res.MayWriteGlobals {
+			if !recorded[g] {
+				name := fmt.Sprintf("%d", g)
+				if g >= 0 && g < len(m.Globals) {
+					name = fmt.Sprintf("%d (%s)", g, m.Globals[g].Name)
+				}
+				ds = append(ds, analysis.Diagnostic{
+					ID: analysis.IDElisionDrift, Sev: analysis.SevError, Pass: interprocPass,
+					Block: -1, Instr: -1,
+					Msg: fmt.Sprintf("global %s is analysis-proven may-written but missing from the recorded restore scope", name),
+				})
+			}
+		}
+	}
+	fresh := res.Info()
+	if fresh.AllocSites != info.AllocSites || fresh.FileSites != info.FileSites ||
+		fresh.AllocElided < info.AllocElided || fresh.FileElided < info.FileElided {
+		ds = append(ds, analysis.Diagnostic{
+			ID: analysis.IDElisionDrift, Sev: analysis.SevError, Pass: interprocPass,
+			Block: -1, Instr: -1,
+			Msg: fmt.Sprintf("site counters drifted: recorded alloc %d/%d file %d/%d, analysis %d/%d %d/%d",
+				info.AllocElided, info.AllocSites, info.FileElided, info.FileSites,
+				fresh.AllocElided, fresh.AllocSites, fresh.FileElided, fresh.FileSites),
+		})
+	}
+	ds.Sort()
+	return ds
+}
+
+type mark struct {
+	fn     string
+	site   Site
+	kind   string
+	callee string
+	line   int32
+}
+
+func collectMarks(m *ir.Module) []mark {
+	var out []mark
+	for _, f := range m.Funcs {
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.TrackElide {
+					out = append(out, mark{f.Name, Site{bi, ii}, "TrackElide", in.Callee, in.Pos})
+				}
+				if in.FileElide {
+					out = append(out, mark{f.Name, Site{bi, ii}, "FileElide", in.Callee, in.Pos})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package interproc
+
+import (
+	"testing"
+
+	"closurex/internal/analysis"
+	"closurex/internal/ir"
+)
+
+// auditModule is a module with one freed allocation, one bounded global
+// write and one closed file: everything elides, everything audits clean.
+func auditModule(t *testing.T) *ir.Module {
+	t.Helper()
+	b := ir.NewBuilder("target_main", 0)
+	gp := b.GlobalAddr(0)
+	v := b.Const(3)
+	b.Store(gp, v, 0, 4)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	b.Call("free", p)
+	path := b.Const(0)
+	mode := b.Const(0)
+	f := b.Call("fopen", path, mode)
+	b.Call("fclose", f)
+	z := b.Const(0)
+	b.Ret(z)
+	return testModule(t, 2, b)
+}
+
+func TestAuditCleanAfterApply(t *testing.T) {
+	m := auditModule(t)
+	Apply(m, Analyze(m))
+	ds := Audit(m)
+	if ds.HasErrors() {
+		t.Fatalf("clean module audits dirty:\n%s", ds)
+	}
+}
+
+func TestAuditNoMarksNoMetadataIsClean(t *testing.T) {
+	// A module InterprocPass never ran on carries no claims to check.
+	m := auditModule(t)
+	if ds := Audit(m); ds.HasErrors() {
+		t.Fatalf("unanalyzed module audits dirty:\n%s", ds)
+	}
+}
+
+func TestAuditFlagsUnprovableMark(t *testing.T) {
+	// Leaked allocation with a hand-planted TrackElide: the fresh analysis
+	// cannot prove the site releasable, so the mark is CLX114.
+	b := ir.NewBuilder("target_main", 0)
+	sz := b.Const(8)
+	b.Call("malloc", sz)
+	z := b.Const(0)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+	Apply(m, Analyze(m)) // honest metadata: 1 site, 0 elided
+
+	tm := m.Func("target_main")
+	for _, blk := range tm.Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == ir.OpCall && blk.Instrs[i].Callee == "malloc" {
+				blk.Instrs[i].TrackElide = true
+			}
+		}
+	}
+	ds := Audit(m)
+	if got := ds.ByID(analysis.IDUnsoundElision); len(got) == 0 || got[0].Sev != analysis.SevError {
+		t.Fatalf("planted unsound mark not flagged CLX114:\n%s", ds)
+	}
+}
+
+func TestAuditFlagsMarkWithoutMetadata(t *testing.T) {
+	m := auditModule(t)
+	tm := m.Func("target_main")
+	for _, blk := range tm.Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == ir.OpCall && blk.Instrs[i].Callee == "malloc" {
+				blk.Instrs[i].TrackElide = true
+			}
+		}
+	}
+	// m.Interproc is nil: the mark has no analysis backing it at all.
+	ds := Audit(m)
+	if got := ds.ByID(analysis.IDUnsoundElision); len(got) != 1 {
+		t.Fatalf("mark without metadata not flagged CLX114:\n%s", ds)
+	}
+}
+
+func TestAuditFlagsNarrowedMayWriteSet(t *testing.T) {
+	// Drop the recorded may-write global: the analysis still proves the
+	// write, so the metadata is narrower than reality (CLX117).
+	m := auditModule(t)
+	Apply(m, Analyze(m))
+	m.Interproc.MayWriteGlobals = nil
+	ds := Audit(m)
+	if got := ds.ByID(analysis.IDElisionDrift); len(got) == 0 || got[0].Sev != analysis.SevError {
+		t.Fatalf("narrowed may-write set not flagged CLX117:\n%s", ds)
+	}
+}
+
+func TestAuditFlagsFalseBoundedClaim(t *testing.T) {
+	// The module's writes cannot be bounded (unknown callee), but the
+	// metadata claims they were: CLX117.
+	b := ir.NewBuilder("target_main", 0)
+	z := b.Const(0)
+	b.Call("mystery", z)
+	b.Ret(z)
+	m := testModule(t, 1, b)
+	m.Interproc = &ir.InterprocInfo{WholeSection: false}
+	ds := Audit(m)
+	if got := ds.ByID(analysis.IDElisionDrift); len(got) == 0 {
+		t.Fatalf("false bounded claim not flagged CLX117:\n%s", ds)
+	}
+}
+
+func TestAuditFlagsDriftedSiteCounters(t *testing.T) {
+	m := auditModule(t)
+	Apply(m, Analyze(m))
+	m.Interproc.AllocSites++ // pretend a site the module does not have
+	ds := Audit(m)
+	if got := ds.ByID(analysis.IDElisionDrift); len(got) == 0 {
+		t.Fatalf("drifted site counters not flagged CLX117:\n%s", ds)
+	}
+}
+
+func TestReportModuleShape(t *testing.T) {
+	m := auditModule(t)
+	rep := ReportModule(m)
+	if rep.WholeSection {
+		t.Fatal("report claims whole-section for a bounded module")
+	}
+	if rep.MayWriteGlobals != 1 || rep.TotalGlobals != 2 {
+		t.Fatalf("scope = %d/%d, want 1/2", rep.MayWriteGlobals, rep.TotalGlobals)
+	}
+	if len(rep.Funcs) != 1 || rep.Funcs[0].Name != "target_main" {
+		t.Fatalf("rows = %+v", rep.Funcs)
+	}
+	row := rep.Funcs[0]
+	if row.HeapSites != 1 || row.HeapElided != 1 || row.FileSites != 1 || row.FileElided != 1 {
+		t.Fatalf("row = %+v", row)
+	}
+	if out := rep.Format(); out == "" {
+		t.Fatal("empty report rendering")
+	}
+}

@@ -1,0 +1,184 @@
+package interproc
+
+import (
+	"sort"
+
+	"closurex/internal/ir"
+)
+
+// CallSite locates one OpCall instruction inside a function.
+type CallSite struct {
+	Block, Instr int
+	Callee       string
+}
+
+// CallGraph is the direct-call graph of a module: adjacency between module
+// functions, plus the builtin and unknown callees each function names. It
+// is deliberately conservative about indirection — the IR has no indirect
+// calls, so every edge is a direct OpCall; anything that resolves to
+// neither a module function nor a modeled builtin is recorded under
+// Unknown and treated as a call-graph hole (CLX115) by the clients.
+type CallGraph struct {
+	M *ir.Module
+	// Callees maps a function to the module functions it calls directly,
+	// sorted and deduplicated. Callers is the reverse adjacency.
+	Callees map[string][]string
+	Callers map[string][]string
+	// Builtins maps a function to the modeled builtin names it calls,
+	// sorted and deduplicated.
+	Builtins map[string][]string
+	// Unknown records call sites whose callee is neither a module function
+	// nor a modeled builtin, per function in textual order.
+	Unknown map[string][]CallSite
+}
+
+// BuildCallGraph derives the call graph of m.
+func BuildCallGraph(m *ir.Module) *CallGraph {
+	cg := &CallGraph{
+		M:        m,
+		Callees:  make(map[string][]string),
+		Callers:  make(map[string][]string),
+		Builtins: make(map[string][]string),
+		Unknown:  make(map[string][]CallSite),
+	}
+	for _, f := range m.Funcs {
+		calleeSet := map[string]bool{}
+		builtinSet := map[string]bool{}
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				switch {
+				case m.Func(in.Callee) != nil:
+					calleeSet[in.Callee] = true
+				case builtinEffects[in.Callee] != nil:
+					builtinSet[in.Callee] = true
+				default:
+					cg.Unknown[f.Name] = append(cg.Unknown[f.Name],
+						CallSite{Block: bi, Instr: ii, Callee: in.Callee})
+				}
+			}
+		}
+		cg.Callees[f.Name] = sortedKeys(calleeSet)
+		cg.Builtins[f.Name] = sortedKeys(builtinSet)
+	}
+	for caller, callees := range cg.Callees {
+		for _, callee := range callees {
+			cg.Callers[callee] = append(cg.Callers[callee], caller)
+		}
+	}
+	for callee := range cg.Callers {
+		sort.Strings(cg.Callers[callee])
+	}
+	return cg
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reachable returns the set of module functions reachable from the given
+// roots along direct-call edges. Roots that are not module functions are
+// ignored.
+func (cg *CallGraph) Reachable(roots ...string) map[string]bool {
+	seen := map[string]bool{}
+	var stack []string
+	for _, r := range roots {
+		if cg.M.Func(r) != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range cg.Callees[fn] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}
+
+// SCCs returns the strongly connected components of the module-function
+// call graph (Tarjan), each component sorted by name, components ordered
+// by their smallest member — a deterministic presentation regardless of
+// map iteration order. Mutual recursion shows up as a component with more
+// than one member; direct self-recursion as a singleton whose function
+// calls itself.
+func (cg *CallGraph) SCCs() [][]string {
+	names := make([]string, 0, len(cg.M.Funcs))
+	for _, f := range cg.M.Funcs {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var comps [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range cg.Callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// SelfRecursive reports whether fn calls itself directly.
+func (cg *CallGraph) SelfRecursive(fn string) bool {
+	for _, c := range cg.Callees[fn] {
+		if c == fn {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,290 @@
+package interproc
+
+import (
+	"testing"
+
+	"closurex/internal/ir"
+)
+
+// heapElides / fileElides run the full analysis and report (sites, elided)
+// for target_main.
+func heapElides(t *testing.T, m *ir.Module) (int, int) {
+	t.Helper()
+	fr := Analyze(m).Funcs["target_main"]
+	if fr == nil {
+		t.Fatal("no target_main result")
+	}
+	return len(fr.HeapSites), len(fr.HeapElide)
+}
+
+func fileElides(t *testing.T, m *ir.Module) (int, int) {
+	t.Helper()
+	fr := Analyze(m).Funcs["target_main"]
+	if fr == nil {
+		t.Fatal("no target_main result")
+	}
+	return len(fr.FileSites), len(fr.FileElide)
+}
+
+func TestLifetimeFreedOnStraightLine(t *testing.T) {
+	b := ir.NewBuilder("target_main", 0)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	b.Call("free", p)
+	z := b.Const(0)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 1 {
+		t.Fatalf("sites=%d elided=%d, want 1/1", sites, elided)
+	}
+}
+
+func TestLifetimeLeakOnReturn(t *testing.T) {
+	b := ir.NewBuilder("target_main", 0)
+	sz := b.Const(8)
+	b.Call("malloc", sz)
+	z := b.Const(0)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 0 {
+		t.Fatalf("sites=%d elided=%d, want 1/0 (leaks on return)", sites, elided)
+	}
+}
+
+func TestLifetimeNullTestEdgePruned(t *testing.T) {
+	// if (!p) return; — the NULL edge carries no chunk, so only the
+	// non-NULL path needs the free.
+	b := ir.NewBuilder("target_main", 0)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	c := b.Un(ir.Not, p)
+	bail := b.NewBlock()
+	ok := b.NewBlock()
+	b.CondBr(c, bail, ok)
+	b.SetBlock(bail)
+	one := b.Const(1)
+	b.Ret(one)
+	b.SetBlock(ok)
+	b.Call("free", p)
+	z := b.Const(0)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 1 {
+		t.Fatalf("sites=%d elided=%d, want 1/1 (NULL edge vacuous)", sites, elided)
+	}
+}
+
+func TestLifetimeAbortPathIsClean(t *testing.T) {
+	// One arm aborts (VM respawns, chunk map rebuilt), the other frees:
+	// both paths are clean.
+	b := ir.NewBuilder("target_main", 1)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	z := b.Const(0)
+	c := b.Bin(ir.Eq, 0, z)
+	boom := b.NewBlock()
+	ok := b.NewBlock()
+	b.CondBr(c, boom, ok)
+	b.SetBlock(boom)
+	b.Call("abort")
+	b.Unreachable()
+	b.SetBlock(ok)
+	b.Call("free", p)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 1 {
+		t.Fatalf("sites=%d elided=%d, want 1/1 (abort respawns)", sites, elided)
+	}
+}
+
+func TestLifetimeEscapeViaStoreBlocksElision(t *testing.T) {
+	// Storing the pointer itself to memory escapes it: something else
+	// could free (or keep) it.
+	b := ir.NewBuilder("target_main", 0)
+	off := b.Alloca(8)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	fp := b.FrameAddr(off)
+	b.Store(fp, p, 0, 8)
+	b.Call("free", p)
+	z := b.Const(0)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 0 {
+		t.Fatalf("sites=%d elided=%d, want 1/0 (stored pointer escapes)", sites, elided)
+	}
+}
+
+func TestLifetimeReadOnlyCalleeIsNotAnEscape(t *testing.T) {
+	// Passing the buffer to a module function that only reads it must not
+	// count as an escape (paramSafety), so the must-free proof survives.
+	br := ir.NewBuilder("reader", 1)
+	x := br.Load(0, 0, 1)
+	br.Ret(x)
+
+	bm := ir.NewBuilder("target_main", 0)
+	sz := bm.Const(8)
+	p := bm.Call("malloc", sz)
+	bm.Call("reader", p)
+	bm.Call("free", p)
+	z := bm.Const(0)
+	bm.Ret(z)
+	m := testModule(t, 0, bm, br)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 1 {
+		t.Fatalf("sites=%d elided=%d, want 1/1 (read-only callee)", sites, elided)
+	}
+}
+
+func TestLifetimeFreeingCalleeIsAnEscape(t *testing.T) {
+	// A callee that frees its argument releases the chunk invisibly to the
+	// caller-side walk: the site must stay tracked.
+	bf := ir.NewBuilder("sink", 1)
+	bf.Call("free", 0)
+	z := bf.Const(0)
+	bf.Ret(z)
+
+	bm := ir.NewBuilder("target_main", 0)
+	sz := bm.Const(8)
+	p := bm.Call("malloc", sz)
+	bm.Call("sink", p)
+	z2 := bm.Const(0)
+	bm.Ret(z2)
+	m := testModule(t, 0, bm, bf)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 0 {
+		t.Fatalf("sites=%d elided=%d, want 1/0 (callee releases)", sites, elided)
+	}
+}
+
+func TestLifetimeExitingCalleeBlocksElision(t *testing.T) {
+	// A callee that may reach exit() can unwind past the pending free.
+	bh := ir.NewBuilder("maybe_exit", 1)
+	z := bh.Const(0)
+	c := bh.Bin(ir.Eq, 0, z)
+	then := bh.NewBlock()
+	els := bh.NewBlock()
+	bh.CondBr(c, then, els)
+	bh.SetBlock(then)
+	one := bh.Const(1)
+	bh.Call("exit", one)
+	bh.Ret(one)
+	bh.SetBlock(els)
+	bh.Ret(z)
+
+	bm := ir.NewBuilder("target_main", 1)
+	sz := bm.Const(8)
+	p := bm.Call("malloc", sz)
+	bm.Call("maybe_exit", 0)
+	bm.Call("free", p)
+	z2 := bm.Const(0)
+	bm.Ret(z2)
+	m := testModule(t, 0, bm, bh)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 0 {
+		t.Fatalf("sites=%d elided=%d, want 1/0 (callee may exit)", sites, elided)
+	}
+}
+
+func TestLifetimeReallocNeverElided(t *testing.T) {
+	// realloc both escapes its argument site and produces a site of its
+	// own that is never elidable (freed-or-untouched-on-failure).
+	b := ir.NewBuilder("target_main", 0)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	sz2 := b.Const(16)
+	q := b.Call("realloc", p, sz2)
+	b.Call("free", q)
+	z := b.Const(0)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+	if sites, elided := heapElides(t, m); sites != 2 || elided != 0 {
+		t.Fatalf("sites=%d elided=%d, want 2/0", sites, elided)
+	}
+}
+
+func TestFileLifetimeClosedAndLeaked(t *testing.T) {
+	closed := func() *ir.Module {
+		b := ir.NewBuilder("target_main", 0)
+		path := b.Const(0)
+		mode := b.Const(0)
+		f := b.Call("fopen", path, mode)
+		b.Call("fclose", f)
+		z := b.Const(0)
+		b.Ret(z)
+		return testModule(t, 0, b)
+	}
+	leaked := func() *ir.Module {
+		b := ir.NewBuilder("target_main", 0)
+		path := b.Const(0)
+		mode := b.Const(0)
+		b.Call("fopen", path, mode)
+		z := b.Const(0)
+		b.Ret(z)
+		return testModule(t, 0, b)
+	}
+	if sites, elided := fileElides(t, closed()); sites != 1 || elided != 1 {
+		t.Fatalf("closed: sites=%d elided=%d, want 1/1", sites, elided)
+	}
+	if sites, elided := fileElides(t, leaked()); sites != 1 || elided != 0 {
+		t.Fatalf("leaked: sites=%d elided=%d, want 1/0", sites, elided)
+	}
+}
+
+func TestLifetimeReallocatedBeforeFree(t *testing.T) {
+	// A loop that re-executes the site before releasing the previous chunk
+	// must not elide: the older chunk is orphaned.
+	b := ir.NewBuilder("target_main", 1)
+	head := b.NewBlock()
+	exit := b.NewBlock()
+	b.Br(head)
+	b.SetBlock(head)
+	sz := b.Const(8)
+	b.Call("malloc", sz)
+	z := b.Const(0)
+	c := b.Bin(ir.Eq, 0, z)
+	b.CondBr(c, head, exit)
+	b.SetBlock(exit)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+	if sites, elided := heapElides(t, m); sites != 1 || elided != 0 {
+		t.Fatalf("sites=%d elided=%d, want 1/0 (re-allocation before release)", sites, elided)
+	}
+}
+
+func TestApplyStampsMarks(t *testing.T) {
+	b := ir.NewBuilder("target_main", 0)
+	sz := b.Const(8)
+	p := b.Call("malloc", sz)
+	b.Call("free", p)
+	path := b.Const(0)
+	mode := b.Const(0)
+	f := b.Call("fopen", path, mode)
+	b.Call("fclose", f)
+	z := b.Const(0)
+	b.Ret(z)
+	m := testModule(t, 0, b)
+
+	res := Analyze(m)
+	Apply(m, res)
+	if m.Interproc == nil {
+		t.Fatal("Apply left no metadata")
+	}
+	if m.Interproc.AllocSites != 1 || m.Interproc.AllocElided != 1 ||
+		m.Interproc.FileSites != 1 || m.Interproc.FileElided != 1 {
+		t.Fatalf("metadata = %+v", m.Interproc)
+	}
+	var track, file int
+	for _, fn := range m.Funcs {
+		for _, blk := range fn.Blocks {
+			for i := range blk.Instrs {
+				if blk.Instrs[i].TrackElide {
+					track++
+				}
+				if blk.Instrs[i].FileElide {
+					file++
+				}
+			}
+		}
+	}
+	if track != 1 || file != 1 {
+		t.Fatalf("marks: track=%d file=%d, want 1/1", track, file)
+	}
+}

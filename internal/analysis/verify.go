@@ -22,6 +22,15 @@ const (
 	IDBadSanCheck   = "CLX111" // malformed sancheck (direction not read/write)
 	IDOrphanCheck   = "CLX112" // sancheck not immediately followed by its matching load/store
 	IDUncheckedAcc  = "CLX113" // sanitized module has a load/store neither checked nor elision-marked
+
+	// Interprocedural elision audit catalog (analysis/interproc). The
+	// error IDs gate campaigns exactly like the structural verifier; the
+	// warnings explain why a module's restore scope could not shrink.
+	IDUnsoundElision = "CLX114" // TrackElide/FileElide mark not provable on re-analysis
+	IDCallGraphHole  = "CLX115" // call with unknown effects; analysis degrades to whole-section
+	IDGlobalEscape   = "CLX116" // global write unattributable (unknown pointer or unbounded callee write)
+	IDElisionDrift   = "CLX117" // recorded may-write metadata omits an analysis-proven write
+	IDUnreachableFn  = "CLX118" // function unreachable from target_main/closurex_init
 )
 
 const verifierPass = "verifier"

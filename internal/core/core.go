@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"closurex/internal/analysis"
+	"closurex/internal/analysis/interproc"
 	"closurex/internal/execmgr"
 	"closurex/internal/faultinject"
 	"closurex/internal/fuzz"
@@ -73,6 +74,11 @@ func TargetInitErrors() []error { return targets.InitErrors() }
 // constant across mechanisms).
 const CoverageSeed = 0xC105
 
+// AuditEveryDefault is the -audit-restore cadence: one full-section
+// elision audit per this many iterations (matching the resilience layer's
+// default watchdog cadence).
+const AuditEveryDefault = 64
+
 // Compile lowers MinC source to a pristine, verified module.
 func Compile(file, src string) (*ir.Module, error) {
 	return lower.Compile(file, src, vm.Builtins())
@@ -104,30 +110,57 @@ func (s SanitizeMode) String() string {
 // Enabled reports whether the mode arms the shadow plane at all.
 func (s SanitizeMode) Enabled() bool { return s != SanitizeOff }
 
+// BuildConfig collects every knob of the instrumentation pipeline.
+type BuildConfig struct {
+	Variant  Variant
+	Sanitize SanitizeMode
+	// Interproc inserts passes.InterprocPass after the state-tracking
+	// pipeline: the interprocedural mod/ref + lifetime analysis stamps
+	// restore-elision metadata (may-write global set, TrackElide/FileElide
+	// marks) the harness scopes its snapshot/restore/watchdog work to.
+	// Only meaningful for the ClosureX variants; silently ignored
+	// elsewhere (baseline/pristine builds have no restore loop to scope).
+	Interproc bool
+}
+
 // Instrument applies the variant's pipeline to a clone of m, leaving m
 // untouched, and returns the instrumented module.
 func Instrument(m *ir.Module, v Variant) (*ir.Module, error) {
-	return InstrumentSanitized(m, v, SanitizeOff)
+	return InstrumentWith(m, BuildConfig{Variant: v})
 }
 
 // InstrumentSanitized is Instrument with sanitizer instrumentation woven
-// in: SanitizerPass runs after the state-restoration pipeline (so every
-// access it instruments is final) and before CoveragePass, which only
-// prepends probes at block heads and therefore preserves the
-// check-immediately-precedes-access adjacency CLX112/CLX113 verify.
-// Because SanitizerPass creates no blocks, coverage probe IDs — and hence
-// bitmap geometry — are identical across sanitizer modes.
+// in (see InstrumentWith for the pass ordering contract).
 func InstrumentSanitized(m *ir.Module, v Variant, san SanitizeMode) (*ir.Module, error) {
+	return InstrumentWith(m, BuildConfig{Variant: v, Sanitize: san})
+}
+
+// InstrumentWith applies the configured pipeline to a clone of m. The
+// ordering contract: InterprocPass runs right after the state-restoration
+// pipeline (its proofs are about the closurex_* call shape that pipeline
+// produces), SanitizerPass after that (so every access it instruments is
+// final), and CoveragePass last — it only prepends probes at block heads,
+// preserving both the check-immediately-precedes-access adjacency
+// (CLX112/CLX113) and the elision marks' site geometry (CLX114 re-audits
+// them under VerifyEach). Because neither InterprocPass nor SanitizerPass
+// creates blocks, coverage probe IDs — and hence bitmap geometry — are
+// identical across sanitizer and interproc modes.
+func InstrumentWith(m *ir.Module, cfg BuildConfig) (*ir.Module, error) {
 	out := m.Clone()
 	pm := passes.NewManager(vm.Builtins()).VerifyEach(verifyEachDefault)
 	addSan := func() {
-		if san.Enabled() {
-			pm.Add(passes.SanitizerPass{Elide: san == SanitizeElide})
+		if cfg.Sanitize.Enabled() {
+			pm.Add(passes.SanitizerPass{Elide: cfg.Sanitize == SanitizeElide})
 		}
 	}
-	switch v {
+	addInterproc := func() {
+		if cfg.Interproc {
+			pm.Add(passes.InterprocPass{})
+		}
+	}
+	switch cfg.Variant {
 	case Pristine:
-		if !san.Enabled() {
+		if !cfg.Sanitize.Enabled() {
 			return out, nil
 		}
 		addSan()
@@ -137,14 +170,16 @@ func InstrumentSanitized(m *ir.Module, v Variant, san SanitizeMode) (*ir.Module,
 		pm.Add(passes.NewCoveragePass(CoverageSeed))
 	case ClosureX:
 		pm.Add(passes.ClosureXPipeline(false)...)
+		addInterproc()
 		addSan()
 		pm.Add(passes.NewCoveragePass(CoverageSeed))
 	case ClosureXDeferInit:
 		pm.Add(passes.ClosureXPipeline(true)...)
+		addInterproc()
 		addSan()
 		pm.Add(passes.NewCoveragePass(CoverageSeed))
 	default:
-		return nil, fmt.Errorf("core: unknown variant %d", int(v))
+		return nil, fmt.Errorf("core: unknown variant %d", int(cfg.Variant))
 	}
 	if err := pm.Run(out); err != nil {
 		return nil, err
@@ -154,26 +189,33 @@ func InstrumentSanitized(m *ir.Module, v Variant, san SanitizeMode) (*ir.Module,
 
 // Build compiles and instruments in one step.
 func Build(file, src string, v Variant) (*ir.Module, error) {
-	m, err := Compile(file, src)
-	if err != nil {
-		return nil, err
-	}
-	return Instrument(m, v)
+	return BuildWith(file, src, BuildConfig{Variant: v})
 }
 
 // BuildSanitized compiles and instruments with the given sanitizer mode.
 func BuildSanitized(file, src string, v Variant, san SanitizeMode) (*ir.Module, error) {
+	return BuildWith(file, src, BuildConfig{Variant: v, Sanitize: san})
+}
+
+// BuildWith compiles and instruments with a full build configuration.
+func BuildWith(file, src string, cfg BuildConfig) (*ir.Module, error) {
 	m, err := Compile(file, src)
 	if err != nil {
 		return nil, err
 	}
-	return InstrumentSanitized(m, v, san)
+	return InstrumentWith(m, cfg)
 }
 
 // VerifyModule runs the deep analysis verifier (structural invariants plus
-// definite-assignment dataflow) over m with the VM's builtin set.
+// definite-assignment dataflow) over m with the VM's builtin set, plus the
+// interprocedural elision audit: every TrackElide/FileElide mark and the
+// recorded may-write metadata must be re-derivable from the module as it
+// stands (CLX114/CLX117 on drift).
 func VerifyModule(m *ir.Module) analysis.Diagnostics {
-	return analysis.Verify(m, vm.Builtins())
+	ds := analysis.Verify(m, vm.Builtins())
+	ds = append(ds, interproc.Audit(m)...)
+	ds.Sort()
+	return ds
 }
 
 // LintModule runs the restore-completeness lints appropriate for a build
@@ -269,6 +311,18 @@ type InstanceOptions struct {
 	// unnecessary under SanitizeElide) and every VM — including the
 	// sentinel's fresh reference image — attaches shadow memory.
 	Sanitize SanitizeMode
+	// Interproc arms restore elision end to end: the build runs
+	// passes.InterprocPass and the ClosureX harness scopes its global
+	// snapshot/restore/watchdog work to the analysis-proven may-write
+	// ranges (harness.Options.ElideRestore). Coverage bitmaps and corpora
+	// are bit-identical with and without it — only restore bandwidth and
+	// bookkeeping change.
+	Interproc bool
+	// AuditRestore arms the runtime elision audit: every AuditEveryDefault
+	// iterations the harness re-checks the full closure section (and the
+	// must-free/must-close censuses) against the init snapshot, repairing
+	// and surfacing an ErrAudit on any drift the elided restore missed.
+	AuditRestore bool
 	// Injector arms fault injection across the VM and harness.
 	Injector *faultinject.Injector
 	// Stop propagates a supervisor's shutdown request into the campaign.
@@ -296,9 +350,25 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	if variant == ClosureX && opts.DeferInit {
 		variant = ClosureXDeferInit
 	}
-	mod, err := BuildSanitized(t.Short+".c", t.Source, variant, opts.Sanitize)
+	mod, err := BuildWith(t.Short+".c", t.Source, BuildConfig{
+		Variant:   variant,
+		Sanitize:  opts.Sanitize,
+		Interproc: opts.Interproc,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: build %s: %w", t.Name, err)
+	}
+	hopts := opts.HarnessOpts
+	if opts.Interproc || opts.AuditRestore {
+		h := harness.FullRestore()
+		if hopts != nil {
+			h = *hopts
+		}
+		h.ElideRestore = h.ElideRestore || opts.Interproc
+		if opts.AuditRestore && h.AuditEvery <= 0 {
+			h.AuditEvery = AuditEveryDefault
+		}
+		hopts = &h
 	}
 	pages := t.ImagePages
 	switch {
@@ -319,7 +389,7 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 			Budget:            opts.Budget,
 			ImagePages:        pages,
 			TraceEdges:        opts.TraceEdges,
-			HarnessOpts:       opts.HarnessOpts,
+			HarnessOpts:       hopts,
 			Files:             opts.Files,
 			Injector:          opts.Injector,
 			DeterministicRand: opts.DeterministicRand,

@@ -281,6 +281,11 @@ func (c *Campaign) Execs() int64 { return c.execs }
 // Edges returns cumulative distinct coverage-map indices hit.
 func (c *Campaign) Edges() int { return c.bitmap.Edges() }
 
+// BitmapSnapshot copies the cumulative virgin coverage map. The interproc
+// differential suite diffs two campaigns' maps byte for byte — a stronger
+// claim than matching edge counts, which could agree by coincidence.
+func (c *Campaign) BitmapSnapshot() []byte { return c.bitmap.Snapshot() }
+
 // QueueLen returns the current queue size.
 func (c *Campaign) QueueLen() int { return len(c.queue) }
 

@@ -1,0 +1,43 @@
+package passes
+
+import (
+	"fmt"
+
+	"closurex/internal/analysis/interproc"
+	"closurex/internal/ir"
+)
+
+// InterprocPass runs the interprocedural mod/ref + lifetime analysis
+// (internal/analysis/interproc) and commits its results to the module:
+// TrackElide marks on allocation sites proven freed on every path,
+// FileElide marks on fopen sites proven closed, and the
+// ir.Module.Interproc metadata (transitive may-write global set) the
+// harness uses to scope snapshot, watchdog and restore work.
+//
+// The pass runs after the ClosureX state-tracking pipeline (so sites are
+// already the closurex_* wrappers and writable globals are in
+// closure_global_section) and before CoveragePass/SanitizerPass. It
+// inserts no instructions and creates no blocks, so coverage geometry —
+// and therefore bitmaps and corpora — are bit-identical with and without
+// it; interproc.Audit re-derives every claim under VerifyEach.
+type InterprocPass struct{}
+
+// Name implements Pass.
+func (InterprocPass) Name() string { return "InterprocPass" }
+
+// Description implements Pass.
+func (InterprocPass) Description() string {
+	return "Prove restore-elision claims: may-written globals, must-freed chunks, must-closed files"
+}
+
+// Run implements Pass.
+func (InterprocPass) Run(m *ir.Module) error {
+	if m.Interproc != nil {
+		return nil // idempotent
+	}
+	if m.Func(TargetMain) == nil {
+		return fmt.Errorf("module has no %s; run the ClosureX pipeline first", TargetMain)
+	}
+	interproc.Apply(m, interproc.Analyze(m))
+	return nil
+}

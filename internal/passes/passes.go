@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"closurex/internal/analysis"
+	"closurex/internal/analysis/interproc"
 	"closurex/internal/ir"
 )
 
@@ -81,6 +82,12 @@ func (pm *Manager) Run(m *ir.Module) error {
 		if pm.verifyEach {
 			if ds := analysis.Verify(m, pm.builtins); ds.HasErrors() {
 				return fmt.Errorf("verify-each: pass %s left the module invalid: %w", p.Name(), ds.Err())
+			}
+			// Re-derive every interprocedural elision claim: an unsound
+			// TrackElide/FileElide mark or drifted may-write metadata is a
+			// pipeline bug on par with a structural violation.
+			if ds := interproc.Audit(m); ds.HasErrors() {
+				return fmt.Errorf("verify-each: pass %s broke an elision claim: %w", p.Name(), ds.Err())
 			}
 		}
 	}

@@ -53,6 +53,12 @@ type OpenFile struct {
 	// (the paper's initialization-handle optimization).
 	Init   bool
 	closed bool
+	// Elided marks descriptors opened at a FileElide fopen site: the
+	// interprocedural analysis proved the target closes them on every
+	// path, so the harness expects none leaked at restore time (on
+	// non-crashed iterations) and audits that instead of recording the
+	// site in the fd table's leak bookkeeping.
+	Elided bool
 }
 
 // FS is a process-private view of the filesystem plus its descriptor table.
@@ -316,6 +322,27 @@ func (fs *FS) LeakedCount() int {
 	n := 0
 	for _, of := range fs.fds {
 		if !of.Init {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkElided flags fd as opened at a FileElide fopen site. Called by the
+// VM right after the open; unknown descriptors are ignored.
+func (fs *FS) MarkElided(fd int) {
+	if of, ok := fs.fds[fd]; ok {
+		of.Elided = true
+	}
+}
+
+// ElidedLeakCount reports how many leaked (non-init, live) descriptors
+// came from FileElide sites — each one contradicts a must-close proof and
+// is surfaced by the harness's elision audit.
+func (fs *FS) ElidedLeakCount() int {
+	n := 0
+	for _, of := range fs.fds {
+		if !of.Init && of.Elided {
 			n++
 		}
 	}

@@ -150,6 +150,9 @@ func noteAllocSite(v *VM, in *ir.Instr) {
 		fn = v.curFn.Name
 	}
 	v.Heap.NoteSite(fn, in.Pos)
+	if in.TrackElide {
+		v.Heap.NoteElide()
+	}
 }
 
 func biMalloc(v *VM, in *ir.Instr, args []int64) (int64, error) {
@@ -479,6 +482,9 @@ func biFopen(v *VM, in *ir.Instr, args []int64) (int64, error) {
 		// abort on NULL turn descriptor exhaustion into the false crashes
 		// the paper describes.
 		return 0, nil
+	}
+	if in.FileElide {
+		v.FS.MarkElided(fd)
 	}
 	return int64(fd), nil
 }
