@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race faultcheck lint sanitize interproc check bench benchjson clean
+.PHONY: all build test vet race faultcheck lint sanitize interproc chaos check bench benchjson clean
 
 all: build
 
@@ -55,7 +55,20 @@ interproc:
 	$(GO) test -run 'Interproc|Elision|Elide' ./internal/core/ ./internal/harness/ ./internal/vm/ ./internal/passes/
 	$(GO) run ./cmd/closurex-lint -q -target all -interproc-report
 
-check: vet test race faultcheck lint sanitize interproc benchjson
+# Chaos gate: the shard-supervision fault-injection matrix. Unit level,
+# the chaos suite (shard kill -> restart/quarantine, restore corruption ->
+# rebuild ladder, corpus delay/drop, hang escalation, torn checkpoint
+# writes, elastic resume) runs plain and under -race; end to end, the
+# closurex-bench matrix injects each fault class into a real compiled
+# target's parallel campaign and gates on completion + coverage superset +
+# no goroutine leak.
+chaos:
+	$(GO) test -run 'Chaos|Supervis|Elastic|TornWrite|ResumeError|ForShard|HealthLog' \
+		./internal/fuzz/ ./internal/faultinject/ ./internal/stats/
+	$(GO) test -race -timeout 15m -run 'Chaos|Supervis|Elastic|TornWrite|ResumeError' ./internal/fuzz/
+	$(GO) run ./cmd/closurex-bench -chaos -chaos-execs 20000 -chaos-json BENCH_chaos.json
+
+check: vet test race faultcheck lint sanitize interproc chaos benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

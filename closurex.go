@@ -112,8 +112,13 @@ type Options struct {
 	// checkpointable boundary) once the channel is closed.
 	Stop <-chan struct{}
 	// ResumeFrom restores campaign state from Fuzzer.Checkpoint bytes.
-	// The source/benchmark, mechanism, Seed and Jobs must match the
-	// checkpointed run. Implies DeterministicRand.
+	// The source/benchmark, mechanism and Seed must match the checkpointed
+	// run. Implies DeterministicRand. A parallel checkpoint resumed under
+	// the same Jobs continues bit-identically; under a different Jobs > 1
+	// the resume is elastic — the merged corpus is re-sharded
+	// deterministically and coverage/counters/crash tables are preserved
+	// exactly, but the forward mutation streams differ (inherent to
+	// changing the topology).
 	ResumeFrom []byte
 	// Jobs shards the campaign across N parallel workers, each running its
 	// own process image with an independent RNG stream split from Seed,
@@ -121,7 +126,17 @@ type Options struct {
 	// discoveries through a corpus manager. 0 or 1 fuzzes sequentially;
 	// Jobs == 1 through the parallel executor is bit-identical to the
 	// sequential campaign. When the sentinel is armed it rides on shard 0.
+	// Each shard runs under a supervisor that restarts it on faults with
+	// exponential backoff, rebuilds its mechanism past MaxShardRestarts
+	// consecutive faults, and quarantines it permanently if that fails too
+	// — the campaign continues on the remaining healthy shards.
 	Jobs int
+	// MaxShardRestarts bounds consecutive supervised restarts per shard
+	// before escalation (0 = default 3). Jobs > 1 only.
+	MaxShardRestarts int
+	// ShardBackoff is the base shard-restart cooldown, doubling per
+	// consecutive fault (0 = default 2ms). Jobs > 1 only.
+	ShardBackoff time.Duration
 }
 
 // CrashReport describes one triaged, deduplicated crash.
@@ -237,6 +252,8 @@ func instanceOptions(opts Options) core.InstanceOptions {
 		Stop:              opts.Stop,
 		ResumeFrom:        opts.ResumeFrom,
 		Jobs:              opts.Jobs,
+		MaxShardRestarts:  opts.MaxShardRestarts,
+		ShardBackoff:      opts.ShardBackoff,
 		Interproc:         opts.Interproc,
 		AuditRestore:      opts.AuditRestore,
 	}
@@ -352,10 +369,63 @@ func report(cr *fuzz.Crash) CrashReport {
 
 // Checkpoint serializes the campaign's resumable state (queue, bitmap,
 // crash and hang tables, RNG, scheduler and sentinel cursors; with Jobs >
-// 1, one such blob per shard). Feed the bytes back through
-// Options.ResumeFrom (with the same Jobs) to continue the campaign — with
-// DeterministicRand, bit-identically to an uninterrupted run.
+// 1, one such blob per shard plus the merged campaign view). Feed the
+// bytes back through Options.ResumeFrom to continue the campaign — with
+// DeterministicRand and the same Jobs, bit-identically to an uninterrupted
+// run; with a different Jobs > 1, elastically (see Options.ResumeFrom).
 func (f *Fuzzer) Checkpoint() ([]byte, error) { return f.inst.Driver().Checkpoint() }
+
+// CheckpointTo writes the checkpoint atomically to path (temp file in the
+// same directory + rename), so a crash mid-write leaves the previous
+// checkpoint intact instead of a truncated file Resume would reject.
+func (f *Fuzzer) CheckpointTo(path string) error {
+	return fuzz.SaveCheckpoint(f.inst.Driver(), path, nil)
+}
+
+// ShardHealth is one parallel shard's supervision snapshot (see
+// Options.Jobs): progress counters, the supervisor's restart/rebuild/
+// quarantine state, and the corpus-exchange backpressure gauges.
+type ShardHealth struct {
+	Shard             int
+	Execs             int64
+	Crashes           int64
+	Hangs             int64
+	ExecRate          float64
+	Restarts          int64
+	Rebuilds          int64
+	RestoreFailures   int64
+	ConsecutiveFaults int64
+	HangEscalations   int64
+	InboxDropped      int64
+	PendingPublish    int64
+	Quarantined       bool
+	Stalled           bool
+	LastProgress      time.Time
+	LastFault         string
+	MechDegraded      bool
+}
+
+// ShardHealth snapshots per-shard supervision state. Sequential fuzzers
+// (Jobs <= 1) return nil. Safe to call while the campaign runs.
+func (f *Fuzzer) ShardHealth() []ShardHealth {
+	if f.inst.Parallel == nil {
+		return nil
+	}
+	var out []ShardHealth
+	for _, h := range f.inst.Parallel.Health() {
+		out = append(out, ShardHealth(h))
+	}
+	return out
+}
+
+// HealthyShards counts shards not quarantined by their supervisor (equal
+// to Jobs for sequential or fault-free fuzzers).
+func (f *Fuzzer) HealthyShards() int {
+	if f.inst.Parallel == nil {
+		return 1
+	}
+	return f.inst.Parallel.HealthyShards()
+}
 
 // MinimizeCrash shrinks a crashing input to a minimal witness that still
 // triggers the same triage bucket, then zeroes every byte that is not

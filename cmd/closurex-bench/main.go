@@ -51,6 +51,13 @@ func main() {
 		elisionExecs = flag.Int64("interproc-execs", 10000, "executions per elision point")
 		elisionJSON  = flag.String("interproc-json", "", "also write the elision report to this JSON file (e.g. BENCH_interproc.json)")
 	)
+	var (
+		chaos      = flag.Bool("chaos", false, "run the fault-injection matrix over the parallel campaign (shard kill, restore corruption, corpus delay/drop)")
+		chaosTgt   = flag.String("chaos-target", "gpmf-parser", "target for the chaos matrix")
+		chaosJobs  = flag.Int("chaos-jobs", 4, "shard count for the chaos matrix (min 3)")
+		chaosExecs = flag.Int64("chaos-execs", 30000, "aggregate executions per chaos scenario")
+		chaosJSON  = flag.String("chaos-json", "", "also write the chaos report to this JSON file (e.g. BENCH_chaos.json)")
+	)
 	flag.Parse()
 	if *parallelJSON != "" {
 		*scaling = true
@@ -61,7 +68,10 @@ func main() {
 	if *elisionJSON != "" {
 		*elision = true
 	}
-	if *table == "" && *figure == "" && !*ablation && !*scaling && !*sanOverhead && !*elision {
+	if *chaosJSON != "" {
+		*chaos = true
+	}
+	if *table == "" && *figure == "" && !*ablation && !*scaling && !*sanOverhead && !*elision && !*chaos {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -159,6 +169,23 @@ func main() {
 				fatalf("%v", err)
 			}
 			fmt.Printf("scaling report written to %s\n", *parallelJSON)
+		}
+	}
+
+	if *chaos {
+		rep, err := experiments.RunChaosMatrix(*chaosTgt, *chaosJobs, *chaosExecs, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiments.FormatChaos(rep))
+		if *chaosJSON != "" {
+			if err := experiments.WriteChaosJSON(*chaosJSON, rep); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("chaos report written to %s\n", *chaosJSON)
+		}
+		if !rep.AllPass {
+			fatalf("chaos matrix failed")
 		}
 	}
 

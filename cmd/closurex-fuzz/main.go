@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"closurex"
+	"closurex/internal/stats"
 )
 
 type seedFiles []string
@@ -36,6 +37,9 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "campaign RNG seed")
 		status     = flag.Duration("status", 2*time.Second, "status interval")
 		jobs       = flag.Int("jobs", 1, "parallel campaign shards (each with its own process image)")
+		maxShardRs = flag.Int("max-shard-restarts", 0, "consecutive supervised restarts per shard before mechanism rebuild (0 = default 3; -jobs > 1)")
+		shardBack  = flag.Duration("shard-backoff", 0, "base shard-restart cooldown, doubling per consecutive fault (0 = default 2ms; -jobs > 1)")
+		statsJSON  = flag.String("stats-json", "", "append per-shard health snapshots to this JSON-lines file at every status interval")
 	)
 	var (
 		outDir = flag.String("out", "", "directory to persist crashes/ and queue/ into")
@@ -59,15 +63,20 @@ func main() {
 	flag.Parse()
 
 	// A supervisor signal stops the campaign at the next coarse check
-	// instead of killing it mid-iteration, so the final checkpoint always
-	// lands on a clean Step boundary.
+	// instead of killing it mid-iteration, so every shard drains to a sync
+	// boundary and the final checkpoint always lands on clean Step
+	// boundaries. A second signal hard-exits for operators who cannot wait
+	// for the drain.
 	stop := make(chan struct{})
-	sigCh := make(chan os.Signal, 1)
+	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigCh
-		fmt.Fprintln(os.Stderr, "closurex-fuzz: signal received, stopping cleanly...")
+		fmt.Fprintln(os.Stderr, "closurex-fuzz: signal received, draining shards and checkpointing... (again to force quit)")
 		close(stop)
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "closurex-fuzz: second signal, exiting now")
+		os.Exit(130)
 	}()
 
 	opts := closurex.Options{
@@ -79,8 +88,10 @@ func main() {
 		Interproc:       *interproc,
 		AuditRestore:    *auditRest,
 		SentinelEvery:   *sentEvery,
-		Stop:            stop,
-		Jobs:            *jobs,
+		Stop:             stop,
+		Jobs:             *jobs,
+		MaxShardRestarts: *maxShardRs,
+		ShardBackoff:     *shardBack,
 	}
 	if *ckptPath != "" {
 		// Bit-identical resume needs the target's entropy pinned.
@@ -155,6 +166,14 @@ func main() {
 	} else {
 		fmt.Printf("fuzzing with mechanism=%s for %v\n", f.Mechanism(), *duration)
 	}
+	var healthLog *stats.HealthLog
+	if *statsJSON != "" {
+		healthLog, err = stats.OpenHealthLog(*statsJSON)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer healthLog.Close()
+	}
 	deadline := time.Now().Add(*duration)
 	lastCkpt := time.Now()
 	for time.Now().Before(deadline) && !stopped(stop) {
@@ -164,15 +183,29 @@ func main() {
 		}
 		f.RunFor(slice)
 		fmt.Println(f.Stats())
+		if healthLog != nil {
+			if err := healthLog.Append(healthSnapshot(f)); err != nil {
+				fmt.Fprintf(os.Stderr, "closurex-fuzz: stats-json: %v\n", err)
+			}
+		}
 		if *ckptPath != "" && time.Since(lastCkpt) >= *ckptEvery {
-			if err := writeCheckpoint(f, *ckptPath); err != nil {
+			if err := f.CheckpointTo(*ckptPath); err != nil {
 				fmt.Fprintf(os.Stderr, "closurex-fuzz: checkpoint: %v\n", err)
 			}
 			lastCkpt = time.Now()
 		}
+		if f.HealthyShards() == 0 {
+			fmt.Fprintln(os.Stderr, "closurex-fuzz: every shard quarantined; ending the campaign early")
+			break
+		}
+	}
+	if healthLog != nil {
+		if err := healthLog.Append(healthSnapshot(f)); err != nil {
+			fmt.Fprintf(os.Stderr, "closurex-fuzz: stats-json: %v\n", err)
+		}
 	}
 	if *ckptPath != "" {
-		if err := writeCheckpoint(f, *ckptPath); err != nil {
+		if err := f.CheckpointTo(*ckptPath); err != nil {
 			fatalf("final checkpoint: %v", err)
 		}
 		fmt.Printf("checkpoint written to %s\n", *ckptPath)
@@ -257,19 +290,47 @@ func stopped(stop <-chan struct{}) bool {
 	}
 }
 
-// writeCheckpoint atomically replaces path with the campaign's current
-// resumable state (write-to-temp + rename, so a crash mid-write never
-// truncates the previous good checkpoint).
-func writeCheckpoint(f *closurex.Fuzzer, path string) error {
-	data, err := f.Checkpoint()
-	if err != nil {
-		return err
+// healthSnapshot assembles one -stats-json line from the fuzzer's current
+// aggregate stats and per-shard supervision state.
+func healthSnapshot(f *closurex.Fuzzer) stats.HealthSnapshot {
+	st := f.Stats()
+	snap := stats.HealthSnapshot{
+		Execs:         st.Execs,
+		Edges:         st.Edges,
+		Corpus:        st.QueueLen,
+		Crashes:       len(st.Crashes),
+		Hangs:         len(st.Hangs),
+		Divergences:   st.Divergences,
+		HealthyShards: f.HealthyShards(),
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
+	if st.ExecsPerSec > 0 {
+		snap.ElapsedSec = float64(st.Execs) / st.ExecsPerSec
 	}
-	return os.Rename(tmp, path)
+	for _, h := range f.ShardHealth() {
+		rec := stats.ShardHealthRecord{
+			Shard:             h.Shard,
+			Execs:             h.Execs,
+			Crashes:           h.Crashes,
+			Hangs:             h.Hangs,
+			ExecRate:          h.ExecRate,
+			Restarts:          h.Restarts,
+			Rebuilds:          h.Rebuilds,
+			RestoreFailures:   h.RestoreFailures,
+			ConsecutiveFaults: h.ConsecutiveFaults,
+			HangEscalations:   h.HangEscalations,
+			InboxDropped:      h.InboxDropped,
+			PendingPublish:    h.PendingPublish,
+			Quarantined:       h.Quarantined,
+			Stalled:           h.Stalled,
+			LastFault:         h.LastFault,
+			MechDegraded:      h.MechDegraded,
+		}
+		if !h.LastProgress.IsZero() {
+			rec.LastProgress = h.LastProgress.UTC().Format(time.RFC3339Nano)
+		}
+		snap.Shards = append(snap.Shards, rec)
+	}
+	return snap
 }
 
 func preview(b []byte) string {

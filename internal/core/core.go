@@ -8,6 +8,8 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"closurex/internal/analysis"
 	"closurex/internal/analysis/interproc"
@@ -259,6 +261,10 @@ type Instance struct {
 	Mechs []execmgr.Mechanism
 	// Parallel is non-nil when the instance runs sharded (Jobs > 1).
 	Parallel *fuzz.ParallelCampaign
+
+	// mechMu guards Mechs against concurrent mutation by shard-supervisor
+	// rebuild callbacks (nil for sequential instances, which never rebuild).
+	mechMu *sync.Mutex
 }
 
 // Driver returns the active campaign — sequential or parallel — behind the
@@ -334,10 +340,18 @@ type InstanceOptions struct {
 	// Jobs shards the campaign across N parallel workers, each with its
 	// own process image and harness, merging coverage into a shared global
 	// bitmap. 0 or 1 runs the plain sequential campaign; Jobs == 1 via the
-	// parallel executor is bit-identical to it. Checkpoints are
-	// topology-specific: a sequential checkpoint resumes only with Jobs <=
-	// 1 and a J-shard checkpoint only with the same Jobs.
+	// parallel executor is bit-identical to it. A parallel checkpoint
+	// resumes bit-identically under the same Jobs and elastically (corpus
+	// re-sharded deterministically, totals preserved) under any other
+	// Jobs > 1; sequential checkpoints still need Jobs <= 1.
 	Jobs int
+	// MaxShardRestarts bounds consecutive supervised restarts per shard
+	// before the supervisor escalates to a mechanism rebuild (0 uses the
+	// fuzz.SupervisorConfig default of 3). Parallel instances only.
+	MaxShardRestarts int
+	// ShardBackoff is the base cooldown before a shard restart, doubling
+	// per consecutive fault (0 uses the default). Parallel instances only.
+	ShardBackoff time.Duration
 }
 
 // NewInstance builds target t for the named mechanism and wires a
@@ -490,7 +504,8 @@ func newParallelInstance(
 	newSentinel func(mech execmgr.Mechanism, randSeed uint64) (*fuzz.SentinelConfig, error),
 	dict [][]byte, fingerprint string,
 ) (*Instance, error) {
-	var mechs []execmgr.Mechanism
+	mechs := make([]execmgr.Mechanism, 0, opts.Jobs)
+	mechMu := &sync.Mutex{}
 	closeAll := func() {
 		for _, m := range mechs {
 			m.Close()
@@ -505,7 +520,31 @@ func newParallelInstance(
 			return nil, fmt.Errorf("core: shard %d: %w", j, err)
 		}
 		mechs = append(mechs, mech)
-		shards = append(shards, fuzz.ShardConfig{Executor: mech, CovMap: cov})
+		sc := fuzz.ShardConfig{Executor: mech, CovMap: cov}
+		// The supervisor's escalation rebuild: a brand-new mechanism (fresh
+		// VM + harness) over the same module, swapped into the instance's
+		// mechanism table so Close releases the replacement, not the corpse.
+		// Shard 0 skips this when the sentinel is armed — the sentinel's
+		// controller is wired to the original mechanism, and a swap would
+		// leave it probing a closed image (the mechanism-level rebuild
+		// ladder still covers that shard).
+		if j > 0 || opts.SentinelEvery <= 0 {
+			j := j
+			sc.Rebuild = func() (fuzz.Executor, []byte, error) {
+				ncov := make([]byte, fuzz.MapSize)
+				nm, rerr := newMech(ncov, fuzz.ShardSeed(opts.TrialSeed, j))
+				if rerr != nil {
+					return nil, nil, rerr
+				}
+				mechMu.Lock()
+				old := mechs[j]
+				mechs[j] = nm
+				mechMu.Unlock()
+				old.Close()
+				return nm, ncov, nil
+			}
+		}
+		shards = append(shards, sc)
 	}
 	pcfg := fuzz.ParallelConfig{
 		Shards:      shards,
@@ -515,6 +554,11 @@ func newParallelInstance(
 		MaxInputLen: t.MaxInputLen,
 		Dict:        dict,
 		Stop:        opts.Stop,
+		Supervisor: fuzz.SupervisorConfig{
+			MaxRestarts: opts.MaxShardRestarts,
+			Backoff:     opts.ShardBackoff,
+			Injector:    opts.Injector,
+		},
 	}
 	if opts.SentinelEvery > 0 {
 		sc, err := newSentinel(mechs[0], fuzz.ShardSeed(opts.TrialSeed, 0))
@@ -538,12 +582,16 @@ func newParallelInstance(
 	return &Instance{
 		Target: t, Module: mod,
 		Mech: mechs[0], CovMap: shards[0].CovMap,
-		Mechs: mechs, Parallel: par,
+		Mechs: mechs, Parallel: par, mechMu: mechMu,
 	}, nil
 }
 
 // Close releases every shard mechanism's resources.
 func (in *Instance) Close() {
+	if in.mechMu != nil {
+		in.mechMu.Lock()
+		defer in.mechMu.Unlock()
+	}
 	for _, m := range in.Mechs {
 		m.Close()
 	}

@@ -51,13 +51,14 @@ type Resilient struct {
 	cx *ClosureX   // primary; released once degraded
 	fb *ForkServer // fallback; built on degrade
 
-	execs      int64
-	sinceCheck int
-	cooldown   int // executions left before the watchdog re-arms
-	consecFail int
-	rebuilds   int64
-	degraded   bool
-	reason     string
+	execs        int64
+	sinceCheck   int
+	cooldown     int // executions left before the watchdog re-arms
+	consecFail   int
+	rebuilds     int64
+	restoreFails int64
+	degraded     bool
+	reason       string
 
 	quarantined [][]byte
 	events      []Event
@@ -102,6 +103,7 @@ func (r *Resilient) Execute(input []byte) vm.Result {
 		// the input that was executing when restoration failed — it is the
 		// prime suspect for having driven the target into the bad state.
 		r.quarantined = append(r.quarantined, append([]byte(nil), input...))
+		r.restoreFails++
 		r.event("restore-failure", err.Error())
 		r.rebuild("restore failure: " + err.Error())
 		return res
@@ -194,6 +196,10 @@ func (r *Resilient) Harness() interface{ Verify() error } {
 
 // Rebuilds returns how many times the persistent image was rebuilt.
 func (r *Resilient) Rebuilds() int64 { return r.rebuilds }
+
+// RestoreFailures returns how many executions ended with a restore error —
+// the shard-health telemetry a fleet supervisor watches for harness rot.
+func (r *Resilient) RestoreFailures() int64 { return r.restoreFails }
 
 // DegradedReason returns why the fallback engaged ("" while healthy).
 func (r *Resilient) DegradedReason() string { return r.reason }

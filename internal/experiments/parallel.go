@@ -19,6 +19,9 @@ import (
 )
 
 // ScalingRow is one shard-count point of the parallel-scaling experiment.
+// Restarts/Quarantined are supervision tripwires: a fault-free scaling run
+// must report zero for both, so any nonzero value in BENCH_parallel.json
+// flags organic shard faults that would distort the throughput numbers.
 type ScalingRow struct {
 	Jobs        int     `json:"jobs"`
 	Execs       int64   `json:"execs"`
@@ -26,6 +29,8 @@ type ScalingRow struct {
 	ExecsPerSec float64 `json:"execs_per_sec"`
 	Edges       int     `json:"edges"`
 	Speedup     float64 `json:"speedup"` // throughput relative to jobs=1
+	Restarts    int64   `json:"restarts"`
+	Quarantined int     `json:"quarantined_shards"`
 }
 
 // ScalingReport is the JSON envelope BENCH_parallel.json carries.
@@ -103,6 +108,14 @@ func RunParallelScaling(target string, jobsList []int, execsPerPoint int64, seed
 		}
 		if elapsed > 0 {
 			row.ExecsPerSec = float64(row.Execs) / elapsed.Seconds()
+		}
+		if inst.Parallel != nil {
+			for _, h := range inst.Parallel.Health() {
+				row.Restarts += h.Restarts
+				if h.Quarantined {
+					row.Quarantined++
+				}
+			}
 		}
 		if len(rep.Rows) > 0 && rep.Rows[0].ExecsPerSec > 0 {
 			row.Speedup = row.ExecsPerSec / rep.Rows[0].ExecsPerSec

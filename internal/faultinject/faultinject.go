@@ -37,7 +37,31 @@ const (
 	RestoreHeap Site = "harness.restore-heap"
 	// RestoreFiles skips the harness's FD close/rewind step.
 	RestoreFiles Site = "harness.restore-files"
+	// ShardKill kills a parallel-campaign shard mid-exec (the shard's
+	// supervisor catches the death and climbs the restart ladder).
+	ShardKill Site = "fuzz.shard-kill"
+	// ShardRestore corrupts a shard's restore path: the shard faults with a
+	// restore-corruption verdict, which the supervisor answers with a
+	// mechanism rebuild before escalating to shard replacement.
+	ShardRestore Site = "fuzz.shard-restore"
+	// CorpusDelay stalls the corpus-manager goroutine on a message,
+	// modelling a slow exchange path (healthy shards must keep fuzzing).
+	CorpusDelay Site = "fuzz.corpus-delay"
+	// CorpusDrop loses a corpus-channel message entirely (coverage is
+	// unaffected — it merges through the bitmap, not the channel).
+	CorpusDrop Site = "fuzz.corpus-drop"
+	// CheckpointWrite fails a checkpoint file write mid-stream, leaving a
+	// truncated temp file behind — the torn-write crash the atomic
+	// write-then-rename protocol must survive.
+	CheckpointWrite Site = "fuzz.checkpoint-write"
 )
+
+// ForShard scopes a site to one parallel-campaign shard, so chaos tests can
+// kill shard 2 while shards 0, 1 and 3 stay healthy. The parallel layer
+// probes both the generic site and the shard-scoped one.
+func ForShard(s Site, shard int) Site {
+	return Site(fmt.Sprintf("%s.%d", s, shard))
+}
 
 // rule decides when a site fires.
 type rule struct {

@@ -73,6 +73,30 @@ func TestClearAndReset(t *testing.T) {
 	}
 }
 
+func TestForShardScopesSites(t *testing.T) {
+	in := New(1)
+	// Arming shard 1's kill site must not fire shard 0's, nor the generic
+	// (unscoped) site, and vice versa.
+	in.FailAfter(ForShard(ShardKill, 1), 0, -1)
+	if in.Should(ForShard(ShardKill, 0)) {
+		t.Fatal("shard 0 site fired from shard 1's rule")
+	}
+	if in.Should(ShardKill) {
+		t.Fatal("generic site fired from a shard-scoped rule")
+	}
+	if !in.Should(ForShard(ShardKill, 1)) {
+		t.Fatal("armed shard-scoped site silent")
+	}
+	if got := ForShard(ShardRestore, 3); got != Site("fuzz.shard-restore.3") {
+		t.Fatalf("ForShard naming drifted: %q", got)
+	}
+	// Per-shard counters stay per-shard.
+	if in.Fired(ForShard(ShardKill, 0)) != 0 || in.Fired(ForShard(ShardKill, 1)) != 1 {
+		t.Fatalf("scoped counters crossed: shard0=%d shard1=%d",
+			in.Fired(ForShard(ShardKill, 0)), in.Fired(ForShard(ShardKill, 1)))
+	}
+}
+
 func TestProbabilisticIsSeededDeterministic(t *testing.T) {
 	seq := func(seed uint64) []bool {
 		in := New(seed)

@@ -23,9 +23,12 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"closurex/internal/faultinject"
 )
 
 // Driver is the campaign interface shared by the sequential Campaign and
@@ -35,6 +38,7 @@ type Driver interface {
 	RunExecs(n int64)
 	Execs() int64
 	Edges() int
+	BitmapSnapshot() []byte
 	Queue() []*Entry
 	QueueLen() int
 	Crashes() []*Crash
@@ -138,6 +142,12 @@ func (g *GlobalBitmap) Snapshot() []byte {
 type ShardConfig struct {
 	Executor Executor
 	CovMap   []byte
+	// Rebuild, when non-nil, constructs a replacement executor + coverage
+	// map after the shard's supervisor escalates past plain restarts (a
+	// fresh VM/harness build). The callback owns retiring the old
+	// mechanism. Optional: without it (and without a mechanism-level
+	// rebuild ladder) the escalation step quarantines directly.
+	Rebuild func() (Executor, []byte, error)
 }
 
 // ParallelConfig tunes a parallel campaign. The fuzzing knobs mirror
@@ -164,6 +174,10 @@ type ParallelConfig struct {
 	// shard continuously cross-checks the persistent mechanism against the
 	// fresh-process reference while the rest fuzz at full speed.
 	Sentinel *SentinelConfig
+	// Supervisor tunes the per-shard fault-tolerance ladder (restart →
+	// rebuild → quarantine), the hang escalation check, and the bounded
+	// corpus exchange. The zero value selects production defaults.
+	Supervisor SupervisorConfig
 }
 
 // shardCounters are the per-shard counters Stats-style readers sample with
@@ -181,11 +195,20 @@ type shard struct {
 	id int
 	c  *Campaign
 
-	// lastSync is the exec count at the previous sync boundary.
-	lastSync int64
-	// published is the queue index up to which entries have been sent to
-	// the corpus manager.
+	// lastSync is the exec count at the previous sync boundary;
+	// lastSyncAt is its wall-clock time (exec-rate windows).
+	lastSync   int64
+	lastSyncAt time.Time
+	// published is the queue index up to which entries have been captured
+	// for the corpus manager.
 	published int
+	// pendingPub holds captured entries the manager has not yet accepted —
+	// the backpressure buffer that keeps a slow manager from ever blocking
+	// this shard's exec loop.
+	pendingPub []*Entry
+	// rebuild is the supervisor's mechanism-replacement callback
+	// (ShardConfig.Rebuild).
+	rebuild func() (Executor, []byte, error)
 	// have tracks the content of every entry in this shard's queue, so
 	// rebroadcasts of inputs the shard already knows are dropped at adopt
 	// time instead of polluting the queue.
@@ -209,8 +232,10 @@ type corpusMsg struct {
 // ParallelCampaign fans one fuzzing trial out over J shards.
 type ParallelCampaign struct {
 	cfg      ParallelConfig
+	sup      SupervisorConfig
 	shards   []*shard
 	counters []shardCounters
+	health   []shardHealth
 	global   *GlobalBitmap
 
 	// seen is the corpus manager's content dedup set; corpus is the unique
@@ -218,6 +243,10 @@ type ParallelCampaign struct {
 	// goroutine while a run is active, by the caller otherwise.
 	seen   map[string]struct{}
 	corpus []*Entry
+
+	// events is the supervision log (see supervisor.go).
+	eventMu sync.Mutex
+	events  []ShardEvent
 
 	start   time.Time
 	elapsed time.Duration
@@ -232,9 +261,12 @@ func NewParallelCampaign(cfg ParallelConfig) (*ParallelCampaign, error) {
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = 256
 	}
+	cfg.Supervisor.setDefaults()
 	p := &ParallelCampaign{
 		cfg:      cfg,
+		sup:      cfg.Supervisor,
 		counters: make([]shardCounters, len(cfg.Shards)),
+		health:   make([]shardHealth, len(cfg.Shards)),
 		global:   NewGlobalBitmap(),
 		seen:     make(map[string]struct{}),
 	}
@@ -257,7 +289,7 @@ func NewParallelCampaign(cfg ParallelConfig) (*ParallelCampaign, error) {
 			CheckEvery:   cfg.CheckEvery,
 			Sentinel:     sent,
 		})
-		p.shards = append(p.shards, &shard{id: j, c: c, have: make(map[string]struct{})})
+		p.shards = append(p.shards, &shard{id: j, c: c, rebuild: sc.Rebuild, have: make(map[string]struct{})})
 	}
 	// Every shard bootstraps the same seed corpus itself; pre-seeding the
 	// dedup set stops the first shard to sync from rebroadcasting the seeds
@@ -281,11 +313,14 @@ func (p *ParallelCampaign) Shard(j int) *Campaign { return p.shards[j].c }
 func (p *ParallelCampaign) GlobalEdges() int { return p.global.Edges() }
 
 // syncShard runs one sync boundary for sh: sample counters, merge local
-// coverage into the global bitmap, publish fresh queue entries to the
-// manager, adopt imports. Publish happens before drain so a shard never
-// re-adopts content it is about to publish itself.
+// coverage into the global bitmap, capture fresh queue entries for the
+// manager, adopt imports. Capture happens before drain so a shard never
+// re-adopts content it is about to publish itself. Publishing is
+// non-blocking (flushPublishes) — a wedged manager can never stall a
+// healthy shard's exec loop.
 func (p *ParallelCampaign) syncShard(sh *shard, pub chan<- corpusMsg) {
 	c := sh.c
+	h := &p.health[sh.id]
 	atomic.StoreInt64(&p.counters[sh.id].execs, c.execs)
 	atomic.StoreInt64(&p.counters[sh.id].crashes, int64(len(c.crashes)))
 	atomic.StoreInt64(&p.counters[sh.id].hangs, int64(len(c.hangs)))
@@ -297,12 +332,68 @@ func (p *ParallelCampaign) syncShard(sh *shard, pub chan<- corpusMsg) {
 			sh.have[string(e.Input)] = struct{}{}
 		}
 		sh.published = n
-		if pub != nil && len(p.shards) > 1 {
-			pub <- corpusMsg{from: sh.id, entries: fresh}
+		if len(p.shards) > 1 {
+			sh.pendingPub = append(sh.pendingPub, fresh...)
 		}
 	}
+	p.flushPublishes(sh, pub, false)
 	sh.drainInbox()
+	// Reaching a boundary with fresh executions is recovery: it closes the
+	// shard's fault streak and counts as progress for the hang monitor.
+	now := time.Now()
+	if c.execs > sh.lastSync {
+		h.consecFaults.Store(0)
+		h.touchProgress()
+		if !sh.lastSyncAt.IsZero() {
+			if window := now.Sub(sh.lastSyncAt).Seconds(); window > 0 {
+				inst := float64(c.execs-sh.lastSync) / window
+				prev := math.Float64frombits(h.rateBits.Load())
+				if prev == 0 {
+					h.rateBits.Store(math.Float64bits(inst))
+				} else {
+					h.rateBits.Store(math.Float64bits(0.5*prev + 0.5*inst))
+				}
+			}
+		}
+	}
+	sh.lastSyncAt = now
 	sh.lastSync = c.execs
+}
+
+// flushPublishes hands the shard's captured entries to the manager. The
+// regular-boundary form is non-blocking: if the manager's channel is full
+// the entries stay pending and the shard keeps fuzzing (backpressure is a
+// counter, not a stall). The final form (quiescence, quarantine) blocks up
+// to PublishTimeout so redistribution survives a slow manager without ever
+// deadlocking on a dead one.
+func (p *ParallelCampaign) flushPublishes(sh *shard, pub chan<- corpusMsg, final bool) {
+	h := &p.health[sh.id]
+	if len(sh.pendingPub) == 0 || pub == nil || len(p.shards) == 1 {
+		sh.pendingPub = nil
+		h.pendingPub.Store(0)
+		return
+	}
+	msg := corpusMsg{from: sh.id, entries: sh.pendingPub}
+	if final {
+		t := time.NewTimer(p.sup.PublishTimeout)
+		defer t.Stop()
+		select {
+		case pub <- msg:
+			sh.pendingPub = nil
+		case <-t.C:
+			p.eventf(sh.id, sh.c.execs, "publish-timeout",
+				"manager did not accept %d entries within %v; coverage already merged", len(msg.entries), p.sup.PublishTimeout)
+			sh.pendingPub = nil
+		}
+	} else {
+		select {
+		case pub <- msg:
+			sh.pendingPub = nil
+		default:
+			// Manager busy: keep pending, retry at the next boundary.
+		}
+	}
+	h.pendingPub.Store(int64(len(sh.pendingPub)))
 }
 
 // drainInbox adopts imported entries into the local queue. Imports extend
@@ -330,9 +421,22 @@ func (sh *shard) drainInbox() {
 }
 
 // manager is the corpus-manager goroutine: single consumer of the publish
-// channel, owner of the global dedup set, broadcaster of originals.
+// channel, owner of the global dedup set, broadcaster of originals. Each
+// receiving shard's inbox is bounded by InboxCap: when a stalled shard stops
+// draining, its oldest pending imports are shed (and counted) instead of
+// growing the inbox without bound. Shedding is sound — imports are mutation
+// fodder only; their coverage already lives in the global bitmap.
 func (p *ParallelCampaign) manager(pub <-chan corpusMsg, done chan<- struct{}) {
+	inj := p.sup.Injector
 	for msg := range pub {
+		if inj != nil {
+			if inj.Should(faultinject.CorpusDelay) {
+				time.Sleep(2 * time.Millisecond)
+			}
+			if inj.Should(faultinject.CorpusDrop) {
+				continue
+			}
+		}
 		for _, e := range msg.entries {
 			k := string(e.Input)
 			if _, dup := p.seen[k]; dup {
@@ -344,8 +448,16 @@ func (p *ParallelCampaign) manager(pub <-chan corpusMsg, done chan<- struct{}) {
 				if other.id == msg.from {
 					continue
 				}
+				if p.health[other.id].quarantined.Load() {
+					continue
+				}
 				other.inbox.Lock()
 				other.inbox.entries = append(other.inbox.entries, e)
+				if cap := p.sup.InboxCap; cap > 0 && len(other.inbox.entries) > cap {
+					shed := len(other.inbox.entries) - cap
+					other.inbox.entries = append([]*Entry(nil), other.inbox.entries[shed:]...)
+					p.health[other.id].inboxDropped.Add(int64(shed))
+				}
 				other.inbox.Unlock()
 			}
 		}
@@ -353,9 +465,10 @@ func (p *ParallelCampaign) manager(pub <-chan corpusMsg, done chan<- struct{}) {
 	close(done)
 }
 
-// run executes fn(shard) on every shard concurrently with the corpus
-// manager wired up, and waits for full quiescence (all shards done, manager
-// drained, leftover imports adopted).
+// run executes fn(shard) on every shard concurrently — each under its
+// supervisor — with the corpus manager and hang monitor wired up, and waits
+// for full quiescence (all shards done, manager drained, leftover imports
+// adopted).
 func (p *ParallelCampaign) run(fn func(sh *shard, pub chan<- corpusMsg)) {
 	if !p.running {
 		p.start = time.Now()
@@ -364,16 +477,29 @@ func (p *ParallelCampaign) run(fn func(sh *shard, pub chan<- corpusMsg)) {
 	pub := make(chan corpusMsg, len(p.shards))
 	done := make(chan struct{})
 	go p.manager(pub, done)
+	var monStop chan struct{}
+	var monWG sync.WaitGroup
+	if p.sup.HangAfter > 0 {
+		monStop = make(chan struct{})
+		monWG.Add(1)
+		go func() {
+			defer monWG.Done()
+			p.monitor(monStop)
+		}()
+	}
 	var wg sync.WaitGroup
 	for _, sh := range p.shards {
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
-			fn(sh, pub)
-			p.syncShard(sh, pub) // final boundary: flush everything
+			p.supervise(sh, pub, fn)
 		}(sh)
 	}
 	wg.Wait()
+	if monStop != nil {
+		close(monStop)
+		monWG.Wait()
+	}
 	close(pub)
 	<-done
 	// Imports broadcast during the final boundaries may have landed after a
@@ -414,7 +540,7 @@ func (p *ParallelCampaign) RunFor(d time.Duration) {
 		c := sh.c
 		for {
 			for i := 0; i < c.cfg.CheckEvery; i++ {
-				c.Step()
+				p.step(sh)
 				p.maybeSync(sh, pub)
 			}
 			if c.stopRequested() || time.Now().After(deadline) {
@@ -433,7 +559,7 @@ func (p *ParallelCampaign) RunExecs(n int64) {
 		c := sh.c
 		steps := 0
 		for p.othersExecs(sh)+c.execs < n {
-			c.Step()
+			p.step(sh)
 			p.maybeSync(sh, pub)
 			if steps++; steps >= c.cfg.CheckEvery {
 				steps = 0
@@ -459,6 +585,11 @@ func (p *ParallelCampaign) Execs() int64 {
 
 // Edges returns the merged global edge count. Safe to call concurrently.
 func (p *ParallelCampaign) Edges() int { return p.global.Edges() }
+
+// BitmapSnapshot copies the merged global virgin map. Safe to call
+// concurrently (the snapshot may straddle in-flight merges; each word is
+// read atomically).
+func (p *ParallelCampaign) BitmapSnapshot() []byte { return p.global.Snapshot() }
 
 // CrashCount returns the aggregate number of distinct crash buckets across
 // shards (an overcount when shards found the same bucket; Crashes dedups
@@ -546,25 +677,68 @@ func (p *ParallelCampaign) Elapsed() time.Duration {
 }
 
 // parallelCheckpointVersion guards the parallel checkpoint envelope format.
-const parallelCheckpointVersion = 1
+// v2 added the merged campaign view (corpus, bitmap, counters, crash
+// tables) alongside the per-shard blobs, which is what makes resume
+// elastic: the per-shard blobs serve the exact same-topology path, the
+// merged view serves re-sharding onto any J.
+const parallelCheckpointVersion = 2
 
-// parallelState is the gob envelope: one sequential-campaign checkpoint
-// blob per shard. Shard blobs embed their own fingerprint/seed validation.
+// parallelState is the gob envelope. The Shards blobs carry each shard's
+// full sequential checkpoint (bit-identical same-J resume); the merged
+// fields carry the topology-independent campaign state (elastic resume).
 type parallelState struct {
-	Version int
-	Jobs    int
-	Shards  [][]byte
+	Version     int
+	Jobs        int
+	Seed        uint64
+	Fingerprint string
+	Shards      [][]byte
+
+	// Merged, topology-independent view. Corpus is the deduplicated
+	// cross-shard queue in canonical shard-major order — the order is part
+	// of the format, because elastic re-sharding derives shard assignment
+	// from corpus position.
+	Corpus      []entryState
+	Virgin      []byte
+	Edges       int
+	Execs       int64
+	Elapsed     time.Duration
+	Crashes     []Crash
+	Hangs       []Crash
+	Divergences []Divergence
+	Quarantined []entryState
 }
 
 // Checkpoint serializes the whole fleet. Requires quiescence.
 func (p *ParallelCampaign) Checkpoint() ([]byte, error) {
-	st := parallelState{Version: parallelCheckpointVersion, Jobs: len(p.shards)}
+	st := parallelState{
+		Version:     parallelCheckpointVersion,
+		Jobs:        len(p.shards),
+		Seed:        p.cfg.Seed,
+		Fingerprint: p.cfg.Fingerprint,
+		Virgin:      p.global.Snapshot(),
+		Edges:       p.global.Edges(),
+		Execs:       p.Execs(),
+		Elapsed:     p.Elapsed(),
+		Divergences: p.Divergences(),
+	}
 	for _, sh := range p.shards {
 		blob, err := sh.c.Checkpoint()
 		if err != nil {
 			return nil, fmt.Errorf("fuzz: checkpoint shard %d: %w", sh.id, err)
 		}
 		st.Shards = append(st.Shards, blob)
+	}
+	for _, e := range p.Queue() {
+		st.Corpus = append(st.Corpus, entryState{Input: e.Input, FoundAt: e.FoundAt, Gain: e.Gain})
+	}
+	for _, e := range p.Quarantined() {
+		st.Quarantined = append(st.Quarantined, entryState{Input: e.Input, FoundAt: e.FoundAt, Gain: e.Gain})
+	}
+	for _, cr := range p.Crashes() {
+		st.Crashes = append(st.Crashes, *cr)
+	}
+	for _, h := range p.Hangs() {
+		st.Hangs = append(st.Hangs, *h)
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
@@ -574,9 +748,15 @@ func (p *ParallelCampaign) Checkpoint() ([]byte, error) {
 }
 
 // ResumeParallel reconstructs a fleet from a Checkpoint blob. cfg must
-// describe the same trial (seed, fingerprint, shard count); each shard's
-// embedded checkpoint re-validates its own derived seed and fingerprint,
-// so a blob resumed under the wrong topology fails loudly.
+// describe the same trial (seed, fingerprint) but not the same topology:
+// with len(cfg.Shards) equal to the checkpoint's J the per-shard blobs
+// resume each shard bit-identically, and with any other J the merged
+// campaign state is re-sharded deterministically (corpus entry i lands on
+// shard i mod J′, every shard's bitmap starts from the merged virgin map,
+// the aggregate counters and crash tables land on shard 0). An elastic
+// resume preserves corpus contents, coverage, and totals exactly; only the
+// forward mutation streams differ from the uninterrupted run, which is
+// inherent to changing J.
 func ResumeParallel(cfg ParallelConfig, data []byte) (*ParallelCampaign, error) {
 	var st parallelState
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
@@ -585,9 +765,26 @@ func ResumeParallel(cfg ParallelConfig, data []byte) (*ParallelCampaign, error) 
 	if st.Version != parallelCheckpointVersion {
 		return nil, fmt.Errorf("%w: parallel version %d, want %d", ErrBadCheckpoint, st.Version, parallelCheckpointVersion)
 	}
-	if st.Jobs != len(cfg.Shards) {
-		return nil, fmt.Errorf("%w: checkpoint has %d shards, config has %d", ErrBadCheckpoint, st.Jobs, len(cfg.Shards))
+	if st.Jobs != len(st.Shards) {
+		return nil, fmt.Errorf("%w: envelope says %d shards but carries %d blobs", ErrBadCheckpoint, st.Jobs, len(st.Shards))
 	}
+	if st.Seed != cfg.Seed {
+		return nil, fmt.Errorf("%w: taken with seed %d, config says %d", ErrBadCheckpoint, st.Seed, cfg.Seed)
+	}
+	if st.Fingerprint != cfg.Fingerprint {
+		return nil, fmt.Errorf("%w: taken for %q, config says %q (resume needs the same target and mechanism)",
+			ErrBadCheckpoint, st.Fingerprint, cfg.Fingerprint)
+	}
+	if st.Jobs == len(cfg.Shards) {
+		return resumeParallelExact(cfg, &st)
+	}
+	return resumeParallelElastic(cfg, &st)
+}
+
+// resumeParallelExact is the same-topology path: every shard resumes from
+// its own full checkpoint, so continuing the campaign replays the exact
+// mutation streams the uninterrupted run would have produced.
+func resumeParallelExact(cfg ParallelConfig, st *parallelState) (*ParallelCampaign, error) {
 	p, err := NewParallelCampaign(cfg)
 	if err != nil {
 		return nil, err
@@ -628,6 +825,75 @@ func ResumeParallel(cfg ParallelConfig, data []byte) (*ParallelCampaign, error) 
 		atomic.StoreInt64(&p.counters[j].hangs, int64(len(c.hangs)))
 		p.elapsed = maxDuration(p.elapsed, c.Elapsed())
 	}
+	return p, nil
+}
+
+// resumeParallelElastic re-shards the merged campaign state onto a new J.
+// The assignment is deterministic (corpus position mod J′), so resuming the
+// same checkpoint at the same new J always yields the same fleet.
+func resumeParallelElastic(cfg ParallelConfig, st *parallelState) (*ParallelCampaign, error) {
+	if len(st.Corpus) == 0 {
+		return nil, fmt.Errorf("%w: elastic resume needs the merged corpus (empty envelope)", ErrBadCheckpoint)
+	}
+	p, err := NewParallelCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	corpus := make([]*Entry, len(st.Corpus))
+	for i, e := range st.Corpus {
+		corpus[i] = &Entry{Input: e.Input, FoundAt: e.FoundAt, Gain: e.Gain}
+	}
+	for j, sh := range p.shards {
+		c := sh.c
+		for i := j; i < len(corpus); i += len(p.shards) {
+			c.queue = append(c.queue, corpus[i])
+		}
+		if len(c.queue) == 0 {
+			// More shards than corpus entries: reuse an entry so the shard
+			// has mutation fodder (Queue() dedups, so contents are
+			// unaffected).
+			c.queue = append(c.queue, corpus[j%len(corpus)])
+		}
+		if err := c.bitmap.SetSnapshot(st.Virgin); err != nil {
+			return nil, err
+		}
+		// Seeds already ran in the original campaign; bootstrap must not
+		// run again (it would re-execute them and distort the counters).
+		c.started = true
+		c.start = time.Now()
+		sh.published = len(c.queue)
+		for _, e := range c.queue {
+			k := string(e.Input)
+			sh.have[k] = struct{}{}
+			p.seen[k] = struct{}{}
+		}
+		p.global.Merge(c.bitmap.virgin[:])
+	}
+	if got := p.global.Edges(); got != st.Edges {
+		return nil, fmt.Errorf("%w: edge count %d does not match bitmap (%d)", ErrBadCheckpoint, st.Edges, got)
+	}
+	// The aggregate view lands on shard 0: totals and tables survive the
+	// re-shard even though their per-shard attribution is gone.
+	c0 := p.shards[0].c
+	c0.execs = st.Execs
+	c0.elapsed = st.Elapsed
+	c0.divergences = st.Divergences
+	for i := range st.Crashes {
+		cr := st.Crashes[i]
+		c0.crashes[cr.Key] = &cr
+	}
+	for i := range st.Hangs {
+		h := st.Hangs[i]
+		c0.hangs[h.Key] = &h
+	}
+	for _, e := range st.Quarantined {
+		c0.quarantined = append(c0.quarantined, &Entry{Input: e.Input, FoundAt: e.FoundAt, Gain: e.Gain})
+	}
+	p.shards[0].lastSync = c0.execs
+	atomic.StoreInt64(&p.counters[0].execs, c0.execs)
+	atomic.StoreInt64(&p.counters[0].crashes, int64(len(c0.crashes)))
+	atomic.StoreInt64(&p.counters[0].hangs, int64(len(c0.hangs)))
+	p.elapsed = st.Elapsed
 	return p, nil
 }
 

@@ -270,15 +270,21 @@ func TestParallelCheckpointResume(t *testing.T) {
 		t.Fatalf("resumed fleet did not continue: %d execs", res.Execs())
 	}
 
-	// Topology validation: a blob resumed under the wrong shard count is an
-	// incompatible checkpoint, not silent corruption.
-	bad := mk()
+	// A different shard count is no longer an error — it takes the elastic
+	// path and preserves corpus contents and totals (deep coverage in
+	// TestParallelElasticResume).
+	grown := mk()
 	ex, cov := newLadder("MAGIC")
-	bad.Shards = append(bad.Shards, ShardConfig{Executor: ex, CovMap: cov})
-	if _, err := ResumeParallel(bad, blob); !errors.Is(err, ErrBadCheckpoint) {
-		t.Fatalf("wrong shard count accepted: %v", err)
+	grown.Shards = append(grown.Shards, ShardConfig{Executor: ex, CovMap: cov})
+	el, err := ResumeParallel(grown, blob)
+	if err != nil {
+		t.Fatalf("elastic resume onto J=3 failed: %v", err)
 	}
-	// And a truncated blob fails loudly too.
+	if el.Execs() != execs || el.Edges() != edges || el.QueueLen() != corpus {
+		t.Fatalf("elastic resume lost progress: execs %d->%d, edges %d->%d, corpus %d->%d",
+			execs, el.Execs(), edges, el.Edges(), corpus, el.QueueLen())
+	}
+	// A truncated blob fails loudly.
 	if _, err := ResumeParallel(mk(), blob[:10]); !errors.Is(err, ErrBadCheckpoint) {
 		t.Fatalf("truncated blob accepted: %v", err)
 	}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHealthLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "health.jsonl")
+	l, err := OpenHealthLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := []HealthSnapshot{
+		{ElapsedSec: 1.5, Execs: 1000, Edges: 42, Corpus: 7, HealthyShards: 4,
+			Shards: []ShardHealthRecord{
+				{Shard: 0, Execs: 600, ExecRate: 400.5},
+				{Shard: 1, Execs: 400, Restarts: 2, LastFault: "kill", Quarantined: true},
+			}},
+		{ElapsedSec: 3.0, Execs: 2500, Edges: 50, Corpus: 9, HealthyShards: 3},
+	}
+	for _, s := range snaps {
+		if err := l.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got []HealthSnapshot
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var s HealthSnapshot
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", len(got)+1, err)
+		}
+		got = append(got, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(snaps) {
+		t.Fatalf("read %d lines, wrote %d", len(got), len(snaps))
+	}
+	for i, s := range got {
+		if s.Time == "" {
+			t.Fatalf("line %d: Time not stamped", i+1)
+		}
+		if s.Execs != snaps[i].Execs || s.Edges != snaps[i].Edges || s.HealthyShards != snaps[i].HealthyShards {
+			t.Fatalf("line %d mismatch: %+v vs %+v", i+1, s, snaps[i])
+		}
+		if len(s.Shards) != len(snaps[i].Shards) {
+			t.Fatalf("line %d: %d shard records, want %d", i+1, len(s.Shards), len(snaps[i].Shards))
+		}
+	}
+	if !got[0].Shards[1].Quarantined || got[0].Shards[1].LastFault != "kill" {
+		t.Fatalf("shard record fields lost: %+v", got[0].Shards[1])
+	}
+}
+
+func TestHealthLogStampsTimeOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "health.jsonl")
+	l, err := OpenHealthLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A caller-provided Time must be preserved verbatim.
+	if err := l.Append(HealthSnapshot{Time: "2026-01-02T03:04:05Z"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s HealthSnapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Time != "2026-01-02T03:04:05Z" {
+		t.Fatalf("caller timestamp overwritten: %q", s.Time)
+	}
+}
