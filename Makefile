@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race faultcheck lint sanitize interproc chaos check bench benchjson clean
+.PHONY: all build test vet race faultcheck lint sanitize interproc harness-audit chaos check bench benchjson clean
 
 all: build
 
@@ -55,6 +55,16 @@ interproc:
 	$(GO) test -run 'Interproc|Elision|Elide' ./internal/core/ ./internal/harness/ ./internal/vm/ ./internal/passes/
 	$(GO) run ./cmd/closurex-lint -q -target all -interproc-report
 
+# Harness-quality gate: the audit analysis suites (reachability, coverage
+# geometry, input dataflow, auto-dictionary) plus the strict audited lint
+# run over every registered target — any CLX119-121 finding (dead harness
+# surface, degraded coverage geometry, dead dictionary token) fails the
+# build. The score cards print so regressions are diagnosable from CI logs.
+harness-audit:
+	$(GO) test ./internal/analysis/harnessaudit/
+	$(GO) test -run 'Dict|Catalog|PreferredProbe|CovMapCells|SeedMirrors' ./internal/fuzz/ ./internal/analysis/ ./internal/passes/ ./internal/core/
+	$(GO) run ./cmd/closurex-lint -q -strict -target all -harness-report
+
 # Chaos gate: the shard-supervision fault-injection matrix. Unit level,
 # the chaos suite (shard kill -> restart/quarantine, restore corruption ->
 # rebuild ladder, corpus delay/drop, hang escalation, torn checkpoint
@@ -68,7 +78,7 @@ chaos:
 	$(GO) test -race -timeout 15m -run 'Chaos|Supervis|Elastic|TornWrite|ResumeError' ./internal/fuzz/
 	$(GO) run ./cmd/closurex-bench -chaos -chaos-execs 20000 -chaos-json BENCH_chaos.json
 
-check: vet test race faultcheck lint sanitize interproc chaos benchjson
+check: vet test race faultcheck lint sanitize interproc harness-audit chaos benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -77,12 +87,15 @@ bench:
 # (jobs = 1, 2, 4, GOMAXPROCS -> BENCH_parallel.json), the sanitizer
 # overhead sweep (modes off / on / on+elide -> BENCH_sanitizer.json), and
 # the restore-elision sweep (elision off vs on per target ->
-# BENCH_interproc.json), so throughput, shadow-check cost and restore
-# scope are tracked as artifacts rather than eyeballed from logs.
+# BENCH_interproc.json), and the harness-audit sweep (auto-dictionary off
+# vs on per target -> BENCH_harness.json), so throughput, shadow-check
+# cost, restore scope and harness quality are tracked as artifacts rather
+# than eyeballed from logs.
 benchjson:
 	$(GO) run ./cmd/closurex-bench -parallel-scaling -parallel-execs 20000 -parallel-json BENCH_parallel.json
 	$(GO) run ./cmd/closurex-bench -sanitizer-overhead -sanitizer-execs 20000 -sanitizer-json BENCH_sanitizer.json
 	$(GO) run ./cmd/closurex-bench -restore-elision -interproc-execs 20000 -interproc-json BENCH_interproc.json
+	$(GO) run ./cmd/closurex-bench -dict-gain -dict-execs 20000 -dict-json BENCH_harness.json
 
 clean:
 	$(GO) clean ./...

@@ -70,6 +70,13 @@ type Options struct {
 	// Dict supplies format keywords (magics, FourCCs) for the dictionary
 	// mutators, as AFL users would via -x.
 	Dict [][]byte
+	// AutoDict additionally harvests an auto-dictionary from the compiled
+	// module: the input-dataflow analysis (analysis/harnessaudit) extracts
+	// the constants input-derived values are compared against — multi-byte
+	// magics in both endiannesses, rodata strings behind str/memcmp,
+	// call-site constant clusters — and merges them after Dict,
+	// deduplicated and capped. Off, the dictionary is exactly Dict.
+	AutoDict bool
 	// Resilient wraps the closurex mechanism in the campaign resilience
 	// ladder: a restore watchdog that validates post-iteration invariants,
 	// quarantine + image rebuild on violation, and graceful degradation to
@@ -256,6 +263,7 @@ func instanceOptions(opts Options) core.InstanceOptions {
 		ShardBackoff:      opts.ShardBackoff,
 		Interproc:         opts.Interproc,
 		AuditRestore:      opts.AuditRestore,
+		AutoDict:          opts.AutoDict,
 	}
 	if opts.Sanitize {
 		io.Sanitize = core.SanitizeElide

@@ -11,6 +11,7 @@
 //	closurex-bench -ablation
 //	closurex-bench -sanitizer-overhead -sanitizer-json BENCH_sanitizer.json
 //	closurex-bench -restore-elision -interproc-json BENCH_interproc.json
+//	closurex-bench -dict-gain -dict-json BENCH_harness.json
 package main
 
 import (
@@ -52,6 +53,11 @@ func main() {
 		elisionJSON  = flag.String("interproc-json", "", "also write the elision report to this JSON file (e.g. BENCH_interproc.json)")
 	)
 	var (
+		dictGain  = flag.Bool("dict-gain", false, "run the harness-audit sweep over every target (auto-dictionary off vs on)")
+		dictExecs = flag.Int64("dict-execs", 10000, "executions per auto-dictionary point")
+		dictJSON  = flag.String("dict-json", "", "also write the harness report to this JSON file (e.g. BENCH_harness.json)")
+	)
+	var (
 		chaos      = flag.Bool("chaos", false, "run the fault-injection matrix over the parallel campaign (shard kill, restore corruption, corpus delay/drop)")
 		chaosTgt   = flag.String("chaos-target", "gpmf-parser", "target for the chaos matrix")
 		chaosJobs  = flag.Int("chaos-jobs", 4, "shard count for the chaos matrix (min 3)")
@@ -68,10 +74,13 @@ func main() {
 	if *elisionJSON != "" {
 		*elision = true
 	}
+	if *dictJSON != "" {
+		*dictGain = true
+	}
 	if *chaosJSON != "" {
 		*chaos = true
 	}
-	if *table == "" && *figure == "" && !*ablation && !*scaling && !*sanOverhead && !*elision && !*chaos {
+	if *table == "" && *figure == "" && !*ablation && !*scaling && !*sanOverhead && !*elision && !*dictGain && !*chaos {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -214,6 +223,20 @@ func main() {
 				fatalf("%v", err)
 			}
 			fmt.Printf("elision report written to %s\n", *elisionJSON)
+		}
+	}
+
+	if *dictGain {
+		rep, err := experiments.RunDictGain(*dictExecs, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiments.FormatDictGain(rep))
+		if *dictJSON != "" {
+			if err := experiments.WriteDictGainJSON(*dictJSON, rep); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("harness report written to %s\n", *dictJSON)
 		}
 	}
 

@@ -53,6 +53,7 @@ func main() {
 		noElide   = flag.Bool("sanitize-no-elide", false, "with -sanitize: keep every check, disabling the static elision analysis (benchmark configuration)")
 		resilient = flag.Bool("resilient", false, "arm the restore watchdog + rebuild/fallback ladder")
 		interproc = flag.Bool("interproc", false, "arm interprocedural restore elision: snapshot/restore/watch only the analysis-proven may-written global ranges")
+		autoDict  = flag.Bool("auto-dict", false, "merge the statically harvested auto-dictionary (input-dataflow compare constants) into the mutation dictionary")
 		auditRest = flag.Bool("audit-restore", false, "periodically re-check the full closure section at runtime to validate elision soundness")
 		sentEvery = flag.Int64("sentinel-every", 0, "divergence sentinel period in execs (0 = off)")
 		ckptPath  = flag.String("checkpoint", "", "write campaign checkpoints to this file (periodically and on exit/signal)")
@@ -87,6 +88,7 @@ func main() {
 		Resilient:       *resilient,
 		Interproc:       *interproc,
 		AuditRestore:    *auditRest,
+		AutoDict:        *autoDict,
 		SentinelEvery:   *sentEvery,
 		Stop:             stop,
 		Jobs:             *jobs,

@@ -17,6 +17,14 @@
 // is printed: global-write scope, may-exit, and heap/file sites elided vs.
 // tracked (the CLX114-118 elision audit rules run as part of the gate).
 //
+// With -harness-report the harness-quality audit runs after the gate:
+// static reachability from target_main (CLX119 dead harness surface),
+// coverage-geometry analysis of the probe assignment (CLX120 saturation /
+// collision displacement), and input-dataflow constant harvesting that
+// cross-checks the target's mutation dictionary (CLX121 dead tokens) and
+// derives the auto-dictionary. A deterministic per-target score card is
+// printed, and -harness-json writes the cards as a byte-stable JSON array.
+//
 // With -format json, findings are emitted as one machine-readable JSON
 // array over all checked modules — schema analysis.JSONDiagnostic (file,
 // function, code, severity, pass, block, instr, line, message), sorted by
@@ -29,6 +37,8 @@
 //	closurex-lint -target gpmf-parser -variant baseline
 //	closurex-lint -target all -sanitize-report
 //	closurex-lint -target all -interproc-report
+//	closurex-lint -target all -harness-report
+//	closurex-lint -target all -harness-json cards.json
 //	closurex-lint -target all -format json
 //	closurex-lint -target all -strict
 //	closurex-lint -catalog
@@ -48,6 +58,7 @@ import (
 	"sort"
 
 	"closurex/internal/analysis"
+	"closurex/internal/analysis/harnessaudit"
 	"closurex/internal/analysis/interproc"
 	"closurex/internal/analysis/sanitize"
 	"closurex/internal/core"
@@ -64,6 +75,8 @@ func main() {
 		strict     = flag.Bool("strict", false, "exit non-zero on warning-severity diagnostics too")
 		sanReport  = flag.Bool("sanitize-report", false, "instrument with the sanitizer and print per-function check/elision counts")
 		ipReport   = flag.Bool("interproc-report", false, "instrument with InterprocPass and print the per-function restore-elision table")
+		haReport   = flag.Bool("harness-report", false, "run the harness-quality audit (CLX119-121) and print per-target score cards")
+		haJSON     = flag.String("harness-json", "", "write the harness score cards as a JSON array to this path (implies -harness-report)")
 		format     = flag.String("format", "text", "output format: text | json")
 	)
 	flag.Parse()
@@ -82,25 +95,30 @@ func main() {
 		fatalf(2, "%v", err)
 	}
 
-	type job struct{ name, file, src string }
+	audit := *haReport || *haJSON != ""
+
+	type job struct {
+		name, file, src string
+		dict            [][]byte
+	}
 	var jobs []job
 	switch {
 	case *targetName == "all":
 		for _, t := range targets.All() {
-			jobs = append(jobs, job{t.Name, t.Short + ".c", t.Source})
+			jobs = append(jobs, job{t.Name, t.Short + ".c", t.Source, dictBytes(t.Dict)})
 		}
 	case *targetName != "":
 		t := targets.Get(*targetName)
 		if t == nil {
 			fatalf(2, "unknown target %q (have %v)", *targetName, targets.Names())
 		}
-		jobs = append(jobs, job{t.Name, t.Short + ".c", t.Source})
+		jobs = append(jobs, job{t.Name, t.Short + ".c", t.Source, dictBytes(t.Dict)})
 	case *file != "":
 		data, rerr := os.ReadFile(*file)
 		if rerr != nil {
 			fatalf(2, "%v", rerr)
 		}
-		jobs = append(jobs, job{*file, *file, string(data)})
+		jobs = append(jobs, job{*file, *file, string(data), nil})
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -113,6 +131,7 @@ func main() {
 
 	failures, warnings := 0, 0
 	all := analysis.Diags{}
+	var cards []*harnessaudit.Card
 	for _, j := range jobs {
 		mod, berr := core.BuildWith(j.file, j.src, cfg)
 		if berr != nil {
@@ -121,6 +140,13 @@ func main() {
 			continue
 		}
 		ds := core.CheckModule(mod, v)
+		var card *harnessaudit.Card
+		if audit {
+			c, ads := harnessaudit.Audit(j.name, mod, harnessaudit.Options{Dict: j.dict})
+			card, cards = c, append(cards, c)
+			ds = append(ds, ads...)
+			ds.Sort()
+		}
 		warnings += countWarnings(ds)
 		all.Add(j.name, ds)
 		if ds.HasErrors() {
@@ -142,6 +168,9 @@ func main() {
 		if !*quiet {
 			fmt.Printf("OK    %s (verifier + %d lints clean)\n", j.name, len(analysis.LintCatalog()))
 		}
+		if card != nil {
+			fmt.Print(card.Format())
+		}
 		if *sanReport {
 			rep := sanitize.ReportModule(mod)
 			fmt.Printf("sanitizer check elision for %s:\n%s", j.name, rep.Format())
@@ -157,6 +186,15 @@ func main() {
 			fatalf(2, "encode: %v", jerr)
 		}
 		os.Stdout.Write(b)
+	}
+	if *haJSON != "" {
+		b, jerr := harnessaudit.CardsJSON(cards)
+		if jerr != nil {
+			fatalf(2, "encode score cards: %v", jerr)
+		}
+		if werr := os.WriteFile(*haJSON, b, 0o644); werr != nil {
+			fatalf(2, "%v", werr)
+		}
 	}
 	if failures > 0 {
 		os.Exit(1)
@@ -190,16 +228,24 @@ func parseVariant(s string) (core.Variant, error) {
 }
 
 func printCatalog() {
-	cat := analysis.LintCatalog()
+	cat := analysis.Catalog()
 	ids := make([]string, 0, len(cat))
 	for id := range cat {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	fmt.Println("Restore-completeness lint catalog (verifier IDs are CLX101+):")
+	fmt.Println("ClosureX diagnostic catalog (lints CLX001+, verifier CLX101+, audits CLX114+):")
 	for _, id := range ids {
 		fmt.Printf("  %s  %s\n", id, cat[id])
 	}
+}
+
+func dictBytes(dict []string) [][]byte {
+	out := make([][]byte, 0, len(dict))
+	for _, s := range dict {
+		out = append(out, []byte(s))
+	}
+	return out
 }
 
 func fatalf(code int, format string, args ...interface{}) {

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The single-source diagnostic catalog and the README's "Full diagnostic
+// catalog" table must stay in lockstep: every ID in one appears in the
+// other with identical wording, so `closurex-lint -catalog` and the docs
+// can never disagree about what a code means.
+func TestCatalogMatchesREADMETable(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^\| (CLX\d{3}) \| (.+) \|$`)
+	rows := map[string]string{}
+	for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+		rows[m[1]] = strings.TrimSpace(m[2])
+	}
+	cat := Catalog()
+	if len(rows) == 0 {
+		t.Fatal("README has no diagnostic catalog table")
+	}
+	if len(rows) != len(cat) {
+		t.Errorf("README table has %d rows, Catalog() has %d entries", len(rows), len(cat))
+	}
+	for id, want := range cat {
+		got, ok := rows[id]
+		if !ok {
+			t.Errorf("%s in Catalog() but missing from the README table", id)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s wording drifted:\n  catalog: %s\n  README : %s", id, want, got)
+		}
+	}
+	for id := range rows {
+		if _, ok := cat[id]; !ok {
+			t.Errorf("%s in the README table but missing from Catalog()", id)
+		}
+	}
+}
+
+// Catalog() must contain every restore-completeness lint (the subset
+// closurex-lint enumerates as "N lints clean") with identical wording.
+func TestCatalogSupersetOfLintCatalog(t *testing.T) {
+	cat := Catalog()
+	for id, want := range LintCatalog() {
+		got, ok := cat[id]
+		if !ok {
+			t.Errorf("lint %s missing from Catalog()", id)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s wording differs between LintCatalog() and Catalog():\n  lint   : %s\n  catalog: %s", id, want, got)
+		}
+	}
+}

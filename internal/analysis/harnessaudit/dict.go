@@ -1,0 +1,92 @@
+package harnessaudit
+
+// Dictionary liveness audit (CLX121). A manual dictionary token is *live*
+// when the input-dataflow witnesses account for it: either it overlaps a
+// harvested multi-byte token (substring in either direction — a token may
+// carry a magic plus padding, or name a prefix of a longer rodata string),
+// or at least half of its bytes individually match a byte/mask/interval
+// witness. The half-bytes rule keeps structured tokens like zlib's
+// "\x78\x9c" live when only the CMF byte is checked via a mask and the
+// FLG byte participates only in a checksum — over-approximating liveness
+// is deliberate; see the inputflow.go preamble.
+
+import (
+	"bytes"
+	"fmt"
+
+	"closurex/internal/analysis"
+)
+
+// dictAudit is the per-token liveness verdict over a manual dictionary.
+type dictAudit struct {
+	flow   *flowResult
+	tokens [][]byte
+	live   []bool
+	auto   [][]byte // the harvested auto-dictionary
+}
+
+func auditDict(flow *flowResult, dict [][]byte) *dictAudit {
+	a := &dictAudit{flow: flow, auto: flow.autoDict()}
+	for _, tok := range dict {
+		if len(tok) == 0 {
+			continue // the mutator drops empties; nothing to audit
+		}
+		a.tokens = append(a.tokens, tok)
+		a.live = append(a.live, tokenLive(flow, tok))
+	}
+	return a
+}
+
+func tokenLive(flow *flowResult, tok []byte) bool {
+	for _, w := range flow.tokens {
+		if bytes.Contains(w, tok) || bytes.Contains(tok, w) {
+			return true
+		}
+	}
+	matched := 0
+	for _, b := range tok {
+		if flow.matchesByte(b) {
+			matched++
+		}
+	}
+	return 2*matched >= len(tok)
+}
+
+// counts returns (total, live) token counts.
+func (a *dictAudit) counts() (total, live int) {
+	total = len(a.tokens)
+	for _, l := range a.live {
+		if l {
+			live++
+		}
+	}
+	return
+}
+
+// deadTokens returns the dead tokens, quoted, in dictionary order.
+func (a *dictAudit) deadTokens() []string {
+	var out []string
+	for i, tok := range a.tokens {
+		if !a.live[i] {
+			out = append(out, quoteToken(tok))
+		}
+	}
+	return out
+}
+
+// diagnostics emits CLX121 per dead token, in dictionary order.
+func (a *dictAudit) diagnostics() analysis.Diagnostics {
+	var ds analysis.Diagnostics
+	for i, tok := range a.tokens {
+		if a.live[i] {
+			continue
+		}
+		ds = append(ds, analysis.Diagnostic{
+			ID: analysis.IDDeadDictToken, Sev: analysis.SevWarn, Pass: auditPass,
+			Block: -1, Instr: -1,
+			Msg: fmt.Sprintf("dead dictionary token %s: no input-dataflow path carries its bytes into a comparison — mutation budget spent inserting it is wasted",
+				quoteToken(tok)),
+		})
+	}
+	return ds
+}

@@ -1,0 +1,134 @@
+package harnessaudit
+
+// The per-target score card — the deterministic, byte-stable artifact
+// closurex-lint -harness-report renders and -harness-json serializes. The
+// JSON field set is a compatibility contract like analysis.JSONDiagnostic:
+// extend it, never rename.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FuncCard is one function's surface entry on the card.
+type FuncCard struct {
+	Name            string  `json:"name"`
+	Reachable       bool    `json:"reachable"`
+	Blocks          int     `json:"blocks"`
+	ReachableBlocks int     `json:"reachable_blocks"`
+	ReachablePct    float64 `json:"reachable_pct"`
+}
+
+// Card is one target's harness-quality score card.
+type Card struct {
+	Target string `json:"target"`
+
+	// Surface (reachability).
+	Funcs             int        `json:"funcs"`
+	ReachableFuncs    int        `json:"reachable_funcs"`
+	Blocks            int        `json:"blocks"`
+	ReachableBlocks   int        `json:"reachable_blocks"`
+	ReachableBlockPct float64    `json:"reachable_block_pct"`
+	DeadFuncs         []string   `json:"dead_funcs,omitempty"`
+	Functions         []FuncCard `json:"functions"`
+
+	// Coverage geometry.
+	Probes          int     `json:"probes"`
+	StaticEdges     int     `json:"static_edges"`
+	MapCells        int     `json:"map_cells"`
+	DisplacedProbes int     `json:"displaced_probes"`
+	DisplacedPct    float64 `json:"displaced_pct"`
+	SaturationPct   float64 `json:"saturation_pct"`
+
+	// Dictionary liveness + auto-dictionary.
+	DictTokens     int      `json:"dict_tokens"`
+	LiveDictTokens int      `json:"live_dict_tokens"`
+	DeadDictTokens []string `json:"dead_dict_tokens,omitempty"`
+	DictLivePct    float64  `json:"dict_live_pct"`
+	AutoDictTokens int      `json:"auto_dict_tokens"`
+
+	// Score is the composite quality score in [0,100]: 40% reachable
+	// surface, 30% geometry headroom, 30% dictionary liveness.
+	Score float64 `json:"score"`
+}
+
+func buildCard(target string, reach *reachResult, geom *geomResult, audit *dictAudit) *Card {
+	funcs, liveFuncs, blocks, liveBlocks := reach.totals()
+	total, live := audit.counts()
+	c := &Card{
+		Target:            target,
+		Funcs:             funcs,
+		ReachableFuncs:    liveFuncs,
+		Blocks:            blocks,
+		ReachableBlocks:   liveBlocks,
+		ReachableBlockPct: pct(liveBlocks, blocks),
+		DeadFuncs:         reach.deadFuncNames(),
+		Probes:            geom.probes,
+		StaticEdges:       geom.staticEdges,
+		MapCells:          geom.mapCells,
+		DisplacedProbes:   geom.displaced,
+		DisplacedPct:      geom.displacedPct(),
+		SaturationPct:     geom.saturationPct(),
+		DictTokens:        total,
+		LiveDictTokens:    live,
+		DeadDictTokens:    audit.deadTokens(),
+		DictLivePct:       pct(live, total),
+		AutoDictTokens:    len(audit.auto),
+	}
+	for i := range reach.funcs {
+		fr := &reach.funcs[i]
+		fc := FuncCard{
+			Name:            fr.name,
+			Reachable:       fr.reachable,
+			Blocks:          fr.blocks,
+			ReachableBlocks: fr.liveBlk,
+			ReachablePct:    pct(fr.liveBlk, fr.blocks),
+		}
+		if !fr.reachable {
+			fc.ReachableBlocks, fc.ReachablePct = 0, 0
+		}
+		c.Functions = append(c.Functions, fc)
+	}
+	sort.Slice(c.Functions, func(i, j int) bool { return c.Functions[i].Name < c.Functions[j].Name })
+
+	geomHealth := 100 - c.SaturationPct - c.DisplacedPct
+	if geomHealth < 0 {
+		geomHealth = 0
+	}
+	c.Score = round1(0.4*c.ReachableBlockPct + 0.3*geomHealth + 0.3*c.DictLivePct)
+	return c
+}
+
+// Format renders the card as the human-readable block -harness-report
+// prints.
+func (c *Card) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness score card for %s: %.1f/100\n", c.Target, c.Score)
+	fmt.Fprintf(&b, "  surface : %d/%d functions, %d/%d blocks reachable (%.1f%%)\n",
+		c.ReachableFuncs, c.Funcs, c.ReachableBlocks, c.Blocks, c.ReachableBlockPct)
+	fmt.Fprintf(&b, "  geometry: %d probes / %d cells (%.1f%% saturated), %d displaced (%.1f%%), %d static edges\n",
+		c.Probes, c.MapCells, c.SaturationPct, c.DisplacedProbes, c.DisplacedPct, c.StaticEdges)
+	fmt.Fprintf(&b, "  dict    : %d/%d tokens live (%.1f%%), %d auto-dict tokens harvested\n",
+		c.LiveDictTokens, c.DictTokens, c.DictLivePct, c.AutoDictTokens)
+	if len(c.DeadFuncs) > 0 {
+		fmt.Fprintf(&b, "  dead functions: %s\n", strings.Join(c.DeadFuncs, ", "))
+	}
+	if len(c.DeadDictTokens) > 0 {
+		fmt.Fprintf(&b, "  dead dict tokens: %s\n", strings.Join(c.DeadDictTokens, ", "))
+	}
+	return b.String()
+}
+
+// CardsJSON serializes score cards sorted by target name as indented JSON
+// with a trailing newline — byte-stable across runs for identical modules.
+func CardsJSON(cards []*Card) ([]byte, error) {
+	cp := append([]*Card(nil), cards...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Target < cp[j].Target })
+	b, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

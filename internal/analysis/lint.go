@@ -41,17 +41,18 @@ var rawCalls = map[string]struct {
 }
 
 // LintCatalog describes every restore-completeness lint, ID to summary —
-// the table DESIGN.md §7 renders and closurex-lint -catalog prints.
+// the table DESIGN.md §7 renders. It is the CLX001-007 slice of the full
+// Catalog, which is the single source of diagnostic wording.
 func LintCatalog() map[string]string {
-	return map[string]string{
-		IDRawHeapCall:   "raw heap call (malloc/calloc/realloc/free) survives HeapPass; the chunk would escape restore tracking",
-		IDRawFileCall:   "raw file call (fopen/fclose) survives FilePass; the descriptor would escape restore tracking",
-		IDRawExitCall:   "raw exit call survives ExitPass; the campaign process would terminate mid-loop",
-		IDGlobalSection: "writable global not in closure_global_section; its mutations would survive restore",
-		IDMainNotHooked: "entry point not renamed to target_main; the harness cannot drive the target",
-		IDCovCollision:  "coverage probe IDs collide; distinct blocks would alias one map cell",
-		IDProbeMissing:  "basic block lacks a coverage probe in an instrumented module; its coverage would be invisible",
+	full := Catalog()
+	out := make(map[string]string, 7)
+	for _, id := range []string{
+		IDRawHeapCall, IDRawFileCall, IDRawExitCall, IDGlobalSection,
+		IDMainNotHooked, IDCovCollision, IDProbeMissing,
+	} {
+		out[id] = full[id]
 	}
+	return out
 }
 
 // Lint runs the restore-completeness lints over a module that is expected

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"closurex/internal/analysis"
+	"closurex/internal/analysis/harnessaudit"
 	"closurex/internal/analysis/interproc"
 	"closurex/internal/execmgr"
 	"closurex/internal/faultinject"
@@ -345,6 +346,14 @@ type InstanceOptions struct {
 	// re-sharded deterministically, totals preserved) under any other
 	// Jobs > 1; sequential checkpoints still need Jobs <= 1.
 	Jobs int
+	// AutoDict harvests an input-dataflow auto-dictionary from the built
+	// module (analysis/harnessaudit: constants the target compares
+	// input-derived values against, in both endiannesses, plus rodata
+	// strings and call-site constant clusters) and merges it after the
+	// target's manual tokens, deduplicated and capped (fuzz.MergeDict).
+	// Off, the dictionary path is untouched — campaigns are bit-identical
+	// to builds that predate the wiring.
+	AutoDict bool
 	// MaxShardRestarts bounds consecutive supervised restarts per shard
 	// before the supervisor escalates to a mechanism rebuild (0 uses the
 	// fuzz.SupervisorConfig default of 3). Parallel instances only.
@@ -449,6 +458,9 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	var dict [][]byte
 	for _, tok := range t.Dict {
 		dict = append(dict, []byte(tok))
+	}
+	if opts.AutoDict {
+		dict = fuzz.MergeDict(append(dict, harnessaudit.Harvest(mod)...), fuzz.DefaultDictCap)
 	}
 	fingerprint := t.Name + "@" + mechanism
 

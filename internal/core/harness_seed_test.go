@@ -1,0 +1,19 @@
+package core
+
+import (
+	"testing"
+
+	"closurex/internal/analysis/harnessaudit"
+)
+
+// harnessaudit mirrors the coverage seed rather than importing core (core
+// imports harnessaudit for the auto-dictionary, so the dependency can only
+// point one way). If the mirror drifts, every probe in every audited module
+// would read as collision-displaced and CLX120 would fire on healthy
+// harnesses.
+func TestHarnessAuditSeedMirrorsCoverageSeed(t *testing.T) {
+	if harnessaudit.DefaultCoverageSeed != CoverageSeed {
+		t.Fatalf("harnessaudit.DefaultCoverageSeed = %#x, core.CoverageSeed = %#x; the mirrored constant drifted",
+			harnessaudit.DefaultCoverageSeed, CoverageSeed)
+	}
+}

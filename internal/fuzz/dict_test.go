@@ -31,6 +31,83 @@ func TestMutatorEmptyDictIgnored(t *testing.T) {
 	}
 }
 
+func TestSetDictDeduplicates(t *testing.T) {
+	m := NewMutator(NewRNG(7), 64)
+	m.SetDict([][]byte{[]byte("GIF89a"), []byte("\x00\x01"), []byte("GIF89a"), nil, []byte("\x00\x01")})
+	if len(m.dict) != 2 {
+		t.Fatalf("SetDict kept %d tokens, want 2 (dedup + empty drop)", len(m.dict))
+	}
+	if string(m.dict[0]) != "GIF89a" || string(m.dict[1]) != "\x00\x01" {
+		t.Fatalf("SetDict reordered tokens: %q", m.dict)
+	}
+}
+
+func TestMergeDictDedupAndCap(t *testing.T) {
+	tokens := [][]byte{[]byte("aa"), nil, []byte("bb"), []byte("aa"), []byte("cc")}
+	got := MergeDict(tokens, 2)
+	if len(got) != 2 || string(got[0]) != "aa" || string(got[1]) != "bb" {
+		t.Fatalf("MergeDict(cap=2) = %q, want [aa bb]", got)
+	}
+	// The result is fresh storage: mutating it must not touch the input.
+	got[0][0] = 'z'
+	if tokens[0][0] != 'a' {
+		t.Fatal("MergeDict aliased its input tokens")
+	}
+	// Deterministic: same input order, same output bytes.
+	a := MergeDict(tokens, 0)
+	b := MergeDict(tokens, 0)
+	if len(a) != len(b) {
+		t.Fatalf("MergeDict nondeterministic length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("MergeDict nondeterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if got := MergeDict(make([][]byte, 0), 0); len(got) != 0 {
+		t.Fatalf("MergeDict(empty) = %q, want empty", got)
+	}
+}
+
+// An empty (or absent) dictionary must leave the havoc stream bit-identical
+// to a mutator that never saw SetDict: the two dictionary operators only
+// join the operator roulette when tokens exist, so historical single-job
+// campaign streams are preserved when auto-dictionary harvesting yields
+// nothing or is disabled.
+func TestEmptyDictStreamBitIdentical(t *testing.T) {
+	plain := NewMutator(NewRNG(11), 128)
+	dicted := NewMutator(NewRNG(11), 128)
+	dicted.SetDict([][]byte{})
+	in := []byte("persistent fuzzing seed")
+	for i := 0; i < 3000; i++ {
+		a := plain.Havoc(in)
+		b := dicted.Havoc(in)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("iteration %d: empty-dict mutant diverged:\n  plain  %q\n  dicted %q", i, a, b)
+		}
+	}
+}
+
+// Same property one level up: a single-job campaign configured with an
+// explicitly empty dictionary replays the dictionary-less campaign exactly.
+func TestEmptyDictCampaignBitIdentical(t *testing.T) {
+	run := func(dict [][]byte) []byte {
+		cov := make([]byte, MapSize)
+		c := NewCampaign(Config{
+			Executor: &magicGate{cov: cov},
+			CovMap:   cov,
+			Seeds:    [][]byte{[]byte("some plain seed data")},
+			Seed:     9,
+			Dict:     dict,
+		})
+		c.RunExecs(5000)
+		return cov
+	}
+	if !bytes.Equal(run(nil), run([][]byte{})) {
+		t.Fatal("empty-dict campaign diverged from dictionary-less campaign")
+	}
+}
+
 // magicGate only rewards coverage past a 6-byte magic — hopeless for plain
 // havoc, quick with a dictionary.
 type magicGate struct {

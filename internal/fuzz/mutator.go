@@ -23,14 +23,52 @@ type Mutator struct {
 	spliceBuf []byte
 }
 
-// SetDict installs dictionary tokens. Empty tokens are dropped.
+// SetDict installs dictionary tokens. Empty tokens are dropped and
+// duplicate contents are installed once (first occurrence wins), so a
+// manual dictionary merged with harvested auto-dictionary tokens cannot
+// double-weight shared magic bytes. With a duplicate-free token list —
+// every registered target's — the installed dictionary is unchanged by the
+// dedup, so historical mutation streams are preserved.
 func (m *Mutator) SetDict(tokens [][]byte) {
 	m.dict = m.dict[:0]
+	seen := make(map[string]bool, len(tokens))
 	for _, t := range tokens {
-		if len(t) > 0 {
-			m.dict = append(m.dict, append([]byte(nil), t...))
+		if len(t) == 0 || seen[string(t)] {
+			continue
+		}
+		seen[string(t)] = true
+		m.dict = append(m.dict, append([]byte(nil), t...))
+	}
+}
+
+// DefaultDictCap bounds a merged manual + auto dictionary: enough for
+// every magic a binary format plausibly checks, small enough that the two
+// dictionary havoc operators keep meaningful per-token selection odds.
+const DefaultDictCap = 64
+
+// MergeDict deduplicates a token list content-keyed — empties dropped,
+// first occurrence kept, input order preserved (callers put manual tokens
+// before harvested ones so the cap never evicts a hand-written magic) —
+// and caps it at max (<= 0 means DefaultDictCap). The result is a fresh
+// slice of fresh token copies; deterministic for a deterministic input
+// order.
+func MergeDict(tokens [][]byte, max int) [][]byte {
+	if max <= 0 {
+		max = DefaultDictCap
+	}
+	seen := make(map[string]bool, len(tokens))
+	var out [][]byte
+	for _, t := range tokens {
+		if len(t) == 0 || seen[string(t)] {
+			continue
+		}
+		seen[string(t)] = true
+		out = append(out, append([]byte(nil), t...))
+		if len(out) >= max {
+			break
 		}
 	}
+	return out
 }
 
 // interesting values, as AFL uses, truncated per width at apply time.

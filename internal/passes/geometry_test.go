@@ -1,0 +1,48 @@
+package passes
+
+import (
+	"testing"
+
+	"closurex/internal/fuzz"
+	"closurex/internal/ir"
+)
+
+// The harness-audit geometry analysis reconstructs CoveragePass' preferred
+// probe slots through PreferredProbeID; if the two ever drift, every probe
+// would read as collision-displaced. A tiny module has no collisions, so
+// every committed Imm must equal its preferred slot exactly.
+func TestPreferredProbeIDMatchesAssignment(t *testing.T) {
+	m := compileSample(t)
+	if err := (NewCoveragePass(7)).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	probes, displaced := 0, 0
+	for _, f := range m.Funcs {
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				if b.Instrs[ii].Op != ir.OpCov {
+					continue
+				}
+				probes++
+				if b.Instrs[ii].Imm != PreferredProbeID(7, f.Name, bi) {
+					displaced++
+				}
+			}
+		}
+	}
+	if probes == 0 {
+		t.Fatal("sample module carries no probes")
+	}
+	if displaced != 0 {
+		t.Fatalf("%d/%d probes differ from PreferredProbeID; the audit's preferred-slot reconstruction drifted from CoveragePass", displaced, probes)
+	}
+}
+
+// CovMapCells is the probe ID space CoveragePass assigns into; the runtime
+// bitmap must be exactly that size or probes would index out of range (or
+// alias by truncation).
+func TestCovMapCellsMatchesRuntimeBitmap(t *testing.T) {
+	if CovMapCells != fuzz.MapSize {
+		t.Fatalf("passes.CovMapCells = %d, fuzz.MapSize = %d; probe ID space and runtime bitmap diverged", CovMapCells, fuzz.MapSize)
+	}
+}

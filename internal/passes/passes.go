@@ -294,6 +294,20 @@ func (CoveragePass) Description() string { return "Insert hit-count edge-coverag
 // covSpace is the number of distinct probe IDs (the 16-bit coverage map).
 const covSpace = 1 << 16
 
+// CovMapCells is covSpace for external clients: the number of coverage-map
+// cells a probe ID can land in. harnessaudit's geometry analysis uses it as
+// the default saturation denominator; fuzz.MapSize mirrors it on the
+// runtime side (cross-checked by a test).
+const CovMapCells = covSpace
+
+// PreferredProbeID returns the probe ID covID would assign to (fn, block)
+// before collision repair. A probe whose committed Imm differs was
+// displaced by linear probing — the displacement density is harnessaudit's
+// collision metric.
+func PreferredProbeID(seed uint64, fn string, block int) int64 {
+	return int64(covID(seed, fn, block))
+}
+
 // Run implements Pass. Probe IDs are collision-free by construction: the
 // hash is the preferred slot, and an occupied slot deterministically probes
 // forward (id+1 mod 2^16), so two blocks can never alias one coverage cell

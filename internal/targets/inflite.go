@@ -17,9 +17,6 @@ int header_ok;
 int rd_le16(char *p) {
 	return p[0] | (p[1] << 8);
 }
-int rd_be16(char *p) {
-	return (p[0] << 8) | p[1];
-}
 int rd_be32(char *p) {
 	return (p[0] << 24) | (p[1] << 16) | (p[2] << 8) | p[3];
 }

@@ -21,9 +21,6 @@ int flow_hash;
 int rd_le32(char *p) {
 	return p[0] | (p[1] << 8) | (p[2] << 16) | (p[3] << 24);
 }
-int rd_le16(char *p) {
-	return p[0] | (p[1] << 8);
-}
 int rd_be16(char *p) {
 	return (p[0] << 8) | p[1];
 }
