@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race faultcheck lint sanitize interproc harness-audit chaos check bench benchjson clean
+.PHONY: all build test vet race faultcheck lint sanitize interproc harness-audit chaos compile check bench benchjson clean
 
 all: build
 
@@ -78,7 +78,19 @@ chaos:
 	$(GO) test -race -timeout 15m -run 'Chaos|Supervis|Elastic|TornWrite|ResumeError' ./internal/fuzz/
 	$(GO) run ./cmd/closurex-bench -chaos -chaos-execs 20000 -chaos-json BENCH_chaos.json
 
-check: vet test race faultcheck lint sanitize interproc harness-audit chaos benchjson
+# Compiled-tier gate: the interp-vs-compiled differential suites — the
+# VM-level matrix in internal/vm/compile (per-seed observables, timeout
+# sites, repeat-exec identity) and the campaign-level matrix in
+# internal/core (coverage/corpus/crash/hang identity across sanitize,
+# interproc and injected-restore-fault modes, fixed-seed determinism) —
+# run plain and then under -race, since the compiled program cache is
+# shared across shard VMs.
+compile:
+	$(GO) test -count=1 ./internal/vm/compile/
+	$(GO) test -count=1 -run 'Backend|Compiled' ./internal/core/ ./internal/fuzz/
+	$(GO) test -race -timeout 15m -count=1 ./internal/vm/compile/
+
+check: vet test race faultcheck lint sanitize interproc harness-audit chaos compile benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -91,11 +103,15 @@ bench:
 # vs on per target -> BENCH_harness.json), so throughput, shadow-check
 # cost, restore scope and harness quality are tracked as artifacts rather
 # than eyeballed from logs.
+# Machine-readable benchmark artifacts (continued): the compiled-tier
+# speedup table (interp vs compiled across every registered target, with
+# the inline identity cross-check -> BENCH_compile.json).
 benchjson:
 	$(GO) run ./cmd/closurex-bench -parallel-scaling -parallel-execs 20000 -parallel-json BENCH_parallel.json
 	$(GO) run ./cmd/closurex-bench -sanitizer-overhead -sanitizer-execs 20000 -sanitizer-json BENCH_sanitizer.json
 	$(GO) run ./cmd/closurex-bench -restore-elision -interproc-execs 20000 -interproc-json BENCH_interproc.json
 	$(GO) run ./cmd/closurex-bench -dict-gain -dict-execs 20000 -dict-json BENCH_harness.json
+	$(GO) run ./cmd/closurex-bench -compile-speedup -compile-execs 20000 -compile-json BENCH_compile.json
 
 clean:
 	$(GO) clean ./...

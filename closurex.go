@@ -53,6 +53,18 @@ func Benchmarks() []string {
 type Options struct {
 	// Mechanism is one of Mechanisms(); default "closurex".
 	Mechanism string
+	// Backend selects the VM execution engine for every process image the
+	// mechanism builds: "" or "interp" for the reference interpreter,
+	// "compiled" for the closure-chain compiled tier (pre-resolved direct
+	// threading with superinstruction fusion; bit-identical coverage,
+	// paths, faults and hang verdicts, several times faster).
+	Backend string
+	// SentinelCrossBackend makes the divergence sentinel's fresh-process
+	// reference run on the OTHER backend (compiled campaign → interpreter
+	// reference and vice versa), so every probe differentially tests the
+	// two execution tiers against each other on real campaign inputs.
+	// Requires SentinelEvery > 0 to have any effect.
+	SentinelCrossBackend bool
 	// Seed seeds the deterministic campaign RNG.
 	Seed uint64
 	// MaxInputLen bounds mutated inputs (default 4096).
@@ -250,20 +262,22 @@ func NewFuzzer(source string, seeds [][]byte, opts Options) (*Fuzzer, error) {
 // instanceOptions maps the public Options onto core's instance knobs.
 func instanceOptions(opts Options) core.InstanceOptions {
 	io := core.InstanceOptions{
-		TrialSeed:         opts.Seed,
-		Budget:            opts.Budget,
-		DeferInit:         opts.DeferInit,
-		Files:             opts.Files,
-		SentinelEvery:     opts.SentinelEvery,
-		DeterministicRand: opts.DeterministicRand,
-		Stop:              opts.Stop,
-		ResumeFrom:        opts.ResumeFrom,
-		Jobs:              opts.Jobs,
-		MaxShardRestarts:  opts.MaxShardRestarts,
-		ShardBackoff:      opts.ShardBackoff,
-		Interproc:         opts.Interproc,
-		AuditRestore:      opts.AuditRestore,
-		AutoDict:          opts.AutoDict,
+		TrialSeed:            opts.Seed,
+		Budget:               opts.Budget,
+		DeferInit:            opts.DeferInit,
+		Files:                opts.Files,
+		SentinelEvery:        opts.SentinelEvery,
+		DeterministicRand:    opts.DeterministicRand,
+		Stop:                 opts.Stop,
+		ResumeFrom:           opts.ResumeFrom,
+		Jobs:                 opts.Jobs,
+		MaxShardRestarts:     opts.MaxShardRestarts,
+		ShardBackoff:         opts.ShardBackoff,
+		Interproc:            opts.Interproc,
+		AuditRestore:         opts.AuditRestore,
+		AutoDict:             opts.AutoDict,
+		Backend:              opts.Backend,
+		SentinelCrossBackend: opts.SentinelCrossBackend,
 	}
 	if opts.Sanitize {
 		io.Sanitize = core.SanitizeElide

@@ -42,6 +42,11 @@ func main() {
 		parallelJSON = flag.String("parallel-json", "", "also write the scaling report to this JSON file (e.g. BENCH_parallel.json)")
 	)
 	var (
+		compSpeedup = flag.Bool("compile-speedup", false, "run the compiled-tier speedup sweep (interp vs compiled backend on every target, with inline identity checks)")
+		compExecs   = flag.Int64("compile-execs", 20000, "executions per backend per target")
+		compJSON    = flag.String("compile-json", "", "also write the compiled-tier report to this JSON file (e.g. BENCH_compile.json)")
+	)
+	var (
 		sanOverhead = flag.Bool("sanitizer-overhead", false, "run the sanitizer-overhead sweep (modes off, on, on+elide)")
 		sanTgt      = flag.String("sanitizer-target", "gpmf-parser", "target for the sanitizer sweep")
 		sanExecs    = flag.Int64("sanitizer-execs", 20000, "executions per sanitize mode")
@@ -68,6 +73,9 @@ func main() {
 	if *parallelJSON != "" {
 		*scaling = true
 	}
+	if *compJSON != "" {
+		*compSpeedup = true
+	}
 	if *sanJSON != "" {
 		*sanOverhead = true
 	}
@@ -80,7 +88,7 @@ func main() {
 	if *chaosJSON != "" {
 		*chaos = true
 	}
-	if *table == "" && *figure == "" && !*ablation && !*scaling && !*sanOverhead && !*elision && !*dictGain && !*chaos {
+	if *table == "" && *figure == "" && !*ablation && !*scaling && !*compSpeedup && !*sanOverhead && !*elision && !*dictGain && !*chaos {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -178,6 +186,23 @@ func main() {
 				fatalf("%v", err)
 			}
 			fmt.Printf("scaling report written to %s\n", *parallelJSON)
+		}
+	}
+
+	if *compSpeedup {
+		rep, err := experiments.RunCompileSpeedup(*compExecs, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiments.FormatCompile(rep))
+		if *compJSON != "" {
+			if err := experiments.WriteCompileJSON(*compJSON, rep); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("compiled-tier report written to %s\n", *compJSON)
+		}
+		if !rep.AllIdentical {
+			fatalf("compiled tier diverged from the interpreter")
 		}
 	}
 

@@ -310,6 +310,7 @@ func Catalog() map[string]string {
 		IDDeadSurface:    "dead harness surface — function or block unreachable from `target_main` on any interprocedural path",
 		IDCovSaturation:  "coverage geometry degraded — probe saturation or collision displacement high enough to mask new coverage",
 		IDDeadDictToken:  "dead dictionary token — no input-dataflow path carries its bytes into any comparison",
+		IDStaleCallIdx:   "cached callee index disagrees with the callee name — a call-site rewrite skipped re-resolution and both backends would dispatch wrong",
 	}
 }
 

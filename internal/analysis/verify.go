@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"closurex/internal/ir"
 )
@@ -31,6 +32,10 @@ const (
 	IDGlobalEscape   = "CLX116" // global write unattributable (unknown pointer or unbounded callee write)
 	IDElisionDrift   = "CLX117" // recorded may-write metadata omits an analysis-proven write
 	IDUnreachableFn  = "CLX118" // function unreachable from target_main/closurex_init
+
+	// Call pre-resolution audit (vm.ResolveModule stamps CalleeIdx at
+	// module-commit time; both execution backends dispatch through it).
+	IDStaleCallIdx = "CLX122" // cached callee index disagrees with the callee name
 )
 
 const verifierPass = "verifier"
@@ -55,14 +60,22 @@ func Verify(m *ir.Module, builtins map[string]bool) Diagnostics {
 			})
 		}
 	}
+	// The canonical builtin slot order is the name set sorted ascending —
+	// the same derivation vm.BuiltinIndex uses — so CLX122 can audit cached
+	// negative indices without importing the vm package.
+	bslots := make([]string, 0, len(builtins))
+	for name := range builtins {
+		bslots = append(bslots, name)
+	}
+	sort.Strings(bslots)
 	for _, f := range m.Funcs {
-		ds = append(ds, verifyFunc(m, f, builtins)...)
+		ds = append(ds, verifyFunc(m, f, builtins, bslots)...)
 	}
 	ds.Sort()
 	return ds
 }
 
-func verifyFunc(m *ir.Module, f *ir.Func, builtins map[string]bool) Diagnostics {
+func verifyFunc(m *ir.Module, f *ir.Func, builtins map[string]bool, bslots []string) Diagnostics {
 	var ds Diagnostics
 	emit := func(id string, block, instr int, line int32, format string, args ...interface{}) {
 		ds = append(ds, Diagnostic{
@@ -95,7 +108,7 @@ func verifyFunc(m *ir.Module, f *ir.Func, builtins map[string]bool) Diagnostics 
 						"terminator %s mid-block (instruction %d of %d)", in.Op, ii, len(b.Instrs))
 				}
 			}
-			verifyOperands(m, f, bi, ii, in, builtins, emit)
+			verifyOperands(m, f, bi, ii, in, builtins, bslots, emit)
 		}
 	}
 	verifySanitizerShape(m, f, emit)
@@ -111,7 +124,8 @@ func verifyFunc(m *ir.Module, f *ir.Func, builtins map[string]bool) Diagnostics 
 // verifyOperands checks one instruction's registers, targets, sizes,
 // global indices and callee resolution.
 func verifyOperands(m *ir.Module, f *ir.Func, bi, ii int, in *ir.Instr,
-	builtins map[string]bool, emit func(string, int, int, int32, string, ...interface{})) {
+	builtins map[string]bool, bslots []string,
+	emit func(string, int, int, int32, string, ...interface{})) {
 
 	reg := func(r int, what string) {
 		if r < 0 || r >= f.NumRegs {
@@ -160,6 +174,23 @@ func verifyOperands(m *ir.Module, f *ir.Func, bi, ii int, in *ir.Instr,
 		}
 		if callee != nil && len(in.Args) != callee.NumParams {
 			emit(IDBadArity, bi, ii, in.Pos, "call %s: %d args, want %d", in.Callee, len(in.Args), callee.NumParams)
+		}
+		// A cached callee index (stamped by vm.ResolveModule at commit
+		// time) must still name the callee it was resolved against; a
+		// mismatch means a pass rewrote call sites without invalidating
+		// the cache, and both backends would silently call the wrong
+		// function.
+		switch {
+		case in.CalleeIdx > 0:
+			if fi := in.CalleeIdx - 1; fi >= len(m.Funcs) || m.Funcs[fi].Name != in.Callee {
+				emit(IDStaleCallIdx, bi, ii, in.Pos,
+					"cached callee index %d does not resolve to %q", in.CalleeIdx, in.Callee)
+			}
+		case in.CalleeIdx < 0:
+			if slot := -in.CalleeIdx - 1; slot >= len(bslots) || bslots[slot] != in.Callee {
+				emit(IDStaleCallIdx, bi, ii, in.Pos,
+					"cached builtin index %d does not resolve to %q", in.CalleeIdx, in.Callee)
+			}
 		}
 		for _, a := range in.Args {
 			reg(a, "arg")

@@ -82,9 +82,16 @@ const CoverageSeed = 0xC105
 // default watchdog cadence).
 const AuditEveryDefault = 64
 
-// Compile lowers MinC source to a pristine, verified module.
+// Compile lowers MinC source to a pristine, verified module. The module is
+// call-resolved so even pristine executions dispatch through cached callee
+// indices.
 func Compile(file, src string) (*ir.Module, error) {
-	return lower.Compile(file, src, vm.Builtins())
+	m, err := lower.Compile(file, src, vm.Builtins())
+	if err != nil {
+		return nil, err
+	}
+	vm.ResolveModule(m)
+	return m, nil
 }
 
 // SanitizeMode selects how much sanitizer instrumentation a build carries.
@@ -187,6 +194,10 @@ func InstrumentWith(m *ir.Module, cfg BuildConfig) (*ir.Module, error) {
 	if err := pm.Run(out); err != nil {
 		return nil, err
 	}
+	// Module-commit point: the pipeline is done rewriting call sites, so
+	// stamp the callee-index cache both execution backends dispatch
+	// through (and CLX122 audits).
+	vm.ResolveModule(out)
 	return out, nil
 }
 
@@ -361,7 +372,29 @@ type InstanceOptions struct {
 	// ShardBackoff is the base cooldown before a shard restart, doubling
 	// per consecutive fault (0 uses the default). Parallel instances only.
 	ShardBackoff time.Duration
+	// Backend selects the VM execution engine for every mechanism the
+	// instance builds: "" or "interp" for the reference interpreter,
+	// "compiled" for the closure-chain tier (execmgr imports it).
+	Backend string
+	// SentinelCrossBackend makes the divergence sentinel's fresh reference
+	// image run on the OTHER backend (compiled when the campaign is
+	// interpreted and vice versa), turning the replay probe into a two-
+	// sided backend differential at campaign runtime. Requires
+	// SentinelEvery > 0 to have any effect.
+	SentinelCrossBackend bool
 }
+
+// otherBackend maps a backend name to its differential counterpart.
+func otherBackend(name string) string {
+	if name == "" || name == vm.InterpBackend {
+		return CompiledBackend
+	}
+	return vm.InterpBackend
+}
+
+// CompiledBackend names the closure-chain execution tier registered by
+// internal/vm/compile (imported via execmgr).
+const CompiledBackend = "compiled"
 
 // NewInstance builds target t for the named mechanism and wires a
 // campaign seeded with the target's corpus.
@@ -418,6 +451,7 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 			DeterministicRand: opts.DeterministicRand,
 			RandSeed:          randSeed,
 			Sanitize:          opts.Sanitize.Enabled(),
+			Backend:           opts.Backend,
 		}
 		if opts.Resilience != nil && mechanism == "closurex" {
 			return execmgr.NewResilient(mcfg, *opts.Resilience)
@@ -432,6 +466,13 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	// rand()/heap-ASLR streams cannot masquerade as divergence (the §6.1.4
 	// nondeterminism masking, done by construction).
 	newSentinel := func(mech execmgr.Mechanism, randSeed uint64) (*fuzz.SentinelConfig, error) {
+		refBackend := opts.Backend
+		if opts.SentinelCrossBackend {
+			// Two-sided differential: the reference replays every probe on
+			// the other execution backend, so any interp/compiled semantic
+			// gap surfaces as sentinel divergence during the campaign.
+			refBackend = otherBackend(opts.Backend)
+		}
 		refCov := make([]byte, fuzz.MapSize)
 		ref, rerr := execmgr.NewFresh(execmgr.Config{
 			Module:            mod,
@@ -441,6 +482,7 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 			DeterministicRand: opts.DeterministicRand,
 			RandSeed:          randSeed,
 			Sanitize:          opts.Sanitize.Enabled(),
+			Backend:           refBackend,
 		})
 		if rerr != nil {
 			return nil, fmt.Errorf("core: sentinel reference: %w", rerr)

@@ -20,6 +20,10 @@ import (
 	"closurex/internal/ir"
 	"closurex/internal/passes"
 	"closurex/internal/vm"
+
+	// Register the compiled closure-chain backend so Config.Backend can
+	// name it ("compiled") for every mechanism.
+	_ "closurex/internal/vm/compile"
 )
 
 // Config describes how to run a target under any mechanism.
@@ -56,6 +60,10 @@ type Config struct {
 	// Injector arms deterministic fault injection in the VM (heap, files)
 	// and the harness restore paths; nil injects nothing.
 	Injector *faultinject.Injector
+	// Backend selects the VM execution engine ("" or "interp" for the
+	// reference interpreter, "compiled" for the closure-chain tier). Every
+	// VM the mechanism builds — template, forks, respawns — uses it.
+	Backend string
 }
 
 func (c *Config) vmOptions() vm.Options {
@@ -71,6 +79,7 @@ func (c *Config) vmOptions() vm.Options {
 		RandSeed:          c.RandSeed,
 		Sanitize:          c.Sanitize,
 		Injector:          c.Injector,
+		Backend:           c.Backend,
 	}
 }
 
@@ -121,6 +130,10 @@ func checkModule(cfg *Config) error {
 	if cfg.Module.Func(passes.TargetMain) == nil {
 		return fmt.Errorf("execmgr: module lacks %s; run the pass pipeline", passes.TargetMain)
 	}
+	// Stamp call pre-resolution before the first VM touches the module:
+	// idempotent (no-op when already resolved at commit time), and both
+	// backends dispatch through the cached indices.
+	vm.ResolveModule(cfg.Module)
 	return nil
 }
 

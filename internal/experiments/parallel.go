@@ -16,6 +16,7 @@ import (
 
 	"closurex/internal/core"
 	"closurex/internal/targets"
+	"closurex/internal/vm"
 )
 
 // ScalingRow is one shard-count point of the parallel-scaling experiment.
@@ -33,13 +34,28 @@ type ScalingRow struct {
 	Quarantined int     `json:"quarantined_shards"`
 }
 
-// ScalingReport is the JSON envelope BENCH_parallel.json carries.
+// BackendScaling is one execution backend's shard-count sweep.
+type BackendScaling struct {
+	Backend string       `json:"backend"`
+	Rows    []ScalingRow `json:"rows"`
+}
+
+// ScalingReport is the JSON envelope BENCH_parallel.json carries. The
+// headline numbers are the jobs == GOMAXPROCS row of the default
+// (interpreter) sweep — the configuration a real campaign on this host
+// would run — rather than an oversubscribed point; the full sweeps for
+// both backends follow.
 type ScalingReport struct {
-	Target     string       `json:"target"`
-	Mechanism  string       `json:"mechanism"`
-	ExecsPerJ  int64        `json:"execs_per_point"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Rows       []ScalingRow `json:"rows"`
+	Target     string `json:"target"`
+	Mechanism  string `json:"mechanism"`
+	ExecsPerJ  int64  `json:"execs_per_point"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	HeadlineJobs        int     `json:"headline_jobs"`
+	HeadlineExecsPerSec float64 `json:"headline_execs_per_sec"`
+	HeadlineSpeedup     float64 `json:"headline_speedup"`
+
+	Sweeps []BackendScaling `json:"sweeps"`
 }
 
 // DefaultScalingJobs returns the shard counts the scaling experiment
@@ -67,35 +83,17 @@ func DefaultScalingJobs() []int {
 	return out
 }
 
-// RunParallelScaling fuzzes target under the closurex mechanism at each
-// shard count in jobsList, running execsPerPoint aggregate executions per
-// point, and reports throughput. Every point uses the same trial seed, so
-// the J=1 row is exactly the sequential campaign the speedups normalize
-// against.
-func RunParallelScaling(target string, jobsList []int, execsPerPoint int64, seed uint64) (*ScalingReport, error) {
-	t := targets.Get(target)
-	if t == nil {
-		return nil, fmt.Errorf("experiments: unknown target %q", target)
-	}
-	if execsPerPoint <= 0 {
-		execsPerPoint = 50000
-	}
-	if len(jobsList) == 0 {
-		jobsList = DefaultScalingJobs()
-	}
-	rep := &ScalingReport{
-		Target:     target,
-		Mechanism:  MechClosureX,
-		ExecsPerJ:  execsPerPoint,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
+// scalingSweep runs one backend's shard-count sweep.
+func scalingSweep(t *targets.Target, backend string, jobsList []int, execsPerPoint int64, seed uint64) ([]ScalingRow, error) {
+	var rows []ScalingRow
 	for _, jobs := range jobsList {
 		inst, err := core.NewInstance(t, MechClosureX, core.InstanceOptions{
 			TrialSeed: seed,
 			Jobs:      jobs,
+			Backend:   backend,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: jobs=%d: %w", jobs, err)
+			return nil, fmt.Errorf("experiments: backend=%s jobs=%d: %w", backend, jobs, err)
 		}
 		start := time.Now()
 		inst.Driver().RunExecs(execsPerPoint)
@@ -117,26 +115,82 @@ func RunParallelScaling(target string, jobsList []int, execsPerPoint int64, seed
 				}
 			}
 		}
-		if len(rep.Rows) > 0 && rep.Rows[0].ExecsPerSec > 0 {
-			row.Speedup = row.ExecsPerSec / rep.Rows[0].ExecsPerSec
+		if len(rows) > 0 && rows[0].ExecsPerSec > 0 {
+			row.Speedup = row.ExecsPerSec / rows[0].ExecsPerSec
 		} else {
 			row.Speedup = 1
 		}
-		rep.Rows = append(rep.Rows, row)
+		rows = append(rows, row)
 		inst.Close()
 	}
+	return rows, nil
+}
+
+// RunParallelScaling fuzzes target under the closurex mechanism at each
+// shard count in jobsList, once per execution backend (interpreter and
+// compiled tier), running execsPerPoint aggregate executions per point.
+// Every point uses the same trial seed, so each sweep's J=1 row is exactly
+// the sequential campaign its speedups normalize against. The report's
+// headline is the interpreter sweep's jobs == GOMAXPROCS row.
+func RunParallelScaling(target string, jobsList []int, execsPerPoint int64, seed uint64) (*ScalingReport, error) {
+	t := targets.Get(target)
+	if t == nil {
+		return nil, fmt.Errorf("experiments: unknown target %q", target)
+	}
+	if execsPerPoint <= 0 {
+		execsPerPoint = 50000
+	}
+	if len(jobsList) == 0 {
+		jobsList = DefaultScalingJobs()
+	}
+	rep := &ScalingReport{
+		Target:     target,
+		Mechanism:  MechClosureX,
+		ExecsPerJ:  execsPerPoint,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, backend := range []string{vm.InterpBackend, CompileBackendName} {
+		rows, err := scalingSweep(t, backend, jobsList, execsPerPoint, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sweeps = append(rep.Sweeps, BackendScaling{Backend: backend, Rows: rows})
+	}
+	// Headline: the jobs == GOMAXPROCS point of the default (interpreter)
+	// sweep; when the sweep has no exact match (GOMAXPROCS not in
+	// jobsList), the largest jobs <= GOMAXPROCS stands in.
+	head := rep.Sweeps[0].Rows
+	hi := 0
+	for i, r := range head {
+		if r.Jobs <= rep.GOMAXPROCS && r.Jobs >= head[hi].Jobs {
+			hi = i
+		}
+		if r.Jobs == rep.GOMAXPROCS {
+			hi = i
+			break
+		}
+	}
+	rep.HeadlineJobs = head[hi].Jobs
+	rep.HeadlineExecsPerSec = head[hi].ExecsPerSec
+	rep.HeadlineSpeedup = head[hi].Speedup
 	return rep, nil
 }
 
-// FormatScaling renders the scaling report as an aligned text table.
+// FormatScaling renders the scaling report as aligned text tables, one
+// per backend sweep.
 func FormatScaling(rep *ScalingReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Parallel scaling: %s under %s (%d execs per point, GOMAXPROCS=%d)\n",
 		rep.Target, rep.Mechanism, rep.ExecsPerJ, rep.GOMAXPROCS)
-	fmt.Fprintf(&b, "  %-6s %12s %10s %12s %8s %8s\n", "jobs", "execs", "seconds", "execs/s", "speedup", "edges")
-	for _, r := range rep.Rows {
-		fmt.Fprintf(&b, "  %-6d %12d %10.3f %12.0f %7.2fx %8d\n",
-			r.Jobs, r.Execs, r.Seconds, r.ExecsPerSec, r.Speedup, r.Edges)
+	fmt.Fprintf(&b, "  headline: jobs=%d  %0.f execs/s  (%.2fx vs sequential)\n",
+		rep.HeadlineJobs, rep.HeadlineExecsPerSec, rep.HeadlineSpeedup)
+	for _, sw := range rep.Sweeps {
+		fmt.Fprintf(&b, "  backend=%s\n", sw.Backend)
+		fmt.Fprintf(&b, "  %-6s %12s %10s %12s %8s %8s\n", "jobs", "execs", "seconds", "execs/s", "speedup", "edges")
+		for _, r := range sw.Rows {
+			fmt.Fprintf(&b, "  %-6d %12d %10.3f %12.0f %7.2fx %8d\n",
+				r.Jobs, r.Execs, r.Seconds, r.ExecsPerSec, r.Speedup, r.Edges)
+		}
 	}
 	return b.String()
 }

@@ -136,6 +136,14 @@ type Instr struct {
 	// FileElide is TrackElide's analogue for closurex_fopen sites whose
 	// descriptor is provably closed before iteration end.
 	FileElide bool
+	// CalleeIdx caches OpCall resolution, stamped at module-commit time by
+	// Module.ResolveCalls so neither execution backend pays a string-map
+	// lookup per call: 0 means unresolved (execute via name lookup),
+	// +k means Module.Funcs[k-1], -k means slot k-1 of the canonical
+	// builtin table (the builtin names in ascending order). Any call-site
+	// rewrite clears it; CLX122 verifies a non-zero index still matches
+	// Callee.
+	CalleeIdx int
 }
 
 // IsTerminator reports whether the instruction ends a basic block.
@@ -242,6 +250,9 @@ type Module struct {
 	Interproc *InterprocInfo
 
 	funcIdx map[string]int
+	// callsResolved records that ResolveCalls has stamped every OpCall's
+	// CalleeIdx since the last mutation that could invalidate one.
+	callsResolved bool
 }
 
 // NewModule returns an empty module.
@@ -276,6 +287,9 @@ func (m *Module) AddFunc(f *Func) error {
 	}
 	m.funcIdx[f.Name] = len(m.Funcs)
 	m.Funcs = append(m.Funcs, f)
+	// Existing indices stay valid, but calls naming the new function may
+	// now resolve where they previously could not.
+	m.callsResolved = false
 	return nil
 }
 
@@ -321,13 +335,56 @@ func (m *Module) rewriteCalls(from, to string) int {
 				in := &b.Instrs[i]
 				if in.Op == OpCall && in.Callee == from {
 					in.Callee = to
+					in.CalleeIdx = 0
 					n++
 				}
 			}
 		}
 	}
+	if n > 0 {
+		m.callsResolved = false
+	}
 	return n
 }
+
+// ResolveCalls stamps every OpCall's CalleeIdx: +k for Funcs[k-1], -k for
+// builtin slot k-1 as reported by builtinIndex (which must return the
+// callee's position in the canonical — ascending-name — builtin order, or
+// a negative value for non-builtins), 0 when the callee resolves to
+// neither. Run it once at module-commit time, after the last call-site
+// rewrite; both the interpreter and the compiled backend then dispatch
+// calls by index instead of a per-call string-map lookup. Returns the
+// number of call sites resolved.
+func (m *Module) ResolveCalls(builtinIndex func(name string) int) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != OpCall {
+					continue
+				}
+				in.CalleeIdx = 0
+				if fi, ok := m.funcIdx[in.Callee]; ok {
+					in.CalleeIdx = fi + 1
+					n++
+				} else if builtinIndex != nil {
+					if bi := builtinIndex(in.Callee); bi >= 0 {
+						in.CalleeIdx = -(bi + 1)
+						n++
+					}
+				}
+			}
+		}
+	}
+	m.callsResolved = true
+	return n
+}
+
+// CallsResolved reports whether ResolveCalls has run since the last
+// mutation that could invalidate a cached CalleeIdx. Callers use it to
+// skip a redundant (and, post-commit, racy) re-resolution.
+func (m *Module) CallsResolved() bool { return m.callsResolved }
 
 // Clone deep-copies the module so a pass pipeline can instrument one copy
 // while the pristine module remains available (e.g. for the fresh-process
@@ -335,6 +392,7 @@ func (m *Module) rewriteCalls(from, to string) int {
 func (m *Module) Clone() *Module {
 	nm := NewModule(m.Name)
 	nm.Sanitized = m.Sanitized
+	nm.callsResolved = m.callsResolved
 	if m.Interproc != nil {
 		info := *m.Interproc
 		info.MayWriteGlobals = append([]int(nil), m.Interproc.MayWriteGlobals...)

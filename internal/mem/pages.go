@@ -41,6 +41,12 @@ type Memory struct {
 	// an out-of-memory condition instead of letting a runaway target eat
 	// the host.
 	limit int
+	// epoch counts page-table shape changes: a page mapped, privatized,
+	// re-shared, released or newly shared with a fork. Any cached page
+	// translation (TLB) is only valid while the epoch it was filled under
+	// still matches. Page CONTENT writes do not bump the epoch — a
+	// translation caches the frame, not the bytes.
+	epoch uint64
 	// trackDirty records every page privatized or newly mapped since the
 	// last RestoreTo — the write-protection bookkeeping a kernel snapshot
 	// module (AFL++ Snapshot LKM) maintains.
@@ -98,6 +104,9 @@ func (m *Memory) Fork() *Memory {
 		pg.refs++
 		child.pages[pn] = pg
 	}
+	// Every parent page just became shared: cached writable translations
+	// into them must die, or a cached write would bleed into the child.
+	m.epoch++
 	return child
 }
 
@@ -109,6 +118,7 @@ func (m *Memory) Release() {
 		pg.refs--
 		delete(m.pages, pn)
 	}
+	m.epoch++
 }
 
 // mapPage returns the page for addr, allocating a private zeroed page on
@@ -122,6 +132,7 @@ func (m *Memory) mapPage(pn uint64) (*page, error) {
 	}
 	pg := &page{refs: 1}
 	m.pages[pn] = pg
+	m.epoch++
 	if m.trackDirty {
 		m.dirty = append(m.dirty, pn)
 	}
@@ -143,6 +154,7 @@ func (m *Memory) writablePage(pn uint64) (*page, error) {
 		dup.data = pg.data
 		pg.refs--
 		m.pages[pn] = dup
+		m.epoch++
 		if m.trackDirty {
 			m.dirty = append(m.dirty, pn)
 		}
@@ -175,6 +187,12 @@ func (m *Memory) markWatched(pn uint64) {
 	if pn < m.watchLo || pn >= m.watchHi {
 		return
 	}
+	m.setWatchBit(pn)
+}
+
+// setWatchBit records pn (already known to be inside the watched window)
+// in the dirty bitmap and, on first touch, the dirty list.
+func (m *Memory) setWatchBit(pn uint64) {
 	off := pn - m.watchLo
 	w, b := off/64, uint64(1)<<(off%64)
 	if m.watchBits[w]&b == 0 {
@@ -229,6 +247,99 @@ func (m *Memory) RestoreTo(parent *Memory) {
 		}
 	}
 	m.dirty = m.dirty[:0]
+	// Both page tables changed shape: ours re-shared/unmapped pages, and
+	// the parent's previously-private pages may now be shared again.
+	m.epoch++
+	parent.epoch++
+}
+
+// Epoch returns the page-table epoch. Cached translations (TLB entries)
+// filled under an older epoch must be discarded.
+func (m *Memory) Epoch() uint64 { return m.epoch }
+
+// WatchArmed reports whether the write barrier is armed. Callers that
+// write page data directly through a cached translation must consult it
+// and call MarkWatched on every write while it is armed.
+func (m *Memory) WatchArmed() bool { return m.watchBits != nil }
+
+// MarkWatched records a write to page pn against the armed watch barrier.
+// No-op when the barrier is disarmed or pn is outside the watched window;
+// that disarmed/out-of-window path is the entire hot-path cost.
+func (m *Memory) MarkWatched(pn uint64) {
+	if m.watchBits == nil || pn < m.watchLo || pn >= m.watchHi {
+		return
+	}
+	m.setWatchBit(pn)
+}
+
+// ---- translation lookaside buffer ----
+
+// TLBBits sizes the direct-mapped translation cache (64 entries covers
+// 256 KiB of working set at 4 KiB pages).
+const TLBBits = 6
+
+// TLBSize is the entry count of a TLB.
+const TLBSize = 1 << TLBBits
+
+// TLBEntry caches one page translation. Tag is pn+1 (0 = empty). Data
+// points at the page frame, or is nil for a cached "unmapped" verdict
+// (demand-zero reads); W marks the frame private and safe to write
+// through. An entry is only meaningful while the owning TLB's Epoch
+// matches the Memory's.
+type TLBEntry struct {
+	Tag  uint64
+	Data *[PageSize]byte
+	W    bool
+}
+
+// TLB is a per-executor direct-mapped page-translation cache. Execution
+// backends embed one per machine and consult it inline; Fill/FillW are
+// the miss paths. The zero value is ready to use (every entry empty,
+// epoch 0 — the first epoch mismatch or empty tag forces a fill).
+type TLB struct {
+	Epoch uint64
+	E     [TLBSize]TLBEntry
+}
+
+// reset empties every entry and adopts the given epoch.
+func (t *TLB) reset(epoch uint64) {
+	*t = TLB{Epoch: epoch}
+}
+
+// TLBFill resolves a read translation for page pn into t and returns the
+// entry. Unmapped pages cache a nil-Data entry (reads are demand-zero);
+// the entry's W reports whether it is also write-safe.
+func (m *Memory) TLBFill(t *TLB, pn uint64) *TLBEntry {
+	if t.Epoch != m.epoch {
+		t.reset(m.epoch)
+	}
+	e := &t.E[pn&(TLBSize-1)]
+	pg := m.pages[pn]
+	if pg == nil {
+		e.Tag, e.Data, e.W = pn+1, nil, false
+		return e
+	}
+	e.Tag, e.Data, e.W = pn+1, &pg.data, pg.refs == 1
+	return e
+}
+
+// TLBFillW resolves a writable translation for page pn into t, mapping or
+// privatizing the page as needed (which may advance the epoch — the TLB
+// is resynced afterwards). The returned entry always has W set. The
+// caller must still honor the watch barrier (WatchArmed/MarkWatched) on
+// every write made through the cached entry; this fill itself records the
+// write the caller is about to perform.
+func (m *Memory) TLBFillW(t *TLB, pn uint64) (*TLBEntry, error) {
+	pg, err := m.writablePage(pn)
+	if err != nil {
+		return nil, err
+	}
+	if t.Epoch != m.epoch {
+		t.reset(m.epoch)
+	}
+	e := &t.E[pn&(TLBSize-1)]
+	e.Tag, e.Data, e.W = pn+1, &pg.data, true
+	return e, nil
 }
 
 func checkAddr(addr uint64, n int) error {
@@ -252,6 +363,17 @@ func (m *Memory) LoadByte(addr uint64) (byte, error) {
 		return 0, nil
 	}
 	return pg.data[addr&(PageSize-1)], nil
+}
+
+// PageView returns a read-only view of the mapped page pn, or nil when
+// the page is absent (absent memory reads as zero). The view aliases live
+// page storage: callers must not write through it and must not hold it
+// across any operation that could remap pages.
+func (m *Memory) PageView(pn uint64) []byte {
+	if pg, ok := m.pages[pn]; ok {
+		return pg.data[:]
+	}
+	return nil
 }
 
 // StoreByte writes one byte, mapping or privatizing the page as needed.

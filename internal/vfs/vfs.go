@@ -40,6 +40,10 @@ var (
 // file is an in-memory file.
 type file struct {
 	data []byte
+	// refs counts live descriptors referencing this file object, so the
+	// per-execution SetInput can decide "reuse in place" in O(1) instead
+	// of scanning the descriptor table.
+	refs int
 }
 
 // OpenFile is one entry in the descriptor table.
@@ -78,6 +82,11 @@ type FS struct {
 	// open/close-per-test-case cycle does not allocate. Entries are only
 	// reachable through fds, so a closed entry has no outstanding aliases.
 	free []*OpenFile
+	// nLeaked / nElidedLeak are running counts of live non-init (and
+	// additionally elided) descriptors, so the harness's per-iteration
+	// leak audits are O(1) instead of descriptor-table scans.
+	nLeaked     int
+	nElidedLeak int
 }
 
 // New returns an empty filesystem with the default descriptor limit.
@@ -108,18 +117,9 @@ func (fs *FS) WriteFile(path string, data []byte) {
 // allocation-free. A leaked descriptor (persistent-naive pathology) keeps
 // its stale view: the old file object is replaced, not overwritten.
 func (fs *FS) SetInput(data []byte) {
-	if f, ok := fs.files[InputPath]; ok {
-		inUse := false
-		for _, of := range fs.fds {
-			if of.f == f {
-				inUse = true
-				break
-			}
-		}
-		if !inUse {
-			f.data = append(f.data[:0], data...)
-			return
-		}
+	if f, ok := fs.files[InputPath]; ok && f.refs == 0 {
+		f.data = append(f.data[:0], data...)
+		return
 	}
 	fs.WriteFile(InputPath, data)
 }
@@ -171,6 +171,8 @@ func (fs *FS) Open(path, mode string) (int, error) {
 		of.pos = len(f.data)
 	}
 	fs.fds[fd] = of
+	f.refs++
+	fs.nLeaked++ // fresh descriptors are never init-persistent
 	fs.opens++
 	return fd, nil
 }
@@ -200,6 +202,13 @@ func (fs *FS) Close(fd int) error {
 	}
 	of.closed = true
 	delete(fs.fds, fd)
+	of.f.refs--
+	if !of.Init {
+		fs.nLeaked--
+		if of.Elided {
+			fs.nElidedLeak--
+		}
+	}
 	fs.free = append(fs.free, of)
 	return nil
 }
@@ -316,38 +325,25 @@ func (fs *FS) AppendLeakedFDs(dst []int) []int {
 	return dst
 }
 
-// LeakedCount reports how many live descriptors are not init-persistent,
-// without materializing them.
-func (fs *FS) LeakedCount() int {
-	n := 0
-	for _, of := range fs.fds {
-		if !of.Init {
-			n++
-		}
-	}
-	return n
-}
+// LeakedCount reports how many live descriptors are not init-persistent.
+// O(1): maintained incrementally by Open/Close/MarkInit.
+func (fs *FS) LeakedCount() int { return fs.nLeaked }
 
 // MarkElided flags fd as opened at a FileElide fopen site. Called by the
 // VM right after the open; unknown descriptors are ignored.
 func (fs *FS) MarkElided(fd int) {
-	if of, ok := fs.fds[fd]; ok {
+	if of, ok := fs.fds[fd]; ok && !of.Elided {
 		of.Elided = true
+		if !of.Init {
+			fs.nElidedLeak++
+		}
 	}
 }
 
 // ElidedLeakCount reports how many leaked (non-init, live) descriptors
 // came from FileElide sites — each one contradicts a must-close proof and
-// is surfaced by the harness's elision audit.
-func (fs *FS) ElidedLeakCount() int {
-	n := 0
-	for _, of := range fs.fds {
-		if !of.Init && of.Elided {
-			n++
-		}
-	}
-	return n
-}
+// is surfaced by the harness's elision audit. O(1), like LeakedCount.
+func (fs *FS) ElidedLeakCount() int { return fs.nElidedLeak }
 
 // InitFDs returns the live initialization-time descriptors in ascending
 // order — the set the harness rewinds rather than closes.
@@ -371,6 +367,8 @@ func (fs *FS) MarkInit() {
 	for _, of := range fs.fds {
 		of.Init = true
 	}
+	fs.nLeaked = 0
+	fs.nElidedLeak = 0
 }
 
 // Reset closes every descriptor and removes every file except those in
@@ -379,6 +377,8 @@ func (fs *FS) Reset(keep map[string][]byte) {
 	fs.fds = make(map[int]*OpenFile)
 	fs.nextFD = 3
 	fs.files = make(map[string]*file)
+	fs.nLeaked = 0
+	fs.nElidedLeak = 0
 	for p, d := range keep {
 		fs.WriteFile(p, d)
 	}
@@ -389,12 +389,14 @@ func (fs *FS) Reset(keep map[string][]byte) {
 // stores; the cheap map copies model fd-table duplication in fork().
 func (fs *FS) Clone() *FS {
 	nf := &FS{
-		files:   make(map[string]*file, len(fs.files)),
-		fds:     make(map[int]*OpenFile, len(fs.fds)),
-		nextFD:  fs.nextFD,
-		fdLimit: fs.fdLimit,
-		opens:   fs.opens,
-		inj:     fs.inj,
+		files:       make(map[string]*file, len(fs.files)),
+		fds:         make(map[int]*OpenFile, len(fs.fds)),
+		nextFD:      fs.nextFD,
+		fdLimit:     fs.fdLimit,
+		opens:       fs.opens,
+		inj:         fs.inj,
+		nLeaked:     fs.nLeaked,
+		nElidedLeak: fs.nElidedLeak,
 	}
 	for p, f := range fs.files {
 		nf.files[p] = &file{data: append([]byte(nil), f.data...)}
@@ -402,6 +404,7 @@ func (fs *FS) Clone() *FS {
 	for fd, of := range fs.fds {
 		cp := *of
 		cp.f = nf.files[of.Path]
+		cp.f.refs++
 		nf.fds[fd] = &cp
 	}
 	return nf

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -79,6 +80,7 @@ func init() {
 		"rand":  biRand,
 		"srand": biSrand,
 	}
+	initBuiltinTable()
 }
 
 func argn(v *VM, in *ir.Instr, args []int64, n int) error {
@@ -321,26 +323,69 @@ func biMemcmp(v *VM, in *ir.Instr, args []int64) (int64, error) {
 	return 0, nil
 }
 
-// cstr walks a NUL-terminated string with per-byte sanitizer checks.
+// contigReadEnd returns a conservative exclusive end address such that
+// every byte of [addr, end) passes the per-byte read access check, given
+// that addr itself just did. The string walkers use it to validate whole
+// runs at once; when the window is exhausted the caller re-classifies, so
+// a string legitimately spanning adjacent heap chunks still walks exactly
+// as the byte-at-a-time loop would.
+func (v *VM) contigReadEnd(addr uint64) uint64 {
+	switch {
+	case addr >= GlobalsBase && addr < HeapBase:
+		if e := v.Layout.End; addr < e {
+			return e
+		}
+	case addr >= HeapBase && addr < HeapEnd:
+		if ch, ok := v.Heap.ChunkAt(addr); ok {
+			return ch.Addr + ch.Size
+		}
+	case addr >= StackBase && addr < StackEnd:
+		if addr < v.sp {
+			return v.sp
+		}
+	}
+	return addr + 1
+}
+
+// cstr walks a NUL-terminated string with the per-byte loop's exact fault
+// and budget semantics, scanning page-sized valid windows at memory speed
+// instead of one map lookup per byte.
 func (v *VM) cstr(in *ir.Instr, addr uint64) ([]byte, *Fault) {
 	var out []byte
 	for {
 		if flt := v.checkAccess(addr, 1, false, in); flt != nil {
 			return nil, flt
 		}
-		b, err := v.Mem.LoadByte(addr)
-		if err != nil {
-			return nil, v.fault(FaultWild, in, addr, err.Error())
+		end := v.contigReadEnd(addr)
+		if pe := (addr | (mem.PageSize - 1)) + 1; end > pe {
+			end = pe
 		}
-		if b == 0 {
+		win := int(end - addr)
+		var data []byte
+		k := 0 // bytes before the terminator; absent pages read as zero
+		if pg := v.Mem.PageView(addr >> mem.PageShift); pg != nil {
+			off := addr & (mem.PageSize - 1)
+			data = pg[off : off+uint64(win)]
+			if k = bytes.IndexByte(data, 0); k < 0 {
+				k = win
+			}
+		}
+		if k > 0 && v.budget <= int64(k) {
+			// The byte loop decrements after every non-terminator byte and
+			// stops the moment the budget reaches zero.
+			j := v.budget
+			if j < 1 {
+				j = 1
+			}
+			v.budget -= j
+			return nil, v.fault(FaultTimeout, in, addr+uint64(j), "budget exhausted in string walk")
+		}
+		out = append(out, data[:k]...)
+		v.budget -= int64(k)
+		if k < win {
 			return out, nil
 		}
-		out = append(out, b)
-		addr++
-		v.budget--
-		if v.budget <= 0 {
-			return nil, v.fault(FaultTimeout, in, addr, "budget exhausted in string walk")
-		}
+		addr = end
 	}
 }
 
@@ -392,20 +437,42 @@ func biStrncmp(v *VM, in *ir.Instr, args []int64) (int64, error) {
 // cstrBounded reads at most n bytes of a C string (stops at NUL).
 func (v *VM) cstrBounded(in *ir.Instr, addr uint64, n int64) ([]byte, *Fault) {
 	var out []byte
-	for i := int64(0); i < n; i++ {
+	for n > 0 {
 		if flt := v.checkAccess(addr, 1, false, in); flt != nil {
 			return nil, flt
 		}
-		b, _ := v.Mem.LoadByte(addr)
-		if b == 0 {
-			break
+		end := v.contigReadEnd(addr)
+		if pe := (addr | (mem.PageSize - 1)) + 1; end > pe {
+			end = pe
 		}
-		out = append(out, b)
-		addr++
-		v.budget--
-		if v.budget <= 0 {
-			return nil, v.fault(FaultTimeout, in, addr, "budget exhausted")
+		win := int(end - addr)
+		if int64(win) > n {
+			win = int(n)
 		}
+		var data []byte
+		k := 0
+		if pg := v.Mem.PageView(addr >> mem.PageShift); pg != nil {
+			off := addr & (mem.PageSize - 1)
+			data = pg[off : off+uint64(win)]
+			if k = bytes.IndexByte(data, 0); k < 0 {
+				k = win
+			}
+		}
+		if k > 0 && v.budget <= int64(k) {
+			j := v.budget
+			if j < 1 {
+				j = 1
+			}
+			v.budget -= j
+			return nil, v.fault(FaultTimeout, in, addr+uint64(j), "budget exhausted")
+		}
+		out = append(out, data[:k]...)
+		v.budget -= int64(k)
+		if k < win {
+			return out, nil
+		}
+		addr += uint64(win)
+		n -= int64(win)
 	}
 	return out, nil
 }

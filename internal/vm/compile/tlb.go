@@ -1,0 +1,131 @@
+package compile
+
+// Per-machine memory fast paths. The interpreter resolves every load and
+// store through the page-table map and re-classifies every address from
+// scratch; profiling shows those two costs dominate once dispatch is
+// compiled away. The compiled tier therefore caches both:
+//
+//   - a direct-mapped TLB (machine.tlb) translates page numbers to page
+//     frames, validated against the Memory's page-table epoch, so the
+//     steady-state load path is mask/shift/compare instead of a map
+//     lookup;
+//   - a per-site AccessCache (machine.acc) replays the access checker's
+//     verdict while its revalidation condition (globals window, heap
+//     chunk generation, stack frontier) still holds.
+//
+// Both caches are purely an implementation of the interpreter's exact
+// semantics: every miss falls back to the interpreter's own code paths
+// (mem.ReadUint/WriteUint/Zero, vm.checkAccess), and the epochs/
+// generations are bumped by the mem layer on every event that could
+// change an answer — page mapped, privatized, re-shared or released;
+// chunk allocated, freed, resized or reset. The differential suites
+// exercise restore, fork and injected-fault traffic across both backends
+// to prove the invalidation is airtight.
+
+import (
+	"closurex/internal/mem"
+	"closurex/internal/vm"
+)
+
+// accOK replays an access site's cached verdict for [addr, end).
+func (m *machine) accOK(c *vm.AccessCache, addr, end uint64) bool {
+	switch c.Mode {
+	case vm.AccWindow:
+		return addr >= c.Lo && end <= c.Hi
+	case vm.AccHeapChunk:
+		return addr >= c.Lo && end <= c.Hi && c.Gen == m.v.Heap.Gen()
+	case vm.AccStack:
+		return addr >= vm.StackBase && end <= *m.sp
+	}
+	return false
+}
+
+// loadU reads a size-byte little-endian value through the TLB. Callers
+// have already validated the access; unmapped pages read as zero.
+func (m *machine) loadU(addr uint64, size int) (uint64, error) {
+	off := addr & (mem.PageSize - 1)
+	if int(off)+size > mem.PageSize || addr < mem.PageSize {
+		return m.mem.ReadUint(addr, size) // page-spanning (or null: exact error)
+	}
+	pn := addr >> mem.PageShift
+	e := &m.tlb.E[pn&(mem.TLBSize-1)]
+	if e.Tag != pn+1 || m.tlb.Epoch != m.mem.Epoch() {
+		e = m.mem.TLBFill(&m.tlb, pn)
+	}
+	d := e.Data
+	if d == nil {
+		return 0, nil // demand-zero
+	}
+	b := d[off:]
+	switch size {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(b[0]) | uint64(b[1])<<8, nil
+	case 4:
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24, nil
+	case 8:
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+	}
+	return m.mem.ReadUint(addr, size)
+}
+
+// storeU writes a size-byte little-endian value through the TLB,
+// preserving the write barrier: every fast-path write reports its page to
+// the armed watch, exactly as mem.WriteUint's writablePage path would.
+func (m *machine) storeU(addr uint64, v uint64, size int) error {
+	off := addr & (mem.PageSize - 1)
+	if int(off)+size > mem.PageSize || addr < mem.PageSize {
+		return m.mem.WriteUint(addr, v, size)
+	}
+	pn := addr >> mem.PageShift
+	e := &m.tlb.E[pn&(mem.TLBSize-1)]
+	if e.Tag != pn+1 || !e.W || m.tlb.Epoch != m.mem.Epoch() {
+		var err error
+		e, err = m.mem.TLBFillW(&m.tlb, pn) // maps/privatizes + records watch
+		if err != nil {
+			return err
+		}
+	} else {
+		m.mem.MarkWatched(pn)
+	}
+	b := e.Data[off:]
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		b[0], b[1] = byte(v), byte(v>>8)
+	case 4:
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	case 8:
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+	default:
+		return m.mem.WriteUint(addr, v, size)
+	}
+	return nil
+}
+
+// zeroRange clears [addr, addr+n) with mem.Zero's exact semantics (never
+// mapping absent pages), using the TLB when the range sits in one cached
+// page. This is the frame-scrub fast path: frames are re-zeroed on every
+// activation and almost always live in a single private stack page.
+func (m *machine) zeroRange(addr uint64, n int) error {
+	off := addr & (mem.PageSize - 1)
+	if int(off)+n <= mem.PageSize && addr >= mem.PageSize {
+		pn := addr >> mem.PageShift
+		e := &m.tlb.E[pn&(mem.TLBSize-1)]
+		if e.Tag == pn+1 && m.tlb.Epoch == m.mem.Epoch() {
+			if e.Data == nil {
+				return nil // unmapped already reads as zero
+			}
+			if e.W {
+				m.mem.MarkWatched(pn)
+				clear(e.Data[off : off+uint64(n)])
+				return nil
+			}
+		}
+	}
+	return m.mem.Zero(addr, n)
+}

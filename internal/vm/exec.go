@@ -97,9 +97,7 @@ func (v *VM) execFunc(f *ir.Func, args []int64) (int64, error) {
 		v.regPool[v.depth-1] = regs
 	}
 	regs = regs[:f.NumRegs]
-	for i := range regs {
-		regs[i] = 0
-	}
+	clear(regs)
 	copy(regs, args)
 
 	bi := 0
@@ -188,9 +186,9 @@ func (v *VM) execFunc(f *ir.Func, args []int64) (int64, error) {
 			case ir.OpCov:
 				loc := uint64(in.Imm)
 				idx := (loc ^ v.prevLoc) & (covMapSize - 1)
-				if v.covMap != nil {
-					v.covMap[idx]++
-				}
+				// covMap is always bound (VMs without an external map carry
+				// a scratch one), so no nil check in the hot loop.
+				v.covMap[idx]++
 				v.prevLoc = loc >> 1
 				if v.traceEdges {
 					v.pathHash = (v.pathHash ^ idx) * 1099511628211
@@ -303,6 +301,16 @@ func (v *VM) call(in *ir.Instr, regs []int64) (int64, error) {
 	args = args[:len(in.Args)]
 	for i, a := range in.Args {
 		args[i] = regs[a]
+	}
+	// Fast path: the callee was pre-resolved at module-commit time
+	// (ResolveModule), so no string-map lookup per call. CalleeIdx 0 keeps
+	// the name-lookup path for modules executed without a commit step
+	// (hand-built tests, partially rewritten modules).
+	switch {
+	case in.CalleeIdx > 0:
+		return v.execFunc(v.Mod.Funcs[in.CalleeIdx-1], args)
+	case in.CalleeIdx < 0:
+		return builtinSlots[-in.CalleeIdx-1](v, in, args)
 	}
 	if callee := v.Mod.Func(in.Callee); callee != nil {
 		return v.execFunc(callee, args)

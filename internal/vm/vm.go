@@ -62,6 +62,12 @@ type Options struct {
 	// allocation/free sites. Modules instrumented with -sanitize should
 	// run on a VM built with this on; without it the checks are no-ops.
 	Sanitize bool
+	// Backend selects the execution engine: "" or "interp" for the
+	// switch-dispatch interpreter, or any name registered via
+	// RegisterBackend ("compiled" once internal/vm/compile is imported).
+	// The interpreter is the reference; every other backend must be
+	// bit-identical to it.
+	Backend string
 }
 
 // Result describes one completed call into the target.
@@ -108,6 +114,11 @@ type VM struct {
 
 	curFn *ir.Func
 
+	// engine, when non-nil, replaces execFunc for top-level calls; backend
+	// names it so Fork can rebind the child (engines hold per-VM state).
+	engine  Engine
+	backend string
+
 	// regPool reuses register frames per call depth, avoiding a heap
 	// allocation on every target function call.
 	regPool [][]int64
@@ -144,6 +155,12 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 	}
 	if v.maxDepth <= 0 {
 		v.maxDepth = DefaultMaxDepth
+	}
+	if v.covMap == nil {
+		// Always bind a bitmap so the per-OpCov nil check disappears from
+		// the hot loop; a VM built without an external map writes into a
+		// private scratch map nobody reads.
+		v.covMap = make([]byte, covMapSize)
 	}
 	if opts.DeterministicRand {
 		// splitmix64 scramble: adjacent seeds must yield independent
@@ -186,6 +203,9 @@ func New(mod *ir.Module, opts Options) (*VM, error) {
 	if err := v.materializeImage(opts.ImagePages); err != nil {
 		return nil, err
 	}
+	if err := v.bindEngine(opts.Backend); err != nil {
+		return nil, err
+	}
 	return v, nil
 }
 
@@ -225,8 +245,15 @@ func (v *VM) writeGlobalInitializers() error {
 	return nil
 }
 
-// SetCovMap (re)binds the coverage bitmap; nil disables coverage.
-func (v *VM) SetCovMap(m []byte) { v.covMap = m }
+// SetCovMap (re)binds the coverage bitmap. nil detaches the external map
+// by rebinding a private scratch map (the hot loop assumes covMap is
+// always non-nil), which disables observable coverage.
+func (v *VM) SetCovMap(m []byte) {
+	if m == nil {
+		m = make([]byte, covMapSize)
+	}
+	v.covMap = m
+}
 
 // SetTraceEdges toggles path-sensitive tracing.
 func (v *VM) SetTraceEdges(on bool) { v.traceEdges = on }
@@ -250,6 +277,15 @@ func (v *VM) Fork() *VM {
 		traceEdges: v.traceEdges,
 		rngState:   aslrCounter.Add(0x9e3779b97f4a7c15) | 1,
 		sp:         v.sp,
+	}
+	if v.engine != nil {
+		// Engines hold per-VM machine state, so the child gets its own
+		// instance. The parent validated the name at construction, so the
+		// rebind cannot fail; fall back to the interpreter if it somehow
+		// does rather than crash the campaign.
+		if err := child.bindEngine(v.backend); err != nil {
+			child.engine, child.backend = nil, ""
+		}
 	}
 	return child
 }
@@ -284,7 +320,13 @@ func (v *VM) Call(name string, args ...int64) Result {
 	v.depth = 0
 	v.Stdout = v.Stdout[:0]
 
-	ret, err := v.execFunc(f, args)
+	var ret int64
+	var err error
+	if v.engine != nil {
+		ret, err = v.engine.Exec(f, args)
+	} else {
+		ret, err = v.execFunc(f, args)
+	}
 	res := Result{Ret: ret, Instrs: v.instrs, PathHash: v.pathHash, PathLen: v.pathLen}
 	switch e := err.(type) {
 	case nil:
