@@ -65,6 +65,11 @@ type Options struct {
 	// two execution tiers against each other on real campaign inputs.
 	// Requires SentinelEvery > 0 to have any effect.
 	SentinelCrossBackend bool
+	// TransvalOff disables the translation-validation gate: by default a
+	// campaign that arms the compiled tier (Backend "compiled" or a
+	// cross-backend sentinel) refuses to start unless analysis/transval
+	// certifies the compiled program against the IR.
+	TransvalOff bool
 	// Seed seeds the deterministic campaign RNG.
 	Seed uint64
 	// MaxInputLen bounds mutated inputs (default 4096).
@@ -278,6 +283,7 @@ func instanceOptions(opts Options) core.InstanceOptions {
 		AutoDict:             opts.AutoDict,
 		Backend:              opts.Backend,
 		SentinelCrossBackend: opts.SentinelCrossBackend,
+		TransvalOff:          opts.TransvalOff,
 	}
 	if opts.Sanitize {
 		io.Sanitize = core.SanitizeElide

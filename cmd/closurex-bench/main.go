@@ -45,6 +45,8 @@ func main() {
 		compSpeedup = flag.Bool("compile-speedup", false, "run the compiled-tier speedup sweep (interp vs compiled backend on every target, with inline identity checks)")
 		compExecs   = flag.Int64("compile-execs", 20000, "executions per backend per target")
 		compJSON    = flag.String("compile-json", "", "also write the compiled-tier report to this JSON file (e.g. BENCH_compile.json)")
+		tvRun       = flag.Bool("transval", false, "run the translation-validation sweep: certify every target's compiled program against the IR and report per-target certification time")
+		tvJSON      = flag.String("transval-json", "", "merge the certification report into this BENCH_compile.json (speedup rows preserved)")
 	)
 	var (
 		sanOverhead = flag.Bool("sanitizer-overhead", false, "run the sanitizer-overhead sweep (modes off, on, on+elide)")
@@ -76,6 +78,9 @@ func main() {
 	if *compJSON != "" {
 		*compSpeedup = true
 	}
+	if *tvJSON != "" {
+		*tvRun = true
+	}
 	if *sanJSON != "" {
 		*sanOverhead = true
 	}
@@ -88,7 +93,7 @@ func main() {
 	if *chaosJSON != "" {
 		*chaos = true
 	}
-	if *table == "" && *figure == "" && !*ablation && !*scaling && !*compSpeedup && !*sanOverhead && !*elision && !*dictGain && !*chaos {
+	if *table == "" && *figure == "" && !*ablation && !*scaling && !*compSpeedup && !*tvRun && !*sanOverhead && !*elision && !*dictGain && !*chaos {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -203,6 +208,25 @@ func main() {
 		}
 		if !rep.AllIdentical {
 			fatalf("compiled tier diverged from the interpreter")
+		}
+	}
+
+	if *tvRun {
+		rep, err := experiments.RunTransval()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiments.FormatTransval(rep))
+		if *tvJSON != "" {
+			if err := experiments.AttachTransvalJSON(*tvJSON, rep); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("certification report merged into %s\n", *tvJSON)
+		}
+		// Tripwire: an uncertifiable target means the compiled tier cannot
+		// be trusted for any result in the benchmark suite.
+		if !rep.AllCertified {
+			fatalf("translation validation failed: a target's compiled program did not certify")
 		}
 	}
 

@@ -25,6 +25,15 @@
 // derives the auto-dictionary. A deterministic per-target score card is
 // printed, and -harness-json writes the cards as a byte-stable JSON array.
 //
+// With -transval the compiled closure-chain tier's translation validation
+// runs after the gate: internal/vm/compile is asked for its per-function
+// certificates and analysis/transval independently re-derives every claim
+// from the IR — branch-target map vs. block concatenation, fusion-pattern
+// legality with liveness proofs for elided intermediates, folded-constant
+// re-evaluation, callee bindings, and instruction-exact budget-table
+// recounts (CLX123-127). -transval-json writes the transval findings as a
+// byte-stable JSON array (empty array when everything certifies).
+//
 // With -format json, findings are emitted as one machine-readable JSON
 // array over all checked modules — schema analysis.JSONDiagnostic (file,
 // function, code, severity, pass, block, instr, line, message), sorted by
@@ -39,6 +48,8 @@
 //	closurex-lint -target all -interproc-report
 //	closurex-lint -target all -harness-report
 //	closurex-lint -target all -harness-json cards.json
+//	closurex-lint -target all -transval
+//	closurex-lint -target all -transval-json transval.json
 //	closurex-lint -target all -format json
 //	closurex-lint -target all -strict
 //	closurex-lint -catalog
@@ -61,8 +72,10 @@ import (
 	"closurex/internal/analysis/harnessaudit"
 	"closurex/internal/analysis/interproc"
 	"closurex/internal/analysis/sanitize"
+	"closurex/internal/analysis/transval"
 	"closurex/internal/core"
 	"closurex/internal/targets"
+	"closurex/internal/vm/compile"
 )
 
 func main() {
@@ -77,6 +90,8 @@ func main() {
 		ipReport   = flag.Bool("interproc-report", false, "instrument with InterprocPass and print the per-function restore-elision table")
 		haReport   = flag.Bool("harness-report", false, "run the harness-quality audit (CLX119-121) and print per-target score cards")
 		haJSON     = flag.String("harness-json", "", "write the harness score cards as a JSON array to this path (implies -harness-report)")
+		tvReport   = flag.Bool("transval", false, "run translation validation of the compiled tier (CLX123-127) as part of the gate")
+		tvJSON     = flag.String("transval-json", "", "write the transval findings as a byte-stable JSON array to this path (implies -transval)")
 		format     = flag.String("format", "text", "output format: text | json")
 	)
 	flag.Parse()
@@ -96,6 +111,7 @@ func main() {
 	}
 
 	audit := *haReport || *haJSON != ""
+	tv := *tvReport || *tvJSON != ""
 
 	type job struct {
 		name, file, src string
@@ -131,6 +147,7 @@ func main() {
 
 	failures, warnings := 0, 0
 	all := analysis.Diags{}
+	tvAll := analysis.Diags{}
 	var cards []*harnessaudit.Card
 	for _, j := range jobs {
 		mod, berr := core.BuildWith(j.file, j.src, cfg)
@@ -146,6 +163,18 @@ func main() {
 			card, cards = c, append(cards, c)
 			ds = append(ds, ads...)
 			ds.Sort()
+		}
+		var tvStats transval.Stats
+		if tv {
+			tds := transval.Check(mod)
+			tvAll.Add(j.name, tds)
+			ds = append(ds, tds...)
+			ds.Sort()
+			if len(tds) == 0 {
+				if cert, cerr := compile.CertFor(mod); cerr == nil {
+					tvStats = transval.Summarize(cert)
+				}
+			}
 		}
 		warnings += countWarnings(ds)
 		all.Add(j.name, ds)
@@ -168,6 +197,10 @@ func main() {
 		if !*quiet {
 			fmt.Printf("OK    %s (verifier + %d lints clean)\n", j.name, len(analysis.LintCatalog()))
 		}
+		if tv && !*quiet {
+			fmt.Printf("      transval: certified %d function(s), %d closures, %d fused, %d elided, %d runs\n",
+				tvStats.Funcs, tvStats.PCs, tvStats.Fused, tvStats.Elided, tvStats.Runs)
+		}
 		if card != nil {
 			fmt.Print(card.Format())
 		}
@@ -186,6 +219,15 @@ func main() {
 			fatalf(2, "encode: %v", jerr)
 		}
 		os.Stdout.Write(b)
+	}
+	if *tvJSON != "" {
+		b, jerr := tvAll.Flatten().JSON()
+		if jerr != nil {
+			fatalf(2, "encode transval findings: %v", jerr)
+		}
+		if werr := os.WriteFile(*tvJSON, b, 0o644); werr != nil {
+			fatalf(2, "%v", werr)
+		}
 	}
 	if *haJSON != "" {
 		b, jerr := harnessaudit.CardsJSON(cards)

@@ -1,0 +1,302 @@
+package transval_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"closurex/internal/analysis"
+	"closurex/internal/analysis/transval"
+	"closurex/internal/ir"
+	"closurex/internal/lower"
+	"closurex/internal/passes"
+	"closurex/internal/targets"
+	"closurex/internal/vm"
+	"closurex/internal/vm/compile"
+)
+
+// buildTarget runs the full pipeline (the module shape campaigns execute)
+// so certification covers real fused, folded, instrumented output.
+func buildTarget(t *testing.T, tg *targets.Target, sanitize bool) *ir.Module {
+	t.Helper()
+	m, err := lower.Compile(tg.Short+".c", tg.Source, vm.Builtins())
+	if err != nil {
+		t.Fatalf("%s: %v", tg.Name, err)
+	}
+	pm := passes.NewManager(vm.Builtins())
+	pm.Add(passes.ClosureXPipeline(false)...)
+	if sanitize {
+		pm.Add(passes.SanitizerPass{})
+	}
+	pm.Add(passes.NewCoveragePass(1))
+	if err := pm.Run(m); err != nil {
+		t.Fatalf("%s: %v", tg.Name, err)
+	}
+	vm.ResolveModule(m)
+	return m
+}
+
+// TestCertifyAllTargets is the acceptance gate: every benchmark target's
+// compiled program — plain and sanitized — certifies cleanly, and the
+// certificates are substantive (fusion and elision actually happened, so
+// an always-accepting checker cannot hide behind trivial certificates).
+func TestCertifyAllTargets(t *testing.T) {
+	for _, sanitize := range []bool{false, true} {
+		for _, tg := range targets.All() {
+			m := buildTarget(t, tg, sanitize)
+			if ds := transval.Check(m); len(ds) != 0 {
+				t.Errorf("%s (sanitize=%v): uncertifiable:\n%s", tg.Short, sanitize, ds)
+				continue
+			}
+			cert, err := compile.CertFor(m)
+			if err != nil {
+				t.Fatalf("%s: %v", tg.Short, err)
+			}
+			st := transval.Summarize(cert)
+			if st.Funcs == 0 || st.PCs == 0 || st.Fused == 0 || st.Runs == 0 {
+				t.Errorf("%s: degenerate certificate: %+v", tg.Short, st)
+			}
+		}
+	}
+}
+
+// TestCertifyElidesIntermediates pins that the dead-intermediate elision
+// actually fires on real targets (otherwise the CLX124 liveness proof is
+// checking a claim nobody makes).
+func TestCertifyElidesIntermediates(t *testing.T) {
+	elided := 0
+	for _, tg := range targets.All() {
+		cert, err := compile.CertFor(buildTarget(t, tg, false))
+		if err != nil {
+			t.Fatalf("%s: %v", tg.Short, err)
+		}
+		elided += transval.Summarize(cert).Elided
+	}
+	if elided == 0 {
+		t.Fatal("no compare+branch intermediate was elided across any target")
+	}
+}
+
+// seededModule hand-assembles a module exercising every certified claim:
+// a fused global-address load (two folds), a const+shift (pre-masked
+// fold), a direct module call, and a compare+branch whose result is LIVE
+// in a successor (so the compiler must not elide it), plus a second
+// function whose compare result is dead (so it must elide it).
+func seededModule() *ir.Module {
+	m := ir.NewModule("seeded")
+	m.AddGlobal(&ir.Global{Name: "g", Size: 8, Section: ir.SectionData})
+	helper := &ir.Func{Name: "helper", NumParams: 1, NumRegs: 2, Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 1, Imm: 1},
+			{Op: ir.OpBin, Bin: ir.Add, Dst: 1, A: 0, B: 1},
+			{Op: ir.OpRet, A: 1, Dst: -1},
+		}},
+	}}
+	main := &ir.Func{Name: "main", NumParams: 0, NumRegs: 6, Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{
+			{Op: ir.OpGlobalAddr, Dst: 0, Imm: 0},
+			{Op: ir.OpLoad, Dst: 1, A: 0, Imm: 0, Size: 8},
+			{Op: ir.OpConst, Dst: 2, Imm: 70}, // shift amount; masks to 6
+			{Op: ir.OpBin, Bin: ir.Shr, Dst: 3, A: 1, B: 2},
+			{Op: ir.OpCall, Dst: 4, Callee: "helper", Args: []int{3}},
+			{Op: ir.OpBin, Bin: ir.Lt, Dst: 5, A: 4, B: 3},
+			{Op: ir.OpCondBr, A: 5, Dst: -1, Targets: [2]int{1, 2}},
+		}},
+		{Instrs: []ir.Instr{{Op: ir.OpRet, A: 5, Dst: -1}}}, // r5 live here
+		{Instrs: []ir.Instr{{Op: ir.OpRet, A: -1, Dst: -1}}},
+	}}
+	dead := &ir.Func{Name: "deadcmp", NumParams: 0, NumRegs: 2, Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 0, Imm: 3},
+			{Op: ir.OpBr, Dst: -1, Targets: [2]int{1, 0}},
+		}},
+		{Instrs: []ir.Instr{
+			{Op: ir.OpBin, Bin: ir.Gt, Dst: 1, A: 0, B: 0},
+			{Op: ir.OpCondBr, A: 1, Dst: -1, Targets: [2]int{2, 2}},
+		}},
+		{Instrs: []ir.Instr{{Op: ir.OpRet, A: -1, Dst: -1}}},
+	}}
+	for _, f := range []*ir.Func{helper, main, dead} {
+		if err := m.AddFunc(f); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// findElem locates the first element satisfying pred, returning its
+// function cert and pc.
+func findElem(t *testing.T, c *compile.Certificate, pred func(*compile.ElemCert) bool) (*compile.FuncCert, int) {
+	t.Helper()
+	for _, fc := range c.Funcs {
+		for pc := range fc.Elems {
+			if pred(&fc.Elems[pc]) {
+				return fc, pc
+			}
+		}
+	}
+	t.Fatal("no element matches the predicate")
+	return nil, 0
+}
+
+// TestTransvalSeededDefects corrupts one certificate claim per defect
+// class and asserts exactly the intended catalog ID fires — the compiled
+// tier's analogue of the verifier's broken-modules suite.
+func TestTransvalSeededDefects(t *testing.T) {
+	m := seededModule()
+	cert, err := compile.CertFor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := transval.CheckCert(m, cert); len(ds) != 0 {
+		t.Fatalf("pristine certificate rejected:\n%s", ds)
+	}
+	if st := transval.Summarize(cert); st.Elided == 0 {
+		t.Fatal("seeded module's dead compare was not elided")
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(*compile.Certificate)
+		want    string
+	}{
+		{"wrong branch index", func(c *compile.Certificate) {
+			fc, pc := findElem(t, c, func(ec *compile.ElemCert) bool { return len(ec.Targets) == 2 })
+			fc.Elems[pc].Targets[0]++
+		}, analysis.IDBranchMapDrift},
+		{"wrong call continuation", func(c *compile.Certificate) {
+			fc, pc := findElem(t, c, func(ec *compile.ElemCert) bool { return ec.Next >= 0 })
+			fc.Elems[pc].Next++
+		}, analysis.IDBranchMapDrift},
+		{"wrong folded shift mask", func(c *compile.Certificate) {
+			fc, pc := findElem(t, c, func(ec *compile.ElemCert) bool {
+				return len(ec.Folds) > 0 && ec.Folds[len(ec.Folds)-1].Kind == compile.FoldShiftMask
+			})
+			fc.Elems[pc].Folds[len(fc.Elems[pc].Folds)-1].Val = 70 // unmasked
+		}, analysis.IDFoldDrift},
+		{"wrong folded global address", func(c *compile.Certificate) {
+			fc, pc := findElem(t, c, func(ec *compile.ElemCert) bool {
+				return len(ec.Folds) > 0 && ec.Folds[0].Kind == compile.FoldGlobalAddr
+			})
+			fc.Elems[pc].Folds[0].Val += 8
+		}, analysis.IDFoldDrift},
+		{"live intermediate fused", func(c *compile.Certificate) {
+			// main's compare result r5 is read by b1's ret: claiming its
+			// write elided must be refuted by the checker's liveness.
+			fc, pc := findElem(t, c, func(ec *compile.ElemCert) bool {
+				return ec.Kind == compile.CKCmpBr && !ec.InterElided
+			})
+			fc.Elems[pc].InterElided = true
+			fc.Elems[pc].InterReg = 5
+		}, analysis.IDIllegalFusion},
+		{"drifted budget k", func(c *compile.Certificate) {
+			c.Funcs[1].Runs[0].K++ // main's first run
+		}, analysis.IDBudgetDrift},
+		{"drifted budget cum", func(c *compile.Certificate) {
+			c.Funcs[1].Runs[0].Cum[0]++
+		}, analysis.IDBudgetDrift},
+		{"stale callee binding", func(c *compile.Certificate) {
+			fc, pc := findElem(t, c, func(ec *compile.ElemCert) bool { return ec.Callee == compile.CalleeFunc })
+			fc.Elems[pc].CalleeIdx++
+		}, analysis.IDCalleeBindDrift},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			corrupted := cert.Clone()
+			tc.corrupt(corrupted)
+			ds := transval.CheckCert(m, corrupted)
+			if len(ds) == 0 {
+				t.Fatalf("defect not caught")
+			}
+			if ids := ds.IDs(); len(ids) != 1 || ids[0] != tc.want {
+				t.Fatalf("defect caught by %v, want exactly [%s]:\n%s", ids, tc.want, ds)
+			}
+			for i := range ds {
+				if ds[i].Sev != analysis.SevError {
+					t.Fatalf("non-error severity: %s", ds[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTransvalCloneIndependence: corrupting a cloned certificate must not
+// poison the program cache's shared instance.
+func TestTransvalCloneIndependence(t *testing.T) {
+	m := seededModule()
+	cert, err := compile.CertFor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := cert.Clone()
+	for _, fc := range clone.Funcs {
+		for pc := range fc.Elems {
+			for i := range fc.Elems[pc].Targets {
+				fc.Elems[pc].Targets[i] = -99
+			}
+			for i := range fc.Elems[pc].Folds {
+				fc.Elems[pc].Folds[i].Val = -99
+			}
+		}
+		for i := range fc.Runs {
+			fc.Runs[i].K = -99
+			for j := range fc.Runs[i].Cum {
+				fc.Runs[i].Cum[j] = -99
+			}
+		}
+	}
+	if ds := transval.Check(m); len(ds) != 0 {
+		t.Fatalf("cached certificate poisoned through a clone:\n%s", ds)
+	}
+}
+
+// TestTransvalJSONStable pins the byte-stable, deterministically ordered
+// transval diagnostics JSON the -transval-json flag emits.
+func TestTransvalJSONStable(t *testing.T) {
+	render := func() []byte {
+		m := seededModule()
+		cert, err := compile.CertFor(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupted := cert.Clone()
+		fc, pc := findElem(t, corrupted, func(ec *compile.ElemCert) bool { return len(ec.Targets) == 2 })
+		fc.Elems[pc].Targets[0]++
+		fc2, pc2 := findElem(t, corrupted, func(ec *compile.ElemCert) bool { return ec.Callee == compile.CalleeFunc })
+		fc2.Elems[pc2].CalleeIdx++
+		corrupted.Funcs[1].Runs[0].K++
+		all := analysis.Diags{}
+		all.Add("seeded.c", transval.CheckCert(m, corrupted))
+		out, err := all.Flatten().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if again := render(); !bytes.Equal(first, again) {
+			t.Fatalf("transval JSON not byte-stable:\n%s\nvs\n%s", first, again)
+		}
+	}
+	if first[len(first)-1] != '\n' {
+		t.Fatal("transval JSON lacks trailing newline")
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(first, &rows); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("decoded %d rows, want 3:\n%s", len(rows), first)
+	}
+	wantCodes := map[string]bool{"CLX123": true, "CLX126": true, "CLX127": true}
+	for _, r := range rows {
+		code, _ := r["code"].(string)
+		if !wantCodes[code] {
+			t.Fatalf("unexpected code %q in %v", code, r)
+		}
+		if r["file"] != "seeded.c" || r["pass"] != "transval" || r["severity"] != "error" {
+			t.Fatalf("row fields wrong: %v", r)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"closurex/internal/analysis"
 	"closurex/internal/analysis/harnessaudit"
 	"closurex/internal/analysis/interproc"
+	"closurex/internal/analysis/transval"
 	"closurex/internal/execmgr"
 	"closurex/internal/faultinject"
 	"closurex/internal/fuzz"
@@ -382,6 +383,24 @@ type InstanceOptions struct {
 	// sided backend differential at campaign runtime. Requires
 	// SentinelEvery > 0 to have any effect.
 	SentinelCrossBackend bool
+	// TransvalOff skips the translation-validation gate that otherwise
+	// refuses to start any campaign arming the compiled tier (Backend ==
+	// "compiled", or a cross-backend sentinel) on a module whose compiled
+	// program does not certify against the IR (analysis/transval). Escape
+	// hatch only: an uncertified compiled run can diverge from the
+	// interpreter semantics every other result in the repo is stated in.
+	TransvalOff bool
+}
+
+// transvalCheck runs the translation-validation gate over a built module.
+// It is a variable so the refusal path is testable: no registered target
+// fails certification (that is what the gate guarantees), so tests inject
+// a failing checker instead of manufacturing an uncertifiable build.
+var transvalCheck = func(mod *ir.Module) error {
+	if ds := transval.Check(mod); len(ds) > 0 {
+		return ds.Err()
+	}
+	return nil
 }
 
 // otherBackend maps a backend name to its differential counterpart.
@@ -413,6 +432,17 @@ func NewInstance(t *targets.Target, mechanism string, opts InstanceOptions) (*In
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: build %s: %w", t.Name, err)
+	}
+	// Translation-validation gate: a campaign that will execute (or
+	// cross-check against) the compiled closure-chain tier must not start
+	// on a module whose compiled program fails to certify against the IR.
+	// The check is static and runs once per instance, before any input
+	// executes; -transval=off bypasses it explicitly.
+	if !opts.TransvalOff && (opts.Backend == CompiledBackend || opts.SentinelCrossBackend) {
+		if terr := transvalCheck(mod); terr != nil {
+			return nil, fmt.Errorf("core: %s: compiled tier uncertified (rerun with -transval=off to override): %w",
+				t.Name, terr)
+		}
 	}
 	hopts := opts.HarnessOpts
 	if opts.Interproc || opts.AuditRestore {

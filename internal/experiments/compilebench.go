@@ -45,6 +45,10 @@ type CompileReport struct {
 	GeomeanSpeedup float64      `json:"geomean_speedup"`
 	AllIdentical   bool         `json:"all_identical"`
 	Rows           []CompileRow `json:"rows"`
+	// Transval carries the static certification report when the benchmark
+	// ran with -transval (experiments.AttachTransvalJSON merges it without
+	// disturbing the speedup rows).
+	Transval *TransvalReport `json:"transval,omitempty"`
 }
 
 // measureBackend builds a closurex-mechanism instance on the given backend

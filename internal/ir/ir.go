@@ -302,6 +302,18 @@ func (m *Module) Func(name string) *Func {
 	return m.Funcs[i]
 }
 
+// FuncIndex returns the position of the named function in Funcs, or -1.
+// It is the resolution the compiled tier bakes into call closures and the
+// one CalleeIdx caches (+index−1), so checkers comparing either against
+// the name go through this single accessor.
+func (m *Module) FuncIndex(name string) int {
+	i, ok := m.funcIdx[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
 // RenameFunc renames a function and rewrites every direct call site — the
 // combination of setName and replaceAllUsesWith the paper's RenameMainPass
 // performs.

@@ -1,0 +1,215 @@
+package compile
+
+import "closurex/internal/ir"
+
+// This file defines the translation certificate the compiler emits while
+// lowering a module. The certificate restates, in checkable form, every
+// decision the lowering made that a closure then bakes in as a captured
+// constant: which source instructions each pc covers and under which
+// fusion pattern, where every branch target resolved, which callee each
+// call bound, which derived constants were folded, which intermediate
+// register writes were elided as dead, and the per-run budget tables the
+// dispatcher debits from. internal/analysis/transval re-derives each
+// claim independently from the ir.Module and refuses certification on any
+// mismatch — making the compiled tier's correctness a static proof
+// obligation instead of a property only the differential suites witness.
+//
+// Trust boundary: values a closure captures verbatim from the named
+// source instruction (plain immediates of unfused OpConst, register
+// numbers, coverage probe locations, access sizes) are not re-stated —
+// the certificate names the source span and the checker reads those
+// operands from the IR itself. Only derived values (resolved pcs, folded
+// addresses, pre-masked shift amounts, degenerate-divisor selections,
+// fused immediates, callee indices, budget tables) appear, because those
+// are the places a lowering bug can hide.
+
+// CertKind tags what one compiled pc covers: a single source instruction,
+// one of the fusion patterns, or the synthetic fell-off-block-end op.
+// The values mirror the compiler's internal elemKind one for one.
+type CertKind uint8
+
+// Certificate element kinds.
+const (
+	CKSingle     CertKind = iota // one source instruction
+	CKCmpBr                      // OpBin(Eq..Uge) + OpCondBr on its result
+	CKConstBin                   // OpConst + OpBin consuming it
+	CKLoadAnd                    // OpLoad + OpBin(And) masking it
+	CKSanAccess                  // OpSanCheck + the load/store it guards
+	CKAddrLoad                   // OpFrameAddr/OpGlobalAddr + OpLoad through it
+	CKAddrStore                  // OpFrameAddr/OpGlobalAddr + OpStore through it
+	CKConstStore                 // OpConst + OpStore consuming it
+	CKCovX                       // OpCov + the following single instruction
+	CKCovPair                    // OpCov + a fused pair (Sub holds the pair kind)
+	CKFellOff                    // synthetic unreachable-fault op; covers 0 instructions
+)
+
+func (k CertKind) String() string {
+	switch k {
+	case CKSingle:
+		return "single"
+	case CKCmpBr:
+		return "cmp+br"
+	case CKConstBin:
+		return "const+bin"
+	case CKLoadAnd:
+		return "load+and"
+	case CKSanAccess:
+		return "san+access"
+	case CKAddrLoad:
+		return "addr+load"
+	case CKAddrStore:
+		return "addr+store"
+	case CKConstStore:
+		return "const+store"
+	case CKCovX:
+		return "cov+single"
+	case CKCovPair:
+		return "cov+pair"
+	case CKFellOff:
+		return "fell-off"
+	}
+	return "kind?"
+}
+
+// CalleeKind classifies how a call closure bound its callee.
+type CalleeKind uint8
+
+// Callee binding kinds.
+const (
+	CalleeNone    CalleeKind = iota // element is not a call
+	CalleeFunc                      // direct module function (CalleeIdx = Funcs index)
+	CalleeBuiltin                   // builtin slot (CalleeIdx = vm.BuiltinIndex slot)
+	CalleeUnknown                   // unresolvable name: runtime bad-call fault
+)
+
+// FoldKind classifies a compile-time-derived constant a closure captured.
+type FoldKind uint8
+
+// Fold kinds.
+const (
+	FoldGlobalAddr FoldKind = iota // global index -> absolute layout address
+	FoldAbsAddr                    // folded absolute effective address (global base + access offset)
+	FoldShiftMask                  // const-on-B shift amount pre-masked to &63
+	FoldDivZero                    // constant zero divisor: compile-time div-by-zero selection
+	FoldDivNegOne                  // constant −1 divisor: compile-time negate/zero selection
+	FoldImm                        // immediate fused into another instruction's operand
+)
+
+func (k FoldKind) String() string {
+	switch k {
+	case FoldGlobalAddr:
+		return "global-addr"
+	case FoldAbsAddr:
+		return "abs-addr"
+	case FoldShiftMask:
+		return "shift-mask"
+	case FoldDivZero:
+		return "div-zero"
+	case FoldDivNegOne:
+		return "div-neg1"
+	case FoldImm:
+		return "imm"
+	}
+	return "fold?"
+}
+
+// Fold records one derived constant: the IR operand it was computed from
+// and the value the closure captured.
+type Fold struct {
+	Kind FoldKind
+	Arg  int64 // source operand (global index, raw immediate)
+	Val  int64 // captured constant
+}
+
+// ElemCert describes one compiled pc.
+type ElemCert struct {
+	Kind CertKind
+	Sub  CertKind // CKCovPair: the embedded pair's kind
+	Bi   int      // source block of the first covered instruction
+	Ii   int      // index of the first covered instruction within its block
+	N    int      // source instructions covered (0 for CKFellOff)
+
+	// Targets holds resolved branch-target pcs in IR Targets order; empty
+	// for non-branch elements.
+	Targets []int
+	// Next is the continuation pc after a call; -1 for non-calls.
+	Next int
+	// Callee / CalleeIdx record the call binding: the Funcs index for
+	// CalleeFunc, the builtin slot for CalleeBuiltin, -1 otherwise.
+	Callee    CalleeKind
+	CalleeIdx int
+	// Folds lists derived constants in the order the closure captures them.
+	Folds []Fold
+	// InterElided claims the fused pair's intermediate register write was
+	// omitted because InterReg is provably dead after the pair; the checker
+	// proves the claim with its own liveness instance.
+	InterElided bool
+	InterReg    int
+}
+
+// RunCert restates one straight-line run's budget table (see runMeta).
+type RunCert struct {
+	Head   int // run-head pc
+	K      int64
+	Net    int64
+	MaxDip int64
+	N      int32
+	SrcBi  int32
+	SrcIi  int32
+	Cum    []int32
+}
+
+// FuncCert is the certificate for one lowered function.
+type FuncCert struct {
+	Name       string
+	BlockStart []int // block index -> pc of its first element
+	NumPCs     int
+	Elems      []ElemCert // one per pc
+	Runs       []RunCert  // in ascending head-pc order
+}
+
+// Certificate is the whole-module translation certificate.
+type Certificate struct {
+	Module string
+	Funcs  []*FuncCert // parallel to Module.Funcs
+}
+
+// CertFor compiles the module (cached, like backend execution) and returns
+// its certificate. The certificate is shared with the cached program:
+// callers corrupting one for seeded-defect testing must Clone first.
+func CertFor(mod *ir.Module) (*Certificate, error) {
+	p, err := programFor(mod)
+	if err != nil {
+		return nil, err
+	}
+	return p.cert, nil
+}
+
+// Clone deep-copies the certificate so tests can corrupt the copy without
+// poisoning the program cache's shared instance.
+func (c *Certificate) Clone() *Certificate {
+	nc := &Certificate{Module: c.Module, Funcs: make([]*FuncCert, len(c.Funcs))}
+	for i, fc := range c.Funcs {
+		nf := &FuncCert{
+			Name:       fc.Name,
+			BlockStart: append([]int(nil), fc.BlockStart...),
+			NumPCs:     fc.NumPCs,
+			Elems:      append([]ElemCert(nil), fc.Elems...),
+			Runs:       append([]RunCert(nil), fc.Runs...),
+		}
+		for j := range nf.Elems {
+			nf.Elems[j].Targets = append([]int(nil), fc.Elems[j].Targets...)
+			nf.Elems[j].Folds = append([]Fold(nil), fc.Elems[j].Folds...)
+		}
+		for j := range nf.Runs {
+			nf.Runs[j].Cum = append([]int32(nil), fc.Runs[j].Cum...)
+		}
+		nc.Funcs[i] = nf
+	}
+	return nc
+}
+
+// certKind converts the compiler's internal tag to the exported one.
+func certKind(k elemKind) CertKind {
+	return CertKind(k)
+}

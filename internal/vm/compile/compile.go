@@ -58,12 +58,12 @@ type op func(m *machine, regs []int64) int
 // runMeta describes one straight-line run, indexed by its head pc. k, net
 // and maxDip are in source-instruction units (a fused pair counts 2).
 type runMeta struct {
-	k      int64 // source instructions covered by the run
-	net    int64 // k minus the run's sancheck count (budget compensation)
-	maxDip int64 // deepest mid-run budget dip: max over i of (i+1 − sanchecksBefore_i)
-	n      int32 // ops (pcs) in the run
-	srcBi  int32 // source block of the run's first instruction
-	srcIi  int32 // instruction index of the run's first instruction
+	k      int64   // source instructions covered by the run
+	net    int64   // k minus the run's sancheck count (budget compensation)
+	maxDip int64   // deepest mid-run budget dip: max over i of (i+1 − sanchecksBefore_i)
+	n      int32   // ops (pcs) in the run
+	srcBi  int32   // source block of the run's first instruction
+	srcIi  int32   // instruction index of the run's first instruction
 	cum    []int32 // per op: source instructions covered through that op
 }
 
@@ -87,6 +87,9 @@ type program struct {
 	// each machine carries nSites AccessCache slots, indexed by the slot
 	// number the site's closure captured at compile time.
 	nSites int
+	// cert is the translation certificate emitted during lowering;
+	// analysis/transval proves each of its claims against the module.
+	cert *Certificate
 }
 
 // newSite assigns the next per-program access-cache slot.
@@ -153,6 +156,20 @@ type elem struct {
 	second *ir.Instr // nil for ekSingle
 	third  *ir.Instr // ekCovPair only
 	bi, ii int       // source position of first
+	// interElide: the fused pair's intermediate register write is skipped;
+	// set by markElide when the register is provably dead after the pair.
+	interElide bool
+}
+
+// srcCount returns the number of source instructions the element covers.
+func (e *elem) srcCount() int {
+	n := 0
+	for _, in := range []*ir.Instr{e.first, e.second, e.third} {
+		if in != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // endsRun reports whether the element terminates a straight-line run: it
@@ -282,18 +299,23 @@ func compileModule(mod *ir.Module) (*program, error) {
 		p.byFn[f] = cf
 	}
 	lay := vm.NewLayout(mod)
+	p.cert = &Certificate{Module: mod.Name, Funcs: make([]*FuncCert, len(mod.Funcs))}
 	for i, f := range mod.Funcs {
-		if err := lowerFunc(p, p.fns[i], f, lay); err != nil {
+		fc := &FuncCert{Name: f.Name}
+		if err := lowerFunc(p, p.fns[i], f, lay, fc); err != nil {
 			return nil, fmt.Errorf("compile %s: %w", f.Name, err)
 		}
+		p.cert.Funcs[i] = fc
 	}
 	return p, nil
 }
 
 // lowerFunc lowers one function in two passes: pass A decides fusion,
-// assigns pcs, and computes block starts and run metadata; pass B emits
-// the closures with every target pc and constant known.
-func lowerFunc(p *program, cf *cfn, f *ir.Func, lay *vm.Layout) error {
+// assigns pcs, marks dead-intermediate elisions, and computes block starts
+// and run metadata; pass B emits the closures with every target pc and
+// constant known. The certificate fc is filled alongside: spans and run
+// tables in pass A, resolved targets / callee bindings / folds in pass B.
+func lowerFunc(p *program, cf *cfn, f *ir.Func, lay *vm.Layout, fc *FuncCert) error {
 	// Pass A: layout.
 	var elems []elem
 	cf.blockStart = make([]int, len(f.Blocks))
@@ -301,8 +323,35 @@ func lowerFunc(p *program, cf *cfn, f *ir.Func, lay *vm.Layout) error {
 		cf.blockStart[bi] = len(elems)
 		elems = append(elems, fuseBlock(b, bi)...)
 	}
+	liveOut := computeLiveOut(f)
+	for i := range elems {
+		markElide(f, liveOut, &elems[i])
+	}
 	cf.code = make([]op, len(elems))
 	cf.runs = make([]runMeta, len(elems))
+
+	fc.BlockStart = append([]int(nil), cf.blockStart...)
+	fc.NumPCs = len(elems)
+	fc.Elems = make([]ElemCert, len(elems))
+	for i := range elems {
+		e := &elems[i]
+		ec := &fc.Elems[i]
+		ec.Kind = certKind(e.kind)
+		if e.kind == ekCovPair {
+			ec.Sub = certKind(e.sub)
+		}
+		ec.Bi, ec.Ii, ec.N = e.bi, e.ii, e.srcCount()
+		ec.Next = -1
+		ec.CalleeIdx = -1
+		if e.interElide {
+			ec.InterElided = true
+			if e.kind == ekCovPair {
+				ec.InterReg = e.second.Dst
+			} else {
+				ec.InterReg = e.first.Dst
+			}
+		}
+	}
 
 	// Run metadata: a run head is pc 0 of a block or the pc after a call.
 	// For each head, walk elements to the run-ending op, expanding fused
@@ -352,6 +401,11 @@ func lowerFunc(p *program, cf *cfn, f *ir.Func, lay *vm.Layout) error {
 			r.net = c - sc
 			r.maxDip = maxDip
 			r.n = int32(pc - head + 1)
+			fc.Runs = append(fc.Runs, RunCert{
+				Head: head, K: r.k, Net: r.net, MaxDip: r.maxDip,
+				N: r.n, SrcBi: r.srcBi, SrcIi: r.srcIi,
+				Cum: append([]int32(nil), r.cum...),
+			})
 			head = pc + 1
 		}
 	}
@@ -359,7 +413,7 @@ func lowerFunc(p *program, cf *cfn, f *ir.Func, lay *vm.Layout) error {
 	// Pass B: emit closures.
 	for pc := range elems {
 		e := &elems[pc]
-		o, err := emit(p, cf, e, pc, lay)
+		o, err := emit(p, cf, e, pc, lay, &fc.Elems[pc])
 		if err != nil {
 			return err
 		}

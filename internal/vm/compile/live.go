@@ -1,0 +1,183 @@
+package compile
+
+import "closurex/internal/ir"
+
+// Compiler-local liveness for the dead-intermediate-write elision. This is
+// a deliberate re-implementation rather than a dependency on
+// internal/analysis: the compiler's derivation and the transval checker's
+// proof must be independent for the certificate to mean anything — a
+// shared liveness bug would otherwise let an unsound elision certify
+// itself.
+
+// localDef returns the register an instruction writes, or -1 (mirrors the
+// interpreter's write set).
+func localDef(in *ir.Instr) int {
+	switch in.Op {
+	case ir.OpConst, ir.OpMov, ir.OpBin, ir.OpUn, ir.OpLoad,
+		ir.OpGlobalAddr, ir.OpFrameAddr, ir.OpCall:
+		return in.Dst
+	}
+	return -1
+}
+
+// localUses appends the registers an instruction reads.
+func localUses(in *ir.Instr, dst []int) []int {
+	switch in.Op {
+	case ir.OpMov, ir.OpUn:
+		dst = append(dst, in.A)
+	case ir.OpBin:
+		dst = append(dst, in.A, in.B)
+	case ir.OpLoad:
+		dst = append(dst, in.A)
+	case ir.OpStore:
+		dst = append(dst, in.A, in.B)
+	case ir.OpCall:
+		dst = append(dst, in.Args...)
+	case ir.OpRet:
+		if in.A >= 0 {
+			dst = append(dst, in.A)
+		}
+	case ir.OpCondBr:
+		dst = append(dst, in.A)
+	case ir.OpSanCheck:
+		dst = append(dst, in.A)
+	}
+	return dst
+}
+
+type regSet []uint64
+
+func newRegSet(n int) regSet    { return make(regSet, (n+63)/64) }
+func (s regSet) set(i int)      { s[i/64] |= 1 << (uint(i) % 64) }
+func (s regSet) has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+func (s regSet) orInto(o regSet) bool {
+	changed := false
+	for i := range s {
+		v := s[i] | o[i]
+		if v != s[i] {
+			s[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// computeLiveOut solves classic backward liveness to fixpoint and returns
+// the per-block live-out sets.
+func computeLiveOut(f *ir.Func) []regSet {
+	n := len(f.Blocks)
+	gen := make([]regSet, n)  // upward-exposed uses
+	kill := make([]regSet, n) // defs
+	succs := make([][]int, n)
+	var buf []int
+	for bi, b := range f.Blocks {
+		g, k := newRegSet(f.NumRegs), newRegSet(f.NumRegs)
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			buf = localUses(in, buf[:0])
+			for _, r := range buf {
+				if r >= 0 && r < f.NumRegs && !k.has(r) {
+					g.set(r)
+				}
+			}
+			if d := localDef(in); d >= 0 && d < f.NumRegs {
+				k.set(d)
+			}
+		}
+		gen[bi], kill[bi] = g, k
+		if len(b.Instrs) > 0 {
+			term := &b.Instrs[len(b.Instrs)-1]
+			var ts []int
+			switch term.Op {
+			case ir.OpBr:
+				ts = term.Targets[:1]
+			case ir.OpCondBr:
+				ts = term.Targets[:2]
+			}
+			for _, t := range ts {
+				if t >= 0 && t < n {
+					succs[bi] = append(succs[bi], t)
+				}
+			}
+		}
+	}
+	liveIn := make([]regSet, n)
+	liveOut := make([]regSet, n)
+	for i := 0; i < n; i++ {
+		liveIn[i] = newRegSet(f.NumRegs)
+		liveOut[i] = newRegSet(f.NumRegs)
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			for _, s := range succs[bi] {
+				if liveOut[bi].orInto(liveIn[s]) {
+					changed = true
+				}
+			}
+			// liveIn = gen ∪ (liveOut − kill)
+			for w := range liveIn[bi] {
+				v := gen[bi][w] | (liveOut[bi][w] &^ kill[bi][w])
+				if v != liveIn[bi][w] {
+					liveIn[bi][w] = v
+					changed = true
+				}
+			}
+		}
+	}
+	return liveOut
+}
+
+// deadAfter reports whether reg is provably dead immediately after
+// instruction ii of block bi: every path from that point redefines reg
+// before reading it.
+func deadAfter(f *ir.Func, liveOut []regSet, bi, ii, reg int) bool {
+	if reg < 0 || reg >= f.NumRegs {
+		return false
+	}
+	b := f.Blocks[bi]
+	var buf []int
+	for j := ii + 1; j < len(b.Instrs); j++ {
+		in := &b.Instrs[j]
+		buf = localUses(in, buf[:0])
+		for _, r := range buf {
+			if r == reg {
+				return false
+			}
+		}
+		if localDef(in) == reg {
+			return true
+		}
+	}
+	return !liveOut[bi].has(reg)
+}
+
+// markElide decides, per element, whether the fused pair's intermediate
+// register write may be skipped. Only the compare+branch pattern elides
+// today: its closure decides the branch on the native bool, so the
+// materialized 0/1 is pure overhead whenever nothing downstream reads it —
+// which is the common shape (the front end materializes every condition).
+// The other pair patterns keep their intermediate writes: their closures
+// (or later instructions) may read the register, and the budget-exactness
+// argument stays simplest when dataflow is untouched.
+func markElide(f *ir.Func, liveOut []regSet, e *elem) {
+	var cmp *ir.Instr
+	switch {
+	case e.kind == ekCmpBr:
+		cmp = e.first
+	case e.kind == ekCovPair && e.sub == ekCmpBr:
+		cmp = e.second
+	default:
+		return
+	}
+	// The branch is a terminator, so the pair ends its block; deadAfter
+	// reduces to the live-out check, but go through the general helper so
+	// the rule stays uniform if fusion ever pairs mid-block branches.
+	lastIi := e.ii + 1
+	if e.kind == ekCovPair {
+		lastIi = e.ii + 2
+	}
+	if deadAfter(f, liveOut, e.bi, lastIi, cmp.Dst) {
+		e.interElide = true
+	}
+}

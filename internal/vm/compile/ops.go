@@ -11,37 +11,42 @@ import (
 // at compile time — immediates, global addresses, branch target pcs,
 // callee function values, shift amounts, fused comparison kinds, access
 // cache slots — is captured as a constant, so the closure does only the
-// dynamic work.
-func emit(p *program, cf *cfn, e *elem, pc int, lay *vm.Layout) (op, error) {
+// dynamic work. Each derived capture (resolved pc, folded address,
+// pre-masked shift, callee index) is recorded in ec, the element's
+// certificate entry, for transval to prove.
+func emit(p *program, cf *cfn, e *elem, pc int, lay *vm.Layout, ec *ElemCert) (op, error) {
 	switch e.kind {
 	case ekFellOff:
 		return func(m *machine, regs []int64) int {
 			return m.fault(vm.FaultUnreachable, nil, 0, "fell off block end")
 		}, nil
 	case ekCmpBr:
-		return emitCmpBr(cf, e.first, e.second), nil
+		return emitCmpBr(cf, e.first, e.second, e.interElide, ec), nil
 	case ekConstBin:
-		return emitConstBin(e.first, e.second), nil
+		return emitConstBin(e.first, e.second, ec), nil
 	case ekLoadAnd:
 		return emitLoadAnd(p, e.first, e.second), nil
 	case ekSanAccess:
 		return emitSanAccess(p, e.first, e.second), nil
 	case ekAddrLoad:
-		return emitAddrLoad(p, e.first, e.second, lay), nil
+		return emitAddrLoad(p, e.first, e.second, lay, ec), nil
 	case ekAddrStore:
-		return emitAddrStore(p, e.first, e.second, lay), nil
+		return emitAddrStore(p, e.first, e.second, lay, ec), nil
 	case ekConstStore:
-		return emitConstStore(p, e.first, e.second), nil
+		return emitConstStore(p, e.first, e.second, ec), nil
 	case ekCovX:
 		inner := elem{kind: ekSingle, first: e.second, bi: e.bi, ii: e.ii + 1}
-		io, err := emit(p, cf, &inner, pc, lay)
+		io, err := emit(p, cf, &inner, pc, lay, ec)
 		if err != nil {
 			return nil, err
 		}
 		return wrapCov(e.first, io), nil
 	case ekCovPair:
-		inner := elem{kind: e.sub, first: e.second, second: e.third, bi: e.bi, ii: e.ii + 1}
-		io, err := emit(p, cf, &inner, pc, lay)
+		inner := elem{
+			kind: e.sub, first: e.second, second: e.third,
+			bi: e.bi, ii: e.ii + 1, interElide: e.interElide,
+		}
+		io, err := emit(p, cf, &inner, pc, lay, ec)
 		if err != nil {
 			return nil, err
 		}
@@ -66,12 +71,13 @@ func emit(p *program, cf *cfn, e *elem, pc int, lay *vm.Layout) (op, error) {
 	case ir.OpGlobalAddr:
 		dst := in.Dst
 		addr := int64(lay.GlobalAddr[in.Imm])
+		ec.Folds = append(ec.Folds, Fold{Kind: FoldGlobalAddr, Arg: in.Imm, Val: addr})
 		return func(m *machine, regs []int64) int { regs[dst] = addr; return 0 }, nil
 	case ir.OpFrameAddr:
 		dst, off := in.Dst, uint64(in.Imm)
 		return func(m *machine, regs []int64) int { regs[dst] = int64(m.frame + off); return 0 }, nil
 	case ir.OpCall:
-		return emitCall(p, in, pc+1), nil
+		return emitCall(p, in, pc+1, ec), nil
 	case ir.OpRet:
 		if a := in.A; a >= 0 {
 			return func(m *machine, regs []int64) int { m.ret = regs[a]; return retPC }, nil
@@ -79,10 +85,12 @@ func emit(p *program, cf *cfn, e *elem, pc int, lay *vm.Layout) (op, error) {
 		return func(m *machine, regs []int64) int { m.ret = 0; return retPC }, nil
 	case ir.OpBr:
 		t := cf.blockStart[in.Targets[0]]
+		ec.Targets = append(ec.Targets, t)
 		return func(m *machine, regs []int64) int { return t }, nil
 	case ir.OpCondBr:
 		a := in.A
 		t0, t1 := cf.blockStart[in.Targets[0]], cf.blockStart[in.Targets[1]]
+		ec.Targets = append(ec.Targets, t0, t1)
 		return func(m *machine, regs []int64) int {
 			if regs[a] != 0 {
 				return t0
@@ -195,7 +203,7 @@ func emitStore(p *program, in *ir.Instr) op {
 // emitAddrLoad fuses an address materialization with the load through it.
 // The address register is still written; for OpGlobalAddr the entire
 // effective address folds to a compile-time constant.
-func emitAddrLoad(p *program, ain, ld *ir.Instr, lay *vm.Layout) op {
+func emitAddrLoad(p *program, ain, ld *ir.Instr, lay *vm.Layout, ec *ElemCert) op {
 	adst := ain.Dst
 	dst, limm, size := ld.Dst, ld.Imm, ld.Size
 	usize := uint64(size)
@@ -204,6 +212,9 @@ func emitAddrLoad(p *program, ain, ld *ir.Instr, lay *vm.Layout) op {
 		base := int64(lay.GlobalAddr[ain.Imm])
 		addr := uint64(base + limm)
 		end := addr + usize
+		ec.Folds = append(ec.Folds,
+			Fold{Kind: FoldGlobalAddr, Arg: ain.Imm, Val: base},
+			Fold{Kind: FoldAbsAddr, Arg: limm, Val: int64(addr)})
 		return func(m *machine, regs []int64) int {
 			regs[adst] = base
 			c := &m.acc[slot]
@@ -245,7 +256,7 @@ func emitAddrLoad(p *program, ain, ld *ir.Instr, lay *vm.Layout) op {
 // emitAddrStore fuses an address materialization with the store through
 // it. The value register is read after the address register is written,
 // preserving the interpreter's dataflow even when they coincide.
-func emitAddrStore(p *program, ain, st *ir.Instr, lay *vm.Layout) op {
+func emitAddrStore(p *program, ain, st *ir.Instr, lay *vm.Layout, ec *ElemCert) op {
 	adst := ain.Dst
 	vb, simm, size := st.B, st.Imm, st.Size
 	usize := uint64(size)
@@ -254,6 +265,9 @@ func emitAddrStore(p *program, ain, st *ir.Instr, lay *vm.Layout) op {
 		base := int64(lay.GlobalAddr[ain.Imm])
 		addr := uint64(base + simm)
 		end := addr + usize
+		ec.Folds = append(ec.Folds,
+			Fold{Kind: FoldGlobalAddr, Arg: ain.Imm, Val: base},
+			Fold{Kind: FoldAbsAddr, Arg: simm, Val: int64(addr)})
 		return func(m *machine, regs []int64) int {
 			regs[adst] = base
 			c := &m.acc[slot]
@@ -292,11 +306,12 @@ func emitAddrStore(p *program, ain, st *ir.Instr, lay *vm.Layout) op {
 // consumes it (as value, address or both). The constant's register is
 // written first, then the store reads its operands — identical dataflow
 // to the unfused sequence.
-func emitConstStore(p *program, c, st *ir.Instr) op {
+func emitConstStore(p *program, c, st *ir.Instr, ec *ElemCert) op {
 	cd, imm := c.Dst, c.Imm
 	a, b, simm, size := st.A, st.B, st.Imm, st.Size
 	usize := uint64(size)
 	slot := p.newSite()
+	ec.Folds = append(ec.Folds, Fold{Kind: FoldImm, Arg: c.Imm, Val: imm})
 	return func(m *machine, regs []int64) int {
 		regs[cd] = imm
 		addr := uint64(regs[a] + simm)
@@ -415,20 +430,34 @@ func emitBin(in *ir.Instr) op {
 	}
 }
 
-// emitCmpBr fuses a comparison with the conditional branch consuming it.
-// The comparison's destination register is still written (later blocks may
-// re-read it), but the branch decides on the native bool — one dispatch
-// and one materialization saved per loop back edge.
-func emitCmpBr(cf *cfn, cmp, br *ir.Instr) op {
+// emitCmpBr fuses a comparison with the conditional branch consuming it;
+// the branch decides on the native bool — one dispatch and one
+// materialization saved per loop back edge. When the compiler's liveness
+// proved the comparison's destination dead after the branch (elide), the
+// 0/1 materialization is skipped entirely; otherwise it is preserved so
+// later blocks may re-read it. An elision is claimed in the certificate
+// and independently proven by transval's own liveness instance.
+func emitCmpBr(cf *cfn, cmp, br *ir.Instr, elide bool, ec *ElemCert) op {
 	dst, ra, rb := cmp.Dst, cmp.A, cmp.B
 	t0, t1 := cf.blockStart[br.Targets[0]], cf.blockStart[br.Targets[1]]
-	take := func(regs []int64, c bool) int {
-		if c {
-			regs[dst] = 1
-			return t0
+	ec.Targets = append(ec.Targets, t0, t1)
+	var take func(regs []int64, c bool) int
+	if elide {
+		take = func(regs []int64, c bool) int {
+			if c {
+				return t0
+			}
+			return t1
 		}
-		regs[dst] = 0
-		return t1
+	} else {
+		take = func(regs []int64, c bool) int {
+			if c {
+				regs[dst] = 1
+				return t0
+			}
+			regs[dst] = 0
+			return t1
+		}
 	}
 	switch cmp.Bin {
 	case ir.Eq:
@@ -460,15 +489,31 @@ func emitCmpBr(cf *cfn, cmp, br *ir.Instr) op {
 // consumes it: the immediate becomes a captured operand. The constant's
 // destination register is still written first (the fusion precondition
 // guarantees the op's other operand is a different register).
-func emitConstBin(c, b *ir.Instr) op {
+func emitConstBin(c, b *ir.Instr, ec *ElemCert) op {
 	cd, imm := c.Dst, c.Imm
 	dst := b.Dst
 	immOnA := b.A == cd // immediate is the left operand
-	var r int          // the register operand
+	var r int           // the register operand
 	if immOnA {
 		r = b.B
 	} else {
 		r = b.A
+	}
+	ec.Folds = append(ec.Folds, Fold{Kind: FoldImm, Arg: c.Imm, Val: imm})
+	if !immOnA {
+		// Certify the derived constants: the pre-masked shift amount and
+		// the compile-time degenerate-divisor selection.
+		switch b.Bin {
+		case ir.Shl, ir.Shr:
+			ec.Folds = append(ec.Folds, Fold{Kind: FoldShiftMask, Arg: imm, Val: int64(uint64(imm) & 63)})
+		case ir.Div, ir.Rem:
+			switch imm {
+			case 0:
+				ec.Folds = append(ec.Folds, Fold{Kind: FoldDivZero, Arg: imm, Val: 0})
+			case -1:
+				ec.Folds = append(ec.Folds, Fold{Kind: FoldDivNegOne, Arg: imm, Val: -1})
+			}
+		}
 	}
 	switch b.Bin {
 	case ir.Add:
@@ -747,13 +792,15 @@ func emitSanAccess(p *program, sc, acc *ir.Instr) op {
 // interpreter parity) a runtime bad-call fault. The caller's coverage
 // context (prevLoc) is saved around the call exactly as the interpreter
 // does, keeping coverage call-transparent.
-func emitCall(p *program, in *ir.Instr, next int) op {
+func emitCall(p *program, in *ir.Instr, next int, ec *ElemCert) op {
 	argRegs := in.Args
 	dst := in.Dst
 	nArgs := len(argRegs)
 
+	ec.Next = next
 	if f := p.mod.Func(in.Callee); f != nil {
 		callee := p.byFn[f]
+		ec.Callee, ec.CalleeIdx = CalleeFunc, p.mod.FuncIndex(in.Callee)
 		return func(m *machine, regs []int64) int {
 			args := m.stageArgs(nArgs)
 			for i, a := range argRegs {
@@ -771,6 +818,7 @@ func emitCall(p *program, in *ir.Instr, next int) op {
 		}
 	}
 	if slot := vm.BuiltinIndex(in.Callee); slot >= 0 {
+		ec.Callee, ec.CalleeIdx = CalleeBuiltin, slot
 		return func(m *machine, regs []int64) int {
 			args := m.stageArgs(nArgs)
 			for i, a := range argRegs {
@@ -787,6 +835,7 @@ func emitCall(p *program, in *ir.Instr, next int) op {
 			return next
 		}
 	}
+	ec.Callee, ec.CalleeIdx = CalleeUnknown, -1
 	return func(m *machine, regs []int64) int {
 		return m.fault(vm.FaultBadCall, in, 0, "unknown callee "+in.Callee)
 	}
