@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build test vet race faultcheck lint sanitize interproc harness-audit chaos compile transval check bench benchjson clean
+.PHONY: all build test vet race faultcheck lint sanitize interproc harness-audit chaos compile transval synth check bench benchjson clean
 
-# Pinned staticcheck release for the lint gate. The gate is best-effort:
-# when the binary is absent (hermetic build environments) it is skipped
-# with a notice rather than fetched, so `make lint` never reaches the
-# network.
+# Pinned staticcheck release for the lint gate. The gate is unconditional:
+# `go run` resolves the pinned version (from the local module cache when
+# offline) and the target fails loudly when it cannot, rather than
+# silently passing because a binary happened to be absent.
 STATICCHECK_VERSION ?= 2025.1
 
 all: build
@@ -40,11 +40,7 @@ faultcheck:
 # analysis verifier re-checking the module after every pass (verifyeach).
 lint:
 	$(GO) vet ./...
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./...; \
-	else \
-		echo "staticcheck not installed; skipping (pin: staticcheck $(STATICCHECK_VERSION))"; \
-	fi
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 	$(GO) run ./cmd/closurex-lint -q -target all
 	$(GO) test -tags verifyeach ./internal/analysis/ ./internal/passes/ ./internal/core/
 
@@ -111,7 +107,17 @@ transval:
 	$(GO) test -race -timeout 15m -count=1 -run 'Transval|Certif' ./internal/analysis/transval/ ./internal/core/
 	$(GO) run ./cmd/closurex-lint -q -target all -transval
 
-check: vet test race faultcheck lint sanitize interproc harness-audit chaos compile transval benchjson
+# Harness-synthesis gate: the synth suite plain and under -race (the
+# synthesized targets register into the shared registry and run real
+# campaigns), then the all-targets synthesis report — a build or
+# certification failure (CLX130) in any synthesized harness fails the
+# gate; CLX128/129/131 are advisory and tolerated.
+synth:
+	$(GO) test -count=1 ./internal/analysis/synth/
+	$(GO) test -race -timeout 15m -count=1 -run 'Synth' ./internal/analysis/synth/ ./internal/experiments/ ./internal/core/
+	$(GO) run ./cmd/closurex-lint -q -target all -synth
+
+check: vet test race faultcheck lint sanitize interproc harness-audit chaos compile transval synth benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -120,10 +126,12 @@ bench:
 # (jobs = 1, 2, 4, GOMAXPROCS -> BENCH_parallel.json), the sanitizer
 # overhead sweep (modes off / on / on+elide -> BENCH_sanitizer.json), and
 # the restore-elision sweep (elision off vs on per target ->
-# BENCH_interproc.json), and the harness-audit sweep (auto-dictionary off
-# vs on per target -> BENCH_harness.json), so throughput, shadow-check
-# cost, restore scope and harness quality are tracked as artifacts rather
-# than eyeballed from logs.
+# BENCH_interproc.json), the harness-audit sweep (auto-dictionary off
+# vs on per target -> BENCH_harness.json), and the synthesized-harness
+# sweep (manual vs manual+synthesized coverage per target ->
+# BENCH_synth.json; any CLX130 fails the bench), so throughput,
+# shadow-check cost, restore scope and harness quality are tracked as
+# artifacts rather than eyeballed from logs.
 # Machine-readable benchmark artifacts (continued): the compiled-tier
 # speedup table (interp vs compiled across every registered target, with
 # the inline identity cross-check -> BENCH_compile.json), then the
@@ -135,6 +143,7 @@ benchjson:
 	$(GO) run ./cmd/closurex-bench -sanitizer-overhead -sanitizer-execs 20000 -sanitizer-json BENCH_sanitizer.json
 	$(GO) run ./cmd/closurex-bench -restore-elision -interproc-execs 20000 -interproc-json BENCH_interproc.json
 	$(GO) run ./cmd/closurex-bench -dict-gain -dict-execs 20000 -dict-json BENCH_harness.json
+	$(GO) run ./cmd/closurex-bench -synth-gain -synth-execs 10000 -synth-json BENCH_synth.json
 	$(GO) run ./cmd/closurex-bench -compile-speedup -compile-execs 20000 -compile-json BENCH_compile.json
 	$(GO) run ./cmd/closurex-bench -transval -transval-json BENCH_compile.json
 

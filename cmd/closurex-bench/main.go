@@ -12,6 +12,7 @@
 //	closurex-bench -sanitizer-overhead -sanitizer-json BENCH_sanitizer.json
 //	closurex-bench -restore-elision -interproc-json BENCH_interproc.json
 //	closurex-bench -dict-gain -dict-json BENCH_harness.json
+//	closurex-bench -synth-gain -synth-json BENCH_synth.json
 package main
 
 import (
@@ -60,9 +61,12 @@ func main() {
 		elisionJSON  = flag.String("interproc-json", "", "also write the elision report to this JSON file (e.g. BENCH_interproc.json)")
 	)
 	var (
-		dictGain  = flag.Bool("dict-gain", false, "run the harness-audit sweep over every target (auto-dictionary off vs on)")
-		dictExecs = flag.Int64("dict-execs", 10000, "executions per auto-dictionary point")
-		dictJSON  = flag.String("dict-json", "", "also write the harness report to this JSON file (e.g. BENCH_harness.json)")
+		dictGain   = flag.Bool("dict-gain", false, "run the harness-audit sweep over every target (auto-dictionary off vs on)")
+		dictExecs  = flag.Int64("dict-execs", 10000, "executions per auto-dictionary point")
+		dictJSON   = flag.String("dict-json", "", "also write the harness report to this JSON file (e.g. BENCH_harness.json)")
+		synthGain  = flag.Bool("synth-gain", false, "run the synthesized-harness sweep: manual vs manual+synthesized coverage per target")
+		synthExecs = flag.Int64("synth-execs", 10000, "executions per campaign in the synthesized-harness sweep")
+		synthJSON  = flag.String("synth-json", "", "also write the synthesis report to this JSON file (e.g. BENCH_synth.json)")
 	)
 	var (
 		chaos      = flag.Bool("chaos", false, "run the fault-injection matrix over the parallel campaign (shard kill, restore corruption, corpus delay/drop)")
@@ -90,10 +94,13 @@ func main() {
 	if *dictJSON != "" {
 		*dictGain = true
 	}
+	if *synthJSON != "" {
+		*synthGain = true
+	}
 	if *chaosJSON != "" {
 		*chaos = true
 	}
-	if *table == "" && *figure == "" && !*ablation && !*scaling && !*compSpeedup && !*tvRun && !*sanOverhead && !*elision && !*dictGain && !*chaos {
+	if *table == "" && *figure == "" && !*ablation && !*scaling && !*compSpeedup && !*tvRun && !*sanOverhead && !*elision && !*dictGain && !*synthGain && !*chaos {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -286,6 +293,25 @@ func main() {
 				fatalf("%v", err)
 			}
 			fmt.Printf("harness report written to %s\n", *dictJSON)
+		}
+	}
+
+	if *synthGain {
+		rep, err := experiments.RunSynthGain(*synthExecs, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiments.FormatSynthGain(rep))
+		if *synthJSON != "" {
+			if err := experiments.WriteSynthGainJSON(*synthJSON, rep); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("synthesis report written to %s\n", *synthJSON)
+		}
+		// Any CLX130 is a synthesizer bug: a harness we emitted failed its
+		// own certification. Fail the bench after writing the artifact.
+		if rep.CLX130 > 0 {
+			fatalf("synth-gain: %d CLX130 certification failure(s)", rep.CLX130)
 		}
 	}
 

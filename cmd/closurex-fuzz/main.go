@@ -6,6 +6,12 @@
 //
 //	closurex-fuzz -target gpmf-parser -mechanism closurex -duration 10s
 //	closurex-fuzz -file prog.c -seed-file s1.bin -seed-file s2.bin
+//	closurex-fuzz -synth-target freetype -duration 10s
+//
+// With -synth-target the static harness synthesizer (analysis/synth) emits
+// and certifies a dispatch harness for the named benchmark's
+// under-exercised exported functions, registers it in the target registry
+// as "<name>+synth", and fuzzes that synthesized target.
 package main
 
 import (
@@ -19,7 +25,10 @@ import (
 	"time"
 
 	"closurex"
+	"closurex/internal/analysis/synth"
+	"closurex/internal/core"
 	"closurex/internal/stats"
+	"closurex/internal/targets"
 )
 
 type seedFiles []string
@@ -31,6 +40,7 @@ func main() {
 	var seeds seedFiles
 	var (
 		targetName = flag.String("target", "", "registered benchmark (see closurex-cc -list-targets)")
+		synthName  = flag.String("synth-target", "", "synthesize, register and fuzz a dispatch harness for this benchmark's under-exercised functions")
 		file       = flag.String("file", "", "MinC source file to fuzz")
 		mechanism  = flag.String("mechanism", "closurex", "fresh | forkserver | persistent-naive | closurex")
 		backend    = flag.String("backend", "interp", "VM execution engine: interp (reference interpreter) | compiled (closure-chain tier; bit-identical, faster)")
@@ -121,6 +131,28 @@ func main() {
 	var f *closurex.Fuzzer
 	var err error
 	switch {
+	case *synthName != "":
+		base := targets.Get(*synthName)
+		if base == nil {
+			fatalf("unknown target %q for -synth-target (have %v)", *synthName, targets.Names())
+		}
+		nt, h, serr := synth.TargetFor(base, synth.Options{})
+		if serr != nil {
+			if h != nil {
+				for _, d := range h.Diags {
+					fmt.Fprintf(os.Stderr, "closurex-fuzz: synth: %s\n", d)
+				}
+			}
+			fatalf("%v", serr)
+		}
+		if existing := targets.Get(nt.Name); existing != nil {
+			nt = existing
+		} else if rerr := core.RegisterTarget(nt); rerr != nil {
+			fatalf("registering synthesized target: %v", rerr)
+		}
+		fmt.Printf("synthesized %q: %d dispatch arm(s), %d-byte header, certified; fuzzing it\n",
+			nt.Name, len(h.Report.Arms), h.Report.HdrBytes)
+		f, err = closurex.NewBenchmarkFuzzerOptions(nt.Name, *mechanism, opts)
 	case *targetName != "":
 		f, err = closurex.NewBenchmarkFuzzerOptions(*targetName, *mechanism, opts)
 	case *file != "":

@@ -34,6 +34,17 @@
 // recounts (CLX123-127). -transval-json writes the transval findings as a
 // byte-stable JSON array (empty array when everything certifies).
 //
+// With -synth the static harness synthesizer runs after the gate: exported
+// non-entry functions are ranked by the audit's reachability/taint facts,
+// a type- and fact-driven argument plan is derived per signature, and a
+// dispatching MinC harness is emitted and certified through the same
+// verifier+lint path (CLX128 unsynthesizable signature, CLX129 uncovered
+// surface, CLX130 certification failure, CLX131 plan shadowed by the
+// manual harness). -synth-json writes the per-target synthesis reports as
+// a byte-stable JSON array. When -harness-report is also active, certified
+// synthesized harnesses are scored alongside the manual ones (as
+// "<target>+synth" cards, same surface/geometry/dictionary weights).
+//
 // With -format json, findings are emitted as one machine-readable JSON
 // array over all checked modules — schema analysis.JSONDiagnostic (file,
 // function, code, severity, pass, block, instr, line, message), sorted by
@@ -50,6 +61,8 @@
 //	closurex-lint -target all -harness-json cards.json
 //	closurex-lint -target all -transval
 //	closurex-lint -target all -transval-json transval.json
+//	closurex-lint -target all -synth
+//	closurex-lint -target all -synth-json synth.json
 //	closurex-lint -target all -format json
 //	closurex-lint -target all -strict
 //	closurex-lint -catalog
@@ -72,6 +85,7 @@ import (
 	"closurex/internal/analysis/harnessaudit"
 	"closurex/internal/analysis/interproc"
 	"closurex/internal/analysis/sanitize"
+	"closurex/internal/analysis/synth"
 	"closurex/internal/analysis/transval"
 	"closurex/internal/core"
 	"closurex/internal/targets"
@@ -92,6 +106,8 @@ func main() {
 		haJSON     = flag.String("harness-json", "", "write the harness score cards as a JSON array to this path (implies -harness-report)")
 		tvReport   = flag.Bool("transval", false, "run translation validation of the compiled tier (CLX123-127) as part of the gate")
 		tvJSON     = flag.String("transval-json", "", "write the transval findings as a byte-stable JSON array to this path (implies -transval)")
+		syReport   = flag.Bool("synth", false, "run the static harness synthesizer (CLX128-131) and print per-target synthesis summaries")
+		syJSON     = flag.String("synth-json", "", "write the synthesis reports as a byte-stable JSON array to this path (implies -synth)")
 		format     = flag.String("format", "text", "output format: text | json")
 	)
 	flag.Parse()
@@ -112,6 +128,7 @@ func main() {
 
 	audit := *haReport || *haJSON != ""
 	tv := *tvReport || *tvJSON != ""
+	doSynth := *syReport || *syJSON != ""
 
 	type job struct {
 		name, file, src string
@@ -149,6 +166,7 @@ func main() {
 	all := analysis.Diags{}
 	tvAll := analysis.Diags{}
 	var cards []*harnessaudit.Card
+	var reports []*synth.Report
 	for _, j := range jobs {
 		mod, berr := core.BuildWith(j.file, j.src, cfg)
 		if berr != nil {
@@ -173,6 +191,26 @@ func main() {
 			if len(tds) == 0 {
 				if cert, cerr := compile.CertFor(mod); cerr == nil {
 					tvStats = transval.Summarize(cert)
+				}
+			}
+		}
+		var sh *synth.Harness
+		var synthCard *harnessaudit.Card
+		if doSynth {
+			h, serr := synth.Synthesize(j.name, j.file, j.src, synth.Options{})
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "closurex-lint: %s: synth: %v\n", j.name, serr)
+				failures++
+			} else {
+				sh = h
+				reports = append(reports, h.Report)
+				ds = append(ds, h.Diags...)
+				ds.Sort()
+				// Certified synthesized harnesses are scored alongside the
+				// manual ones (same surface/geometry/dictionary weights).
+				if audit && h.Module != nil {
+					c, _ := harnessaudit.Audit(j.name+"+synth", h.Module, harnessaudit.Options{Dict: j.dict})
+					synthCard, cards = c, append(cards, c)
 				}
 			}
 		}
@@ -204,6 +242,14 @@ func main() {
 		if card != nil {
 			fmt.Print(card.Format())
 		}
+		if sh != nil && !*quiet {
+			fmt.Printf("      synth: %d arm(s), hdr %dB, certified=%v (%d unsynthesizable, %d uncovered, %d shadowed)\n",
+				len(sh.Report.Arms), sh.Report.HdrBytes, sh.Report.Certified,
+				len(sh.Report.Unsynthesizable), len(sh.Report.Uncovered), len(sh.Report.Shadowed))
+		}
+		if synthCard != nil {
+			fmt.Print(synthCard.Format())
+		}
 		if *sanReport {
 			rep := sanitize.ReportModule(mod)
 			fmt.Printf("sanitizer check elision for %s:\n%s", j.name, rep.Format())
@@ -226,6 +272,15 @@ func main() {
 			fatalf(2, "encode transval findings: %v", jerr)
 		}
 		if werr := os.WriteFile(*tvJSON, b, 0o644); werr != nil {
+			fatalf(2, "%v", werr)
+		}
+	}
+	if *syJSON != "" {
+		b, jerr := synth.ReportsJSON(reports)
+		if jerr != nil {
+			fatalf(2, "encode synthesis reports: %v", jerr)
+		}
+		if werr := os.WriteFile(*syJSON, b, 0o644); werr != nil {
 			fatalf(2, "%v", werr)
 		}
 	}

@@ -287,46 +287,61 @@ const (
 	IDBudgetDrift     = "CLX127" // k/net/maxDip/cum run table disagrees with the instruction-exact recount
 )
 
+// Harness-synthesis catalog (analysis/synth). CLX128/129/131 are advisory
+// warnings about the synthesizable surface; CLX130 is an error because a
+// synthesized harness that fails its own certification is a synth bug, not
+// a target property.
+const (
+	IDUnsynthesizable  = "CLX128" // exported function signature admits no argument plan
+	IDUncoveredSurface = "CLX129" // exported function unreachable from the entry and not covered by the synthesized plan
+	IDSynthCertFail    = "CLX130" // synthesized harness failed verifier/lint certification — synth bug tripwire
+	IDSynthShadowed    = "CLX131" // synthesized plan arm duplicates input flow the existing harness already provides
+)
+
 // Catalog is the single source of truth mapping every CLX diagnostic ID to
 // its one-line description: closurex-lint -catalog prints it, and the
 // README's diagnostic table is asserted verbatim against it by
 // catalog_test.go — extend both together (the test fails otherwise).
 func Catalog() map[string]string {
 	return map[string]string{
-		IDRawHeapCall:     "raw heap call (`malloc`/`calloc`/`realloc`/`free`) survives HeapPass — the chunk would escape restore tracking",
-		IDRawFileCall:     "raw file call (`fopen`/`fclose`) survives FilePass — the descriptor would escape restore tracking",
-		IDRawExitCall:     "raw `exit` call survives ExitPass — the campaign process would terminate mid-loop",
-		IDGlobalSection:   "writable global not in `closure_global_section` — its mutations would survive restore",
-		IDMainNotHooked:   "entry point not renamed to `target_main` — the harness cannot drive the target",
-		IDCovCollision:    "coverage probe IDs collide — distinct blocks would alias one bitmap cell",
-		IDProbeMissing:    "basic block lacks a coverage probe in an instrumented module — its coverage would be invisible",
-		IDEmptyFunc:       "function has no blocks",
-		IDBadTerminator:   "block empty, unterminated, or terminator mid-block",
-		IDBadTarget:       "branch target out of range",
-		IDBadRegister:     "register operand out of range",
-		IDBadCallee:       "callee resolves to neither module function nor builtin",
-		IDBadArity:        "direct call argument count mismatch",
-		IDBadGlobal:       "global index out of range",
-		IDBadSize:         "memory access size not 1/2/4/8",
-		IDUnassignedUse:   "register may be read before assignment",
-		IDBadSection:      "global carries an unknown/empty section attribute",
-		IDBadSanCheck:     "malformed shadow check (direction operand not read/write)",
-		IDOrphanCheck:     "shadow check not immediately followed by its matching load/store",
-		IDUncheckedAcc:    "sanitized module has a load/store neither checked nor elision-marked",
-		IDUnsoundElision:  "`TrackElide`/`FileElide` mark not provable on re-analysis — an unsound elision claim that would leak state",
-		IDCallGraphHole:   "call with unknown effects (callee neither module function nor modeled builtin); analysis degrades to whole-section scope",
-		IDGlobalEscape:    "global write unattributable (unknown pointer or unbounded callee write); analysis degrades to whole-section scope",
-		IDElisionDrift:    "recorded may-write metadata drifted from the re-derived analysis (narrowed set, false bounded claim, stale site counters)",
-		IDUnreachableFn:   "function unreachable from `target_main`/`closurex_init` (excluded from the restore-scope analysis)",
-		IDDeadSurface:     "dead harness surface — function or block unreachable from `target_main` on any interprocedural path",
-		IDCovSaturation:   "coverage geometry degraded — probe saturation or collision displacement high enough to mask new coverage",
-		IDDeadDictToken:   "dead dictionary token — no input-dataflow path carries its bytes into any comparison",
-		IDStaleCallIdx:    "cached callee index disagrees with the callee name — a call-site rewrite skipped re-resolution and both backends would dispatch wrong",
-		IDBranchMapDrift:  "compiled branch map drifted — a resolved target pc, block start or call continuation disagrees with block concatenation",
-		IDIllegalFusion:   "illegal superinstruction — a fused span matches no legal pattern, breaks the block partition, or elides a live intermediate register",
-		IDFoldDrift:       "folded constant drifted — a captured global address, pre-masked shift, degenerate divisor or fused immediate does not re-evaluate to its IR operand",
-		IDCalleeBindDrift: "compiled callee binding drifted — a call's bound function or builtin index disagrees with name resolution or the cached `CalleeIdx`",
-		IDBudgetDrift:     "certified budget table drifted — a run's `k`/`net`/`maxDip`/`cum` counts disagree with the instruction-exact recount from the IR",
+		IDRawHeapCall:      "raw heap call (`malloc`/`calloc`/`realloc`/`free`) survives HeapPass — the chunk would escape restore tracking",
+		IDRawFileCall:      "raw file call (`fopen`/`fclose`) survives FilePass — the descriptor would escape restore tracking",
+		IDRawExitCall:      "raw `exit` call survives ExitPass — the campaign process would terminate mid-loop",
+		IDGlobalSection:    "writable global not in `closure_global_section` — its mutations would survive restore",
+		IDMainNotHooked:    "entry point not renamed to `target_main` — the harness cannot drive the target",
+		IDCovCollision:     "coverage probe IDs collide — distinct blocks would alias one bitmap cell",
+		IDProbeMissing:     "basic block lacks a coverage probe in an instrumented module — its coverage would be invisible",
+		IDEmptyFunc:        "function has no blocks",
+		IDBadTerminator:    "block empty, unterminated, or terminator mid-block",
+		IDBadTarget:        "branch target out of range",
+		IDBadRegister:      "register operand out of range",
+		IDBadCallee:        "callee resolves to neither module function nor builtin",
+		IDBadArity:         "direct call argument count mismatch",
+		IDBadGlobal:        "global index out of range",
+		IDBadSize:          "memory access size not 1/2/4/8",
+		IDUnassignedUse:    "register may be read before assignment",
+		IDBadSection:       "global carries an unknown/empty section attribute",
+		IDBadSanCheck:      "malformed shadow check (direction operand not read/write)",
+		IDOrphanCheck:      "shadow check not immediately followed by its matching load/store",
+		IDUncheckedAcc:     "sanitized module has a load/store neither checked nor elision-marked",
+		IDUnsoundElision:   "`TrackElide`/`FileElide` mark not provable on re-analysis — an unsound elision claim that would leak state",
+		IDCallGraphHole:    "call with unknown effects (callee neither module function nor modeled builtin); analysis degrades to whole-section scope",
+		IDGlobalEscape:     "global write unattributable (unknown pointer or unbounded callee write); analysis degrades to whole-section scope",
+		IDElisionDrift:     "recorded may-write metadata drifted from the re-derived analysis (narrowed set, false bounded claim, stale site counters)",
+		IDUnreachableFn:    "function unreachable from `target_main`/`closurex_init` (excluded from the restore-scope analysis)",
+		IDDeadSurface:      "dead harness surface — function or block unreachable from `target_main` on any interprocedural path",
+		IDCovSaturation:    "coverage geometry degraded — probe saturation or collision displacement high enough to mask new coverage",
+		IDDeadDictToken:    "dead dictionary token — no input-dataflow path carries its bytes into any comparison",
+		IDStaleCallIdx:     "cached callee index disagrees with the callee name — a call-site rewrite skipped re-resolution and both backends would dispatch wrong",
+		IDBranchMapDrift:   "compiled branch map drifted — a resolved target pc, block start or call continuation disagrees with block concatenation",
+		IDIllegalFusion:    "illegal superinstruction — a fused span matches no legal pattern, breaks the block partition, or elides a live intermediate register",
+		IDFoldDrift:        "folded constant drifted — a captured global address, pre-masked shift, degenerate divisor or fused immediate does not re-evaluate to its IR operand",
+		IDCalleeBindDrift:  "compiled callee binding drifted — a call's bound function or builtin index disagrees with name resolution or the cached `CalleeIdx`",
+		IDBudgetDrift:      "certified budget table drifted — a run's `k`/`net`/`maxDip`/`cum` counts disagree with the instruction-exact recount from the IR",
+		IDUnsynthesizable:  "unsynthesizable signature — an exported function's parameter types admit no input-byte argument plan",
+		IDUncoveredSurface: "uncovered exported surface — function unreachable from the entry and not picked up by the synthesized dispatch plan",
+		IDSynthCertFail:    "synthesized harness failed certification — the generated module tripped the verifier/lint catalog (a synth bug, not a target property)",
+		IDSynthShadowed:    "synthesized plan shadowed — the existing harness already feeds input-tainted arguments to every parameter of the planned function",
 	}
 }
 

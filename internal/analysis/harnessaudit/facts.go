@@ -1,0 +1,187 @@
+package harnessaudit
+
+// Exported fact extraction — the read-only bridge between the audit's
+// internal analyses (reachability, the taint lattice, witness harvesting)
+// and downstream consumers, chiefly the harness synthesizer in
+// analysis/synth. Everything here is a deterministic projection of the
+// solved dataflow state: maps are flattened into sorted slices so two runs
+// over the same module produce byte-identical facts.
+
+import (
+	"sort"
+
+	"closurex/internal/analysis"
+	"closurex/internal/ir"
+)
+
+// FuncFacts is the per-function projection of the audit's analyses.
+type FuncFacts struct {
+	Name       string
+	Reachable  bool // on some interprocedural path from the entry roots
+	Blocks     int  // total basic blocks
+	LiveBlocks int  // blocks reachable from the function's own entry
+
+	// ParamConsts maps a parameter index to the constants it is directly
+	// compared against inside the function (single-assignment params only).
+	// These are the per-argument magic values a synthesized seed should
+	// pre-load to steer execution past the guard.
+	ParamConsts map[int][]int64
+
+	// CompareConsts lists every constant some input-tainted value in this
+	// function is compared against, deduplicated and ascending.
+	CompareConsts []int64
+
+	// CalledFromEntry reports a direct call site in the entry function.
+	CalledFromEntry bool
+
+	// EntryArgTaint has one slot per parameter: true when some direct
+	// entry call site passes an input-tainted argument in that position.
+	// A function whose every parameter is already fed input bytes by the
+	// manual harness is shadowed — synthesizing an arm for it re-covers
+	// explored surface.
+	EntryArgTaint []bool
+}
+
+// Facts is the module-level projection: function facts in module order plus
+// the harvested auto-dictionary tokens.
+type Facts struct {
+	Entry  string // resolved entry root ("target_main" or "main"), "" if none
+	Order  []string
+	Funcs  map[string]*FuncFacts
+	Tokens [][]byte // witness tokens, deduplicated, ordered by (length, bytes)
+}
+
+// CollectFacts runs reachability and the taint fixpoint over m and projects
+// the solution into exported facts. The module is not mutated.
+func CollectFacts(m *ir.Module) *Facts {
+	reach := analyzeReach(m)
+	st := solveFlow(m)
+
+	facts := &Facts{Funcs: map[string]*FuncFacts{}}
+	if m.Func(analysis.TargetMain) != nil {
+		facts.Entry = analysis.TargetMain
+	} else if m.Func("main") != nil {
+		facts.Entry = "main"
+	}
+
+	for i := range reach.funcs {
+		fr := &reach.funcs[i]
+		ff := &FuncFacts{
+			Name:       fr.name,
+			Reachable:  fr.reachable,
+			Blocks:     fr.blocks,
+			LiveBlocks: fr.liveBlk,
+		}
+		facts.Order = append(facts.Order, fr.name)
+		facts.Funcs[fr.name] = ff
+	}
+
+	for _, f := range m.Funcs {
+		collectCompareFacts(f, st, facts.Funcs[f.Name])
+	}
+	if entry := m.Func(facts.Entry); entry != nil {
+		collectEntryCallFacts(m, entry, st, facts)
+	}
+
+	// Witness tokens via the same harvest the auto-dictionary uses.
+	res := &flowResult{}
+	sinks := map[string]map[int]bool{}
+	for _, f := range m.Funcs {
+		st.harvestFunc(f, res, sinks)
+	}
+	for _, f := range m.Funcs {
+		st.harvestCallClusters(f, res, sinks)
+	}
+	facts.Tokens = res.autoDict()
+	return facts
+}
+
+// collectCompareFacts scans f's comparisons, filling ParamConsts and
+// CompareConsts on ff.
+func collectCompareFacts(f *ir.Func, st *flowState, ff *FuncFacts) {
+	taint := st.regTaint[f.Name]
+	tainted := func(r int) bool { return r >= 0 && r < len(taint) && taint[r] }
+	defs := computeDefs(f, taint)
+	isParam := func(r int) bool {
+		return r >= 0 && r < f.NumParams && r < len(defs.count) && defs.count[r] == 1
+	}
+	paramConsts := map[int]map[int64]bool{}
+	cmpConsts := map[int64]bool{}
+	note := func(side int, other int) {
+		c, ok := defs.constOf(other)
+		if !ok {
+			return
+		}
+		if tainted(side) {
+			cmpConsts[c] = true
+		}
+		if isParam(side) {
+			s := paramConsts[side]
+			if s == nil {
+				s = map[int64]bool{}
+				paramConsts[side] = s
+			}
+			s[c] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != ir.OpBin || !isCompare(in.Bin) {
+				continue
+			}
+			note(in.A, in.B)
+			note(in.B, in.A)
+		}
+	}
+	if len(paramConsts) > 0 {
+		ff.ParamConsts = map[int][]int64{}
+		for p, s := range paramConsts {
+			ff.ParamConsts[p] = sortedConsts(s)
+		}
+	}
+	if len(cmpConsts) > 0 {
+		ff.CompareConsts = sortedConsts(cmpConsts)
+	}
+}
+
+// collectEntryCallFacts records which functions the entry calls directly and
+// which parameter positions receive input-tainted arguments there.
+func collectEntryCallFacts(m *ir.Module, entry *ir.Func, st *flowState, facts *Facts) {
+	taint := st.regTaint[entry.Name]
+	tainted := func(r int) bool { return r >= 0 && r < len(taint) && taint[r] }
+	for _, b := range entry.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			callee := m.Func(in.Callee)
+			if callee == nil {
+				continue
+			}
+			ff := facts.Funcs[in.Callee]
+			if ff == nil {
+				continue
+			}
+			ff.CalledFromEntry = true
+			if ff.EntryArgTaint == nil {
+				ff.EntryArgTaint = make([]bool, callee.NumParams)
+			}
+			for i, a := range in.Args {
+				if i < len(ff.EntryArgTaint) && (tainted(a) || st.memTaintAt(entry.Name, st.tagOf(entry.Name, a))) {
+					ff.EntryArgTaint[i] = true
+				}
+			}
+		}
+	}
+}
+
+func sortedConsts(s map[int64]bool) []int64 {
+	out := make([]int64, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,188 @@
+package harnessaudit_test
+
+// Edge cases of the witness harvest / auto-dictionary: an empty manual
+// dictionary audits cleanly (no CLX121, zero token axes), isolated
+// single-byte compares never become tokens (a one-byte dictionary entry is
+// mutation noise), multi-byte magics harvest in both endiannesses with
+// palindromes content-deduplicated, and the assembled dictionary is
+// deterministically ordered by (length, bytes) across repeated harvests.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"closurex/internal/analysis"
+	"closurex/internal/analysis/harnessaudit"
+)
+
+// emptyDictSrc: healthy input flow, no dictionary anywhere.
+const emptyDictSrc = `
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) return 0;
+	char b[4];
+	int n = fread(b, 1, 4, f);
+	fclose(f);
+	if (n > 1 && b[0] == 'Q') return 1;
+	return 0;
+}
+`
+
+func TestAuditEmptyManualDict(t *testing.T) {
+	card, ds := harnessaudit.Audit("empty-dict", build(t, emptyDictSrc), harnessaudit.Options{})
+	if ids := ds.ByID(analysis.IDDeadDictToken); len(ids) != 0 {
+		t.Fatalf("CLX121 fired with no manual dictionary:\n%s", ds.String())
+	}
+	if card.DictTokens != 0 || card.LiveDictTokens != 0 || len(card.DeadDictTokens) != 0 {
+		t.Fatalf("dict axes non-zero for an absent dictionary: tokens=%d live=%d dead=%v",
+			card.DictTokens, card.LiveDictTokens, card.DeadDictTokens)
+	}
+	if card.DictLivePct != 100 {
+		t.Fatalf("an absent dictionary is healthy, not failing: live pct = %v", card.DictLivePct)
+	}
+}
+
+// isolatedByteSrc: two byte compares in far-apart control flow — no
+// consecutive-block run forms, so no token may be emitted (one-byte
+// dictionary tokens are rejected by construction).
+const isolatedByteSrc = `
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) return 0;
+	char b[8];
+	int n = fread(b, 1, 8, f);
+	fclose(f);
+	int r = 0;
+	if (n > 4) {
+		if (b[0] == 'A') { r = r + 1; } else { r = r + 2; }
+		if (r > 2) { r = r * 2; } else { r = r * 3; }
+		if (r < 9) { r = r + 5; } else { r = r + 7; }
+		if (b[3] == 'Z') { r = r + 9; }
+	}
+	return r;
+}
+`
+
+// chainedByteSrc: the same checks accumulated branch-free land every
+// compare in one straight-line block — inside the clustering window — and
+// form one multi-byte token. (The final gate is an ordered compare on
+// purpose: only equality witnesses join runs.)
+const chainedByteSrc = `
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) return 0;
+	char b[8];
+	int n = fread(b, 1, 8, f);
+	fclose(f);
+	if (n < 4) return 0;
+	int t = (b[0] == 'G') + (b[1] == 'I') + (b[2] == 'F');
+	if (t > 2) return 1;
+	return 0;
+}
+`
+
+func TestHarvestSingleByteWitnessesFormNoToken(t *testing.T) {
+	toks := harnessaudit.Harvest(build(t, isolatedByteSrc))
+	for _, tok := range toks {
+		if len(tok) < 2 {
+			t.Fatalf("harvest emitted a single-byte token %q", tok)
+		}
+	}
+	if len(toks) != 0 {
+		t.Fatalf("isolated byte compares must not cluster into tokens, got %q", toks)
+	}
+
+	toks = harnessaudit.Harvest(build(t, chainedByteSrc))
+	found := false
+	for _, tok := range toks {
+		if bytes.Equal(tok, []byte("GIF")) {
+			found = true
+		}
+		if len(tok) < 2 {
+			t.Fatalf("harvest emitted a single-byte token %q", tok)
+		}
+	}
+	if !found {
+		t.Fatalf("chained byte compares should cluster into GIF, got %q", toks)
+	}
+}
+
+// endianSrc compares a 16-bit magic whose two encodings differ (0x4241 →
+// LE "AB", BE "BA") and a palindromic one whose encodings collide
+// (0x4343 → "CC" both ways); the same distinct magic is checked twice, in
+// main and in a helper fed the same tainted halfword.
+const endianSrc = `
+int recheck(int v) {
+	if (v == 0x4241) return 2;
+	return 0;
+}
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) return 0;
+	char b[4];
+	int n = fread(b, 1, 4, f);
+	fclose(f);
+	if (n < 2) return 0;
+	int v = b[0] | (b[1] << 8);
+	if (v == 0x4241) return 1;
+	if (v == 0x4343) return recheck(v);
+	return 0;
+}
+`
+
+func TestHarvestOverlappingEndianWitnessesDedup(t *testing.T) {
+	toks := harnessaudit.Harvest(build(t, endianSrc))
+	count := map[string]int{}
+	for _, tok := range toks {
+		count[string(tok)]++
+	}
+	// Distinct encodings: both orders present, each exactly once even
+	// though the magic is compared at two sites.
+	for _, want := range []string{"AB", "BA"} {
+		if count[want] != 1 {
+			t.Errorf("token %q harvested %d times, want exactly once (dedup across sites and endianness overlap)", want, count[want])
+		}
+	}
+	// Palindromic magic: LE and BE render the same bytes — content dedup
+	// must collapse them to a single token.
+	if count["CC"] != 1 {
+		t.Errorf("palindromic magic harvested %d times, want the overlapping LE/BE encodings deduplicated to one", count["CC"])
+	}
+}
+
+// orderSrc mixes 2-byte and 4-byte magics so the assembled dictionary
+// exercises the (length, bytes) ordering contract.
+const orderSrc = `
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) return 0;
+	char b[8];
+	int n = fread(b, 1, 8, f);
+	fclose(f);
+	if (n < 4) return 0;
+	int v = b[0] | (b[1] << 8);
+	int w = b[0] | (b[1] << 8) | (b[2] << 16) | (b[3] << 24);
+	if (v == 0x5958) return 1;
+	if (w == 0x44434241) return 2;
+	if (v == 0x4746) return 3;
+	return 0;
+}
+`
+
+func TestHarvestDeterministicOrdering(t *testing.T) {
+	m := build(t, orderSrc)
+	toks := harnessaudit.Harvest(m)
+	// (length, bytes) ascending: all 2-byte tokens sorted byte-wise, then
+	// the 4-byte encodings.
+	want := [][]byte{
+		[]byte("FG"), []byte("GF"), []byte("XY"), []byte("YX"),
+		[]byte("ABCD"), []byte("DCBA"),
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("harvest order = %q, want %q", toks, want)
+	}
+	if again := harnessaudit.Harvest(m); !reflect.DeepEqual(again, toks) {
+		t.Fatalf("repeated harvest diverged:\n  first  %q\n  second %q", toks, again)
+	}
+}

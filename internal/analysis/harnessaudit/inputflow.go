@@ -183,6 +183,25 @@ type flowState struct {
 
 // analyzeInputFlow runs the taint fixpoint and the harvest pass.
 func analyzeInputFlow(m *ir.Module) *flowResult {
+	st := solveFlow(m)
+	res := &flowResult{}
+	for _, f := range m.Funcs {
+		st.countSources(f, res)
+	}
+	sinks := map[string]map[int]bool{} // fn -> compare-sink param indices
+	for _, f := range m.Funcs {
+		st.harvestFunc(f, res, sinks)
+	}
+	for _, f := range m.Funcs {
+		st.harvestCallClusters(f, res, sinks)
+	}
+	return res
+}
+
+// solveFlow seeds the taint lattice (input-reading builtins plus the entry
+// point's parameters) and runs the interprocedural fixpoint to completion,
+// returning the solved state for harvesting or fact extraction.
+func solveFlow(m *ir.Module) *flowState {
 	st := &flowState{
 		m:           m,
 		tags:        map[string][]ptag{},
@@ -218,19 +237,7 @@ func analyzeInputFlow(m *ir.Module) *flowResult {
 			break
 		}
 	}
-
-	res := &flowResult{}
-	for _, f := range m.Funcs {
-		st.countSources(f, res)
-	}
-	sinks := map[string]map[int]bool{} // fn -> compare-sink param indices
-	for _, f := range m.Funcs {
-		st.harvestFunc(f, res, sinks)
-	}
-	for _, f := range m.Funcs {
-		st.harvestCallClusters(f, res, sinks)
-	}
-	return res
+	return st
 }
 
 // computeTags derives the flow-insensitive pointer tag of every register.

@@ -1,0 +1,237 @@
+package synth_test
+
+// The synthesizer's contract tests: every registered benchmark target
+// yields a certified harness (the acceptance floor is three), synthesis
+// is deterministic to the byte, the report JSON is pinned against an
+// exact golden, and TargetFor wraps the result as a registrable auxiliary
+// target with per-arm seeds.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"closurex/internal/analysis"
+	"closurex/internal/analysis/synth"
+	"closurex/internal/targets"
+)
+
+// TestSynthAllBenchmarksCertify is the acceptance gate: synthesis plans at
+// least one arm and certifies (zero CLX130) on every benchmark target, and
+// at least three targets produce a certified harness.
+func TestSynthAllBenchmarksCertify(t *testing.T) {
+	certified := 0
+	for _, tg := range targets.Benchmarks() {
+		h, err := synth.Synthesize(tg.Name, tg.Short+".c", tg.Source, synth.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tg.Name, err)
+		}
+		if n := h.Report.Codes[analysis.IDSynthCertFail]; n > 0 {
+			t.Errorf("%s: %d CLX130 certification failure(s):\n%s", tg.Name, n, h.Diags.String())
+			continue
+		}
+		if len(h.Report.Arms) == 0 {
+			t.Errorf("%s: no dispatch arms planned", tg.Name)
+			continue
+		}
+		if !h.Report.Certified {
+			t.Errorf("%s: planned %d arm(s) but not certified:\n%s",
+				tg.Name, len(h.Report.Arms), h.Diags.String())
+			continue
+		}
+		certified++
+	}
+	if certified < 3 {
+		t.Fatalf("certified harnesses for %d targets, acceptance floor is 3", certified)
+	}
+}
+
+// TestSynthDeterministic: two independent runs over every benchmark target
+// must agree byte for byte — in the rendered report JSON and in the
+// emitted MinC source.
+func TestSynthDeterministic(t *testing.T) {
+	run := func() ([]byte, []string) {
+		var reports []*synth.Report
+		var sources []string
+		for _, tg := range targets.Benchmarks() {
+			h, err := synth.Synthesize(tg.Name, tg.Short+".c", tg.Source, synth.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", tg.Name, err)
+			}
+			reports = append(reports, h.Report)
+			sources = append(sources, h.Source)
+		}
+		j, err := synth.ReportsJSON(reports)
+		if err != nil {
+			t.Fatalf("ReportsJSON: %v", err)
+		}
+		return j, sources
+	}
+	j1, s1 := run()
+	j2, s2 := run()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("report JSON diverged between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", j1, j2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("target %d: emitted source diverged between identical runs", i)
+		}
+	}
+}
+
+// pinnedSrc exercises every plan kind in one small target: a buf/len pair,
+// a byte + int pair with compare-witness hints, a global precondition the
+// entry writes, and a shadowed-free surface (neither helper is called).
+const pinnedSrc = `
+int magic;
+int parse_rec(char *p, int n) {
+	if (n < 4) return 0;
+	if (p[0] == 'R' && p[1] == 'X') return magic;
+	return 1;
+}
+int tag_of(char c, int mode) {
+	if (mode == 9) return c + 1;
+	return c;
+}
+int main(void) {
+	int f = fopen("/input", "r");
+	if (!f) return 0;
+	magic = 1;
+	char b[32];
+	int n = fread(b, 1, 32, f);
+	fclose(f);
+	if (n > 0 && b[0] == 'z') return 7;
+	return 0;
+}
+`
+
+// pinnedJSON is the exact ReportsJSON rendering for pinnedSrc. The bytes
+// are the -synth-json contract: field order, slice ordering, indentation
+// and the trailing newline are all part of it. Update deliberately.
+const pinnedJSON = `[
+  {
+    "target": "pinned",
+    "entry": "main",
+    "functions": 2,
+    "arms": [
+      {
+        "func": "parse_rec",
+        "ret": "int",
+        "params": [
+          {
+            "name": "p",
+            "type": "char*",
+            "kind": "buf",
+            "off": 0,
+            "hint": 0
+          },
+          {
+            "name": "n",
+            "type": "int",
+            "kind": "len",
+            "off": 1,
+            "hint": 4
+          }
+        ],
+        "score": 1320,
+        "reachable": false,
+        "hdr_bytes": 4
+      },
+      {
+        "func": "tag_of",
+        "ret": "int",
+        "params": [
+          {
+            "name": "c",
+            "type": "char",
+            "kind": "byte",
+            "off": 1,
+            "hint": 0
+          },
+          {
+            "name": "mode",
+            "type": "int",
+            "kind": "int",
+            "off": 2,
+            "hint": 9
+          }
+        ],
+        "score": 1208,
+        "reachable": false,
+        "hdr_bytes": 5
+      }
+    ],
+    "pre_globals": [
+      "magic"
+    ],
+    "hdr_bytes": 6,
+    "buf_cap": 512,
+    "certified": true,
+    "source_lines": 42
+  }
+]
+`
+
+func TestSynthReportJSONPinnedBytes(t *testing.T) {
+	h, err := synth.Synthesize("pinned", "pinned.c", pinnedSrc, synth.Options{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if len(h.Diags) != 0 {
+		t.Fatalf("pinned fixture should synthesize cleanly, got:\n%s", h.Diags.String())
+	}
+	j, err := synth.ReportsJSON([]*synth.Report{h.Report})
+	if err != nil {
+		t.Fatalf("ReportsJSON: %v", err)
+	}
+	if string(j) != pinnedJSON {
+		t.Fatalf("report JSON drifted from the pinned bytes:\n--- got ---\n%s\n--- want ---\n%s", j, pinnedJSON)
+	}
+	for _, want := range []string{
+		"void closurex_init(void) {",
+		"magic = 1;",
+		"int sx_sel = sx_buf[0] % 2;",
+		"sx_ret = parse_rec(sx_buf + 6, sx_a1);",
+		"sx_ret = tag_of(sx_a0, sx_a1);",
+	} {
+		if !strings.Contains(h.Source, want) {
+			t.Errorf("emitted source lacks %q:\n%s", want, h.Source)
+		}
+	}
+}
+
+// TestSynthTargetForShape pins the auxiliary-target wrapping: registry
+// naming, Aux flag, MaxInputLen = BufCap, and one deterministic seed per
+// arm whose first byte selects that arm.
+func TestSynthTargetForShape(t *testing.T) {
+	base := targets.Get("zlib")
+	if base == nil {
+		t.Fatalf("Get(zlib): not registered")
+	}
+	nt, h, err := synth.TargetFor(base, synth.Options{})
+	if err != nil {
+		t.Fatalf("TargetFor: %v", err)
+	}
+	if nt.Name != base.Name+"+synth" || nt.Short != base.Short+"_synth" {
+		t.Fatalf("aux target named %s/%s, want %s+synth/%s_synth", nt.Name, nt.Short, base.Name, base.Short)
+	}
+	if !nt.Aux {
+		t.Fatalf("synthesized target must be Aux")
+	}
+	if nt.MaxInputLen != synth.DefaultBufCap {
+		t.Fatalf("MaxInputLen = %d, want %d", nt.MaxInputLen, synth.DefaultBufCap)
+	}
+	seeds := nt.Seeds()
+	if len(seeds) != len(h.Report.Arms) {
+		t.Fatalf("%d seeds for %d arms", len(seeds), len(h.Report.Arms))
+	}
+	for i, s := range seeds {
+		if len(s) < h.Report.HdrBytes {
+			t.Errorf("seed %d shorter than the %d-byte header", i, h.Report.HdrBytes)
+			continue
+		}
+		if int(s[0])%len(h.Report.Arms) != i {
+			t.Errorf("seed %d selector byte %d does not dispatch arm %d", i, s[0], i)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"closurex/internal/analysis/synth"
+	"closurex/internal/ir"
+	"closurex/internal/targets"
+)
+
+// synth/certify.go re-builds its own ClosureX pipeline rather than calling
+// InstrumentWith (importing core would cycle through targets). This test
+// pins the mirror: for every benchmark target's synthesized harness, the
+// module synth certified must be instruction-identical to what
+// core.Build(..., ClosureX) produces from the same emitted source — same
+// pass set, same ordering, same coverage seed. If the pipelines drift, the
+// synthesized targets would fuzz a different program than the one that was
+// certified.
+func TestSynthCertifyMirrorsClosureXBuild(t *testing.T) {
+	for _, tg := range targets.Benchmarks() {
+		h, err := synth.Synthesize(tg.Name, tg.Short+".c", tg.Source, synth.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tg.Name, err)
+		}
+		if !h.Report.Certified {
+			t.Errorf("%s: not certified:\n%s", tg.Name, h.Diags.String())
+			continue
+		}
+		want, err := Build(tg.Short+".c", h.Source, ClosureX)
+		if err != nil {
+			t.Errorf("%s: core.Build over the emitted source: %v", tg.Name, err)
+			continue
+		}
+		if got, exp := ir.Print(h.Module), ir.Print(want); got != exp {
+			t.Errorf("%s: synth-certified module differs from core.Build(ClosureX) over the same source", tg.Name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunSynthGainSmall pins the experiment's contract at a small exec
+// budget: synthesis succeeds for at least 3 benchmark targets, zero CLX130
+// certification failures, and every synthesized campaign's merged coverage
+// strictly contains the manual-only run.
+func TestRunSynthGainSmall(t *testing.T) {
+	rep, err := RunSynthGain(200, 1)
+	if err != nil {
+		t.Fatalf("RunSynthGain: %v", err)
+	}
+	if rep.CLX130 != 0 {
+		t.Fatalf("CLX130 certification failures: %d", rep.CLX130)
+	}
+	if rep.TargetsSynthesized < 3 {
+		t.Fatalf("synthesized %d targets, want >= 3", rep.TargetsSynthesized)
+	}
+	for _, r := range rep.Rows {
+		if r.Synthesized && !r.StrictSuperset {
+			t.Errorf("%s: synthesized but merged coverage is not a strict superset (manual=%d synth=%d merged=%d)",
+				r.Target, r.ManualCells, r.SynthCells, r.MergedCells)
+		}
+		if r.Synthesized && r.MergedCells < r.ManualCells {
+			t.Errorf("%s: merged %d < manual %d", r.Target, r.MergedCells, r.ManualCells)
+		}
+	}
+}
+
+// TestRunSynthGainDeterministic: two runs from the same seed must agree
+// cell for cell — the campaigns are deterministic and synthesis is static.
+func TestRunSynthGainDeterministic(t *testing.T) {
+	a, err := RunSynthGain(100, 7)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunSynthGain(100, 7)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Target != b.Rows[i].Target {
+			t.Fatalf("row %d: target %q vs %q", i, a.Rows[i].Target, b.Rows[i].Target)
+		}
+		ra, rb := a.Rows[i], b.Rows[i]
+		ra.Codes, rb.Codes = nil, nil
+		if fmt.Sprintf("%+v", ra) != fmt.Sprintf("%+v", rb) {
+			t.Errorf("row %d (%s) diverged between identical runs:\n  %+v\n  %+v", i, a.Rows[i].Target, ra, rb)
+		}
+	}
+}
